@@ -1,0 +1,60 @@
+// A-coh — why TCCluster abandons cache coherency (§I/§III/§IV motivation).
+//
+// Sweeps a coherent HyperTransport domain from 2 to 32 sockets and reports
+// the cost of one write-shared store (probe broadcast, last-response-pivotal
+// completion) against the flat cost of a TCCluster message. Also shows the
+// directory/probe-filter variant (Horus/3-Leaf, §II) that "moderately
+// increases the scalability to 32 nodes".
+#include "bench_util.hpp"
+#include "coherence/probe_domain.hpp"
+
+int main() {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  print_header("ablation_coherency — coherent probe cost vs node count",
+               "§III: probe messages grow proportionally with nodes; §II: "
+               "directory protocols reach ~32 nodes; TCCluster stays flat");
+
+  // The flat reference: a TCCluster one-way message (half of the measured
+  // ping-pong round trip on the booted cable prototype).
+  auto cl = make_cable();
+  const double tcc_msg_ns = pingpong_ns(*cl, 0, 1, 48, 200);
+
+  std::printf("%7s %15s %15s %16s %16s %14s\n", "nodes", "bcast lat ns",
+              "filter lat ns", "sim lat ns", "probe B/store", "tcc msg ns");
+  for (int n : {2, 4, 8, 16, 32}) {
+    coherence::ProbeDomainParams p;
+    p.nodes = n;
+    coherence::ProbeDomain bcast(p);
+    const auto c = bcast.store_cost(1e6);
+    p.probe_filter = true;
+    coherence::ProbeDomain filtered(p);
+    const auto cf = filtered.store_cost(1e6);
+    const double sim_ns = bcast.simulate_store_latency(300).nanoseconds();
+    std::printf("%7d %15.0f %15.0f %16.0f %16llu %14.0f\n", n,
+                c.store_latency.nanoseconds(), cf.store_latency.nanoseconds(), sim_ns,
+                static_cast<unsigned long long>(c.fabric_bytes_per_store), tcc_msg_ns);
+  }
+
+  std::printf("\n-- effective per-node store bandwidth under write sharing --\n");
+  std::printf("%7s %22s %22s\n", "nodes", "coherent MB/s (bcast)", "tccluster MB/s");
+  // TCCluster remote-store bandwidth does not depend on cluster size: the
+  // weakly-ordered streaming figure from Fig. 6.
+  auto cl2 = make_cable();
+  const double tcc_bw =
+      stream_put_mbps(*cl2, 4096, 1_MiB, cluster::OrderingMode::kWeaklyOrdered);
+  for (int n : {2, 4, 8, 16, 32}) {
+    coherence::ProbeDomainParams p;
+    p.nodes = n;
+    const auto c = coherence::ProbeDomain(p).store_cost(/*offered=*/50e6);
+    std::printf("%7d %22.0f %22.0f\n", n, c.effective_store_bandwidth / 1e6, tcc_bw);
+  }
+
+  std::printf(
+      "\npaper check: coherent latency and probe traffic grow with node count\n"
+      "(and the fabric saturates), the probe filter only moderates it, while\n"
+      "the TCCluster message cost is independent of system size — the whole\n"
+      "argument of §I.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// A-ring — endpoint scaling (§IV.A: "each node has to allocate a 4 KB ring
+// buffer for each endpoint ... While this limitation prohibits unlimited
+// scalability the approach is sufficient to support hundreds of endpoints").
+//
+// Reports (a) the receive-ring memory footprint per node as the cluster
+// grows, (b) the measured cost of a receiver fanning its poll loop over many
+// endpoints, and (c) aggregate many-to-one messaging on a real ring cluster.
+#include "bench_util.hpp"
+#include "tccluster/driver.hpp"
+
+int main() {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  print_header("ablation_endpoints — per-endpoint ring cost and scaling",
+               "§IV.A: 4 KiB ring per endpoint; 'sufficient to support "
+               "hundreds of endpoints'");
+
+  std::printf("-- receive-ring footprint per node (3 channels x 4 KiB each) --\n");
+  std::printf("%10s %16s %18s\n", "endpoints", "ring bytes", "of 8 GiB node");
+  for (int n : {2, 8, 64, 256, 512, 1024}) {
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(n) * cluster::kNumChannels * cluster::kRingBytes;
+    std::printf("%10d %16s %17.4f%%\n", n, format_bytes(bytes).c_str(),
+                100.0 * static_cast<double>(bytes) / static_cast<double>(8_GiB));
+  }
+
+  std::printf("\n-- many-to-one on a booted ring: all peers send to node 0 --\n");
+  std::printf("%8s %18s %20s\n", "nodes", "msgs received", "aggregate msgs/s");
+  for (int n : {3, 5, 9}) {
+    cluster::TcCluster::Options o;
+    o.topology.shape = topology::ClusterShape::kRing;
+    o.topology.nx = n;
+    o.topology.dram_per_chip = 16_MiB;
+    o.boot.model_code_fetch = false;
+    auto c = cluster::TcCluster::create(o);
+    c.expect("create");
+    auto& cl = *c.value();
+    cl.boot().expect("boot");
+
+    constexpr int kPerPeer = 50;
+    const int expected = (n - 1) * kPerPeer;
+    for (int src = 1; src < n; ++src) {
+      auto* ep = cl.msg(src).connect(0).value();
+      cl.engine().spawn_fn([ep]() -> sim::Task<void> {
+        std::uint8_t payload[16] = {1};
+        for (int i = 0; i < kPerPeer; ++i) {
+          (co_await ep->send(payload)).expect("send");
+        }
+      });
+    }
+    Picoseconds done;
+    cl.engine().spawn_fn([&cl, n, expected, &done]() -> sim::Task<void> {
+      // Node 0 polls all endpoints round-robin — the real receive fan-out.
+      std::vector<cluster::MsgEndpoint*> eps;
+      for (int src = 1; src < n; ++src) {
+        eps.push_back(cl.msg(0).connect(src).value());
+      }
+      int got = 0;
+      while (got < expected) {
+        for (auto* ep : eps) {
+          if (co_await ep->poll()) {
+            (void)co_await ep->recv_discard();
+            ++got;
+          }
+        }
+      }
+      done = cl.engine().now();
+    });
+    cl.engine().run();
+    std::printf("%8d %18d %20.0f\n", n, expected,
+                static_cast<double>(expected) / done.seconds());
+  }
+
+  std::printf(
+      "\npaper check: footprint stays trivial into the hundreds of endpoints\n"
+      "(the stated design point); the many-to-one rate is bounded by the\n"
+      "receiver's uncacheable poll sweep, which grows with endpoint count —\n"
+      "the real scalability limit of the software-only receive path.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// A-wc — write combining on/off (§VI: "Our approach makes intensive use of
+// the write combining capability to generate maximum sized HyperTransport
+// packets which reduce the command overhead. Therefore, multiple 64 bit
+// store instructions are collected in the write combining buffer and sent
+// out as a single packet.").
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  print_header("ablation_writecombine — WC buffers on vs off",
+               "§VI write-combining rationale: 64 B packets vs one packet per "
+               "8 B store");
+
+  std::printf("%10s %16s %16s %12s\n", "msg size", "WC on MB/s", "WC off MB/s",
+              "speedup");
+  for (std::uint64_t size : {256ull, 4096ull, 65536ull}) {
+    auto on_cl = make_cable();
+    const double on =
+        stream_put_mbps(*on_cl, size, 1_MiB, cluster::OrderingMode::kWeaklyOrdered);
+
+    auto off_cl = make_cable();
+    off_cl->core(0).wc().set_enabled(false);
+    const double off =
+        stream_put_mbps(*off_cl, size, 256_KiB, cluster::OrderingMode::kWeaklyOrdered);
+    std::printf("%10s %16.0f %16.0f %11.1fx\n", format_bytes(size).c_str(), on, off,
+                on / off);
+  }
+
+  // Packet accounting: stream 64 KiB once in each mode and count packets.
+  {
+    auto cl = make_cable();
+    (void)stream_put_mbps(*cl, 65536, 65536, cluster::OrderingMode::kWeaklyOrdered);
+    const auto& wc = cl->core(0).wc();
+    std::printf("\nWC on:  %llu packets for 64 KiB (%llu full-line), %llu evictions\n",
+                static_cast<unsigned long long>(wc.packets_emitted()),
+                static_cast<unsigned long long>(wc.full_line_packets()),
+                static_cast<unsigned long long>(wc.evictions()));
+  }
+  {
+    auto cl = make_cable();
+    cl->core(0).wc().set_enabled(false);
+    (void)stream_put_mbps(*cl, 65536, 65536, cluster::OrderingMode::kWeaklyOrdered);
+    std::printf("WC off: %llu packets for 64 KiB (one per 8-byte store)\n",
+                static_cast<unsigned long long>(cl->core(0).wc().packets_emitted()));
+  }
+
+  std::printf(
+      "\npaper check: combining turns eight 8 B stores into one 73-byte wire\n"
+      "packet (64 B payload + command + CRC); without it every store pays the\n"
+      "9-byte command overhead for 8 bytes of payload, plus a per-packet\n"
+      "northbridge scheduling slot — a ~3x throughput loss, which is why §VI\n"
+      "leans on the WC buffers.\n");
+  return 0;
+}

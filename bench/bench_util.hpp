@@ -1,0 +1,127 @@
+// Shared measurement harness for the paper-figure benches.
+//
+// Each bench binary regenerates one table/figure of the evaluation section
+// (see DESIGN.md §3) and prints a self-describing table; EXPERIMENTS.md
+// records paper-vs-measured for each.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "middleware/mpi.hpp"
+#include "tccluster/cluster.hpp"
+
+namespace tcc::bench {
+
+/// A booted two-node cable cluster — the paper's prototype (§V, Fig. 5).
+inline std::unique_ptr<cluster::TcCluster> make_cable(
+    ht::LinkFreq freq = ht::LinkFreq::kHt800,
+    int nb_outbound_depth = opteron::kNbOutboundDepth,
+    std::uint64_t shared_bytes = 16_MiB) {
+  cluster::TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kCable;
+  o.topology.nx = 2;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.tccluster_freq = freq;
+  o.boot.model_code_fetch = false;  // benches do not need boot timing
+  o.nb_outbound_depth = nb_outbound_depth;
+  o.shared_bytes = shared_bytes;
+  auto c = cluster::TcCluster::create(o);
+  c.value()->boot().expect("boot");
+  return std::move(c).value();
+}
+
+/// Sender-side streaming bandwidth through the one-sided put path (the
+/// paper's bandwidth microbenchmark: a stream of remote stores, receiver
+/// passive). Returns MB/s as the paper plots it (bytes / wall time).
+inline double stream_put_mbps(cluster::TcCluster& cl, std::uint64_t message_bytes,
+                              std::uint64_t total_bytes, cluster::OrderingMode mode,
+                              bool time_store_issue_only = false) {
+  auto* ep = cl.msg(0).connect(1).value();
+  const std::uint64_t ring_sz = cl.driver(0).ring_region(1).size;
+  auto window =
+      cl.driver(0).map_remote(1, ring_sz + 4096, cl.driver(1).shared_bytes() - 4096);
+  window.expect("map_remote");
+  std::vector<std::uint8_t> payload(message_bytes, 0x5a);
+  const std::uint64_t iters = std::max<std::uint64_t>(1, total_bytes / message_bytes);
+  const std::uint64_t span = window.value().range().size;
+
+  Picoseconds elapsed;
+  cl.engine().spawn_fn([&, iters]() -> sim::Task<void> {
+    opteron::Core& core = cl.core(0);
+    const Picoseconds t0 = cl.engine().now();
+    std::uint64_t off = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      if (off + message_bytes > span) off = 0;
+      if (mode == cluster::OrderingMode::kStrict) {
+        // Strict: Sfence after every cache-line store (Fig. 6 mechanism 1).
+        (co_await ep->put(window.value(), off, payload, mode)).expect("put");
+      } else {
+        // Weakly ordered: a pure store stream; WC buffers flush on overflow
+        // (Fig. 6 mechanism 2). One fence closes the whole timed window.
+        (co_await core.store_bytes(window.value().at(off), payload)).expect("store");
+      }
+      off += message_bytes;
+    }
+    if (mode == cluster::OrderingMode::kWeaklyOrdered && !time_store_issue_only) {
+      (co_await core.sfence()).expect("sfence");
+      // Drain: wait until everything issued actually left the node, so the
+      // figure reports wire bandwidth, not queue absorption.
+      co_await cl.machine().chip(0).nb().drain_outbound();
+    }
+    elapsed = cl.engine().now() - t0;
+  });
+  cl.engine().run();
+  const double bytes = static_cast<double>(message_bytes) * static_cast<double>(iters);
+  return bytes / elapsed.seconds() / 1e6;
+}
+
+/// tcmsg ping-pong half-round-trip latency in nanoseconds (Fig. 7 kernel:
+/// "the receive node polls a specific memory location and sends back a
+/// response as soon as the first message arrives").
+inline double pingpong_ns(cluster::TcCluster& cl, int node_a, int node_b,
+                          std::uint32_t payload_bytes, int iters) {
+  auto* ea = cl.msg(node_a).connect(node_b).value();
+  auto* eb = cl.msg(node_b).connect(node_a).value();
+  std::vector<std::uint8_t> payload(payload_bytes, 0xa5);
+  Picoseconds elapsed;
+  cl.engine().spawn_fn([&, iters]() -> sim::Task<void> {
+    // Deterministic inter-iteration jitter OUTSIDE the timed windows: a
+    // fully phase-locked simulation would otherwise quantize the receiver's
+    // poll-loop alignment and bias the mean (real runs average over OS and
+    // DRAM-refresh noise).
+    Rng jitter(0x9e37);
+    Picoseconds sum = Picoseconds::zero();
+    for (int i = 0; i < iters; ++i) {
+      co_await cl.engine().delay(Picoseconds{
+          static_cast<std::int64_t>(jitter.next_below(150'000))});
+      const Picoseconds t0 = cl.engine().now();
+      (co_await ea->send(payload)).expect("send");
+      (co_await ea->recv_discard()).expect("pong");
+      sum += cl.engine().now() - t0;
+    }
+    elapsed = sum;
+  });
+  cl.engine().spawn_fn([&, iters]() -> sim::Task<void> {
+    for (int i = 0; i < iters; ++i) {
+      (co_await eb->recv_discard()).expect("ping");
+      (co_await eb->send(payload)).expect("send");
+    }
+  });
+  cl.engine().run();
+  return elapsed.nanoseconds() / (2.0 * iters);
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);  // benches stream progress rows
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace tcc::bench

@@ -1,0 +1,77 @@
+// Figure 6 — TCCluster bandwidth vs message size.
+//
+// Reproduces the three behaviours of the paper's Fig. 6 on the simulated
+// two-board prototype (16-bit link @ HT800 = 1.6 Gbit/s/lane):
+//   * strict ordering (Sfence per cache line)  -> ~2000 MB/s plateau,
+//   * weakly ordered (WC flush on overflow)    -> ~2700 MB/s plateau,
+//   * the issue-timed artifact: with a deep buffering chain and the timer
+//     stopping at the last store *instruction*, a 256 KB transfer reads at
+//     the 5.3 GB/s store-issue rate — the paper's disclaimed 5300 MB/s point
+//     ("leverages caching structures within the Opteron and does not
+//     reflect the bandwidth performance of the TCCluster link").
+// The ConnectX baseline curve (§VI's reference numbers) is printed alongside.
+#include "baseline/nic.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+double ib_stream_mbps(std::uint32_t bytes, std::uint64_t total) {
+  using namespace tcc;
+  sim::Engine engine;
+  baseline::NicChannel chan(engine, baseline::NicParams::connectx());
+  const int count = static_cast<int>(std::max<std::uint64_t>(1, total / bytes));
+  Picoseconds done;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) co_await chan.post_send(bytes);
+  });
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) (void)co_await chan.poll_recv();
+    done = engine.now();
+  });
+  engine.run();
+  return static_cast<double>(bytes) * count / done.seconds() / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  print_header("fig6_bandwidth — TCCluster bandwidth vs message size",
+               "Figure 6 (paper: strict ~2000 MB/s, weak ~2700 MB/s sustained, "
+               "5300 MB/s issue-timed artifact at 256 KiB; ConnectX reference)");
+
+  std::printf("%12s %14s %14s %16s %14s\n", "msg size", "strict MB/s", "weak MB/s",
+              "issue-timed MB/s", "connectx MB/s");
+
+  const std::uint64_t kTotal = 2_MiB;  // per measurement point
+  for (std::uint64_t size = 64; size <= 4_MiB; size *= 4) {
+    auto strict_cl = make_cable();
+    const double strict =
+        stream_put_mbps(*strict_cl, size, kTotal, cluster::OrderingMode::kStrict);
+
+    auto weak_cl = make_cable();
+    const double weak =
+        stream_put_mbps(*weak_cl, size, kTotal, cluster::OrderingMode::kWeaklyOrdered);
+
+    // Artifact series: deep buffering chain (northbridge outbound queue able
+    // to absorb ~128 KiB), single shot, timed to the last store issue.
+    auto artifact_cl = make_cable(ht::LinkFreq::kHt800, /*nb_outbound_depth=*/2048);
+    const double artifact = stream_put_mbps(*artifact_cl, size, /*total=*/size,
+                                            cluster::OrderingMode::kWeaklyOrdered,
+                                            /*time_store_issue_only=*/true);
+
+    const double ib = ib_stream_mbps(static_cast<std::uint32_t>(size), kTotal);
+
+    std::printf("%12s %14.0f %14.0f %16.0f %14.0f%s\n", format_bytes(size).c_str(),
+                strict, weak, artifact, ib,
+                size == 256_KiB ? "   <- paper's 5300 MB/s artifact point" : "");
+  }
+
+  std::printf(
+      "\npaper check: strict plateau ~2000 MB/s, weak plateau ~2700 MB/s,\n"
+      "issue-timed ~5300 MB/s at 256 KiB, ConnectX 200/1500/2500 MB/s at\n"
+      "64 B / 1 KiB / 1 MiB. TCCluster wins small messages by >10x.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// T-ib — head-to-head comparison table (§VI in-text numbers).
+//
+// Paper: "the Infiniband ConnectX network adapter ... provides an MPI
+// bandwidth of 2500 MB/s for 1 MB messages, 1500 MB/s for 1K messages and
+// 200 MB/s for cacheline sized messages ... TCCluster provides a significant
+// performance edge over Infiniband especially for small messages"; abstract:
+// "outperforming other high performance networks by an order of magnitude"
+// (small-message bandwidth) and 227 ns vs ~1 us latency (~4x).
+#include "baseline/nic.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row {
+  std::uint64_t size;
+  double tcc_bw = 0, ib_bw = 0, eth_bw = 0;
+};
+
+double nic_stream_mbps(const tcc::baseline::NicParams& params, std::uint32_t bytes,
+                       std::uint64_t total) {
+  using namespace tcc;
+  sim::Engine engine;
+  baseline::NicChannel chan(engine, params);
+  const int count = static_cast<int>(std::max<std::uint64_t>(1, total / bytes));
+  Picoseconds done;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) co_await chan.post_send(bytes);
+  });
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) (void)co_await chan.poll_recv();
+    done = engine.now();
+  });
+  engine.run();
+  return static_cast<double>(bytes) * count / done.seconds() / 1e6;
+}
+
+double nic_pingpong_ns(const tcc::baseline::NicParams& params, std::uint32_t bytes,
+                       int iters) {
+  using namespace tcc;
+  sim::Engine engine;
+  baseline::NicPair pair(engine, params);
+  Picoseconds total;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    const Picoseconds t0 = engine.now();
+    for (int i = 0; i < iters; ++i) {
+      co_await pair.a_to_b().post_send(bytes);
+      (void)co_await pair.b_to_a().poll_recv();
+    }
+    total = engine.now() - t0;
+  });
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < iters; ++i) {
+      (void)co_await pair.a_to_b().poll_recv();
+      co_await pair.b_to_a().post_send(bytes);
+    }
+  });
+  engine.run();
+  return total.nanoseconds() / (2.0 * iters);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  print_header("ib_comparison — TCCluster vs ConnectX vs GbE",
+               "§VI in-text comparison (ConnectX 200 / 1500 / 2500 MB/s at "
+               "64 B / 1 KiB / 1 MiB; order-of-magnitude small-message edge)");
+
+  const auto ib = baseline::NicParams::connectx();
+  const auto velo = baseline::NicParams::htx_velo();
+  const auto eth = baseline::NicParams::gige();
+
+  std::printf("-- streaming bandwidth (weakly ordered, MB/s) --\n");
+  std::printf("%10s %12s %12s %12s %12s %14s\n", "size", "tccluster", "connectx",
+              "htx-velo", "gige", "tcc/connectx");
+  for (std::uint64_t size : {64ull, 1024ull, 65536ull, 1048576ull}) {
+    auto cl = make_cable();
+    const double tcc_bw =
+        stream_put_mbps(*cl, size, 2_MiB, cluster::OrderingMode::kWeaklyOrdered);
+    const double ib_bw = nic_stream_mbps(ib, static_cast<std::uint32_t>(size), 2_MiB);
+    const double velo_bw = nic_stream_mbps(velo, static_cast<std::uint32_t>(size), 1_MiB);
+    const double eth_bw = nic_stream_mbps(eth, static_cast<std::uint32_t>(size), 256_KiB);
+    std::printf("%10s %12.0f %12.0f %12.0f %12.0f %13.1fx\n", format_bytes(size).c_str(),
+                tcc_bw, ib_bw, velo_bw, eth_bw, tcc_bw / ib_bw);
+  }
+
+  std::printf("\n-- ping-pong half-round-trip latency (ns) --\n");
+  std::printf("%10s %12s %12s %12s %12s %14s\n", "size", "tccluster", "connectx",
+              "htx-velo", "gige", "connectx/tcc");
+  for (std::uint32_t payload : {48u, 1008u}) {
+    auto cl = make_cable();
+    const double tcc_lat = pingpong_ns(*cl, 0, 1, payload, 200);
+    const double ib_lat = nic_pingpong_ns(ib, payload + 16, 200);
+    const double velo_lat = nic_pingpong_ns(velo, payload + 16, 200);
+    const double eth_lat = nic_pingpong_ns(eth, payload + 16, 50);
+    std::printf("%10s %12.0f %12.0f %12.0f %12.0f %13.1fx\n",
+                format_bytes(payload + 16).c_str(), tcc_lat, ib_lat, velo_lat, eth_lat,
+                ib_lat / tcc_lat);
+  }
+  std::printf(
+      "\n(htx-velo models the VELO/InfiniPath class of §II: an HT-attached\n"
+      "NIC is ~2x faster than a PCIe NIC at small messages, yet TCCluster\n"
+      "still beats it — 'completely eliminates the additional latency\n"
+      "introduced by the network hardware'.)\n");
+
+  std::printf(
+      "\npaper check: >10x bandwidth at 64 B, ~parity at 1 MiB (both ~wire\n"
+      "limited), ~4-6x latency advantage. Who wins and where: TCCluster on\n"
+      "every small-message metric, converging at large transfers.\n");
+  return 0;
+}

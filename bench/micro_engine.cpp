@@ -1,0 +1,96 @@
+// Host-side microbenchmarks (google-benchmark): how fast the simulator
+// itself runs. These guard the event-loop and coroutine hot paths so the
+// figure benches stay cheap to iterate on.
+#include <benchmark/benchmark.h>
+
+#include "ht/crc.hpp"
+#include "ht/link.hpp"
+#include "sim/bounded.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace tcc;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < 1000; ++i) {
+      e.schedule(ns(i), [] {});
+    }
+    benchmark::DoNotOptimize(e.run().count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_CoroutineDelayChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    e.spawn_fn([&e]() -> sim::Task<void> {
+      for (int i = 0; i < 1000; ++i) {
+        co_await e.delay(Picoseconds{100});
+      }
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Channel<int> a(e), b(e);
+    e.spawn_fn([&]() -> sim::Task<void> {
+      for (int i = 0; i < 500; ++i) {
+        a.push(i);
+        (void)co_await b.pop();
+      }
+    });
+    e.spawn_fn([&]() -> sim::Task<void> {
+      for (int i = 0; i < 500; ++i) {
+        (void)co_await a.pop();
+        b.push(i);
+      }
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_LinkPacketDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    ht::HtEndpoint a(e, "a", ht::EndpointDevice::kProcessor);
+    ht::HtEndpoint b(e, "b", ht::EndpointDevice::kProcessor);
+    ht::HtLink link(e, a, b);
+    link.train();
+    const int kPackets = 200;
+    e.spawn_fn([&]() -> sim::Task<void> {
+      for (int i = 0; i < kPackets; ++i) (void)co_await b.receive();
+    });
+    std::vector<std::uint8_t> payload(64, 0xaa);
+    for (int i = 0; i < kPackets; ++i) {
+      (void)a.send(ht::Packet::posted_write(PhysAddr{0x1000}, payload));
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_LinkPacketDelivery);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht::crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

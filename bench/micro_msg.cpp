@@ -1,0 +1,60 @@
+// Host-side microbenchmarks of the full message path: how much wall-clock
+// time the simulator spends per simulated boot / message / put. Guards the
+// cost of iterating on the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tcc;
+using namespace tcc::bench;
+
+void BM_CableClusterBoot(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cl = make_cable();
+    benchmark::DoNotOptimize(cl->booted());
+  }
+}
+BENCHMARK(BM_CableClusterBoot)->Unit(benchmark::kMillisecond);
+
+void BM_RingMessageRoundTrip(benchmark::State& state) {
+  auto cl = make_cable();
+  auto* ea = cl->msg(0).connect(1).value();
+  auto* eb = cl->msg(1).connect(0).value();
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    cl->engine().spawn_fn([&]() -> sim::Task<void> {
+      (co_await ea->send(payload)).expect("send");
+      (co_await ea->recv_discard()).expect("pong");
+    });
+    cl->engine().spawn_fn([&]() -> sim::Task<void> {
+      (co_await eb->recv_discard()).expect("ping");
+      (co_await eb->send(payload)).expect("send");
+    });
+    cl->engine().run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RingMessageRoundTrip)->Arg(48)->Arg(1008)->Arg(3520);
+
+void BM_OneSidedPut(benchmark::State& state) {
+  auto cl = make_cable();
+  auto* ep = cl->msg(0).connect(1).value();
+  const std::uint64_t ring_bytes = cl->driver(0).ring_region(1).size;
+  auto win = cl->driver(0).map_remote(1, ring_bytes, 1_MiB);
+  win.expect("map");
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 0x77);
+  for (auto _ : state) {
+    cl->engine().spawn_fn([&]() -> sim::Task<void> {
+      (co_await ep->put(win.value(), 0, payload)).expect("put");
+    });
+    cl->engine().run();
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OneSidedPut)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

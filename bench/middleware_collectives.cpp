@@ -1,0 +1,151 @@
+// §VII outlook — "The next step in our work will be to port a middleware
+// software layer like MPI or GASNet on top of our simple message library.
+// This will enable to run more complex applications ... and to benchmark
+// their performance." This bench does exactly that: collective latencies of
+// the tcmpi layer over TCCluster rings, and the PGAS get/put costs a
+// write-only network implies.
+#include "bench_util.hpp"
+#include "middleware/pgas.hpp"
+#include "sim/join.hpp"
+
+namespace {
+
+using namespace tcc;
+
+std::unique_ptr<cluster::TcCluster> make_ring(int n) {
+  cluster::TcCluster::Options o;
+  o.topology.shape =
+      n == 2 ? topology::ClusterShape::kCable : topology::ClusterShape::kRing;
+  o.topology.nx = n;
+  o.topology.dram_per_chip = 16_MiB;
+  o.boot.model_code_fetch = false;
+  auto c = cluster::TcCluster::create(o);
+  c.expect("create");
+  c.value()->boot().expect("boot");
+  return std::move(c).value();
+}
+
+/// Time `iters` repetitions of a collective over all ranks; returns the
+/// mean per-operation latency in microseconds.
+template <typename OpFn>
+double collective_us(cluster::TcCluster& cl, int iters, OpFn op) {
+  const int n = cl.num_nodes();
+  std::vector<std::unique_ptr<middleware::Communicator>> comms;
+  for (int r = 0; r < n; ++r) {
+    comms.push_back(std::make_unique<middleware::Communicator>(cl, r));
+  }
+  Picoseconds elapsed;
+  sim::Joiner joiner(cl.engine());
+  for (int r = 0; r < n; ++r) {
+    joiner.launch_fn([&, r]() -> sim::Task<void> {
+      for (int i = 0; i < iters; ++i) {
+        co_await op(*comms[static_cast<std::size_t>(r)], i);
+      }
+    });
+  }
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    const Picoseconds t0 = cl.engine().now();
+    co_await joiner.wait_all();
+    elapsed = cl.engine().now() - t0;
+  });
+  cl.engine().run();
+  return elapsed.microseconds() / iters;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  print_header("middleware_collectives — MPI/PGAS layers over TCCluster",
+               "§VII outlook: middleware performance on top of the message "
+               "library");
+
+  std::printf("%7s %14s %16s %14s %16s\n", "nodes", "barrier us", "allreduce us",
+              "bcast-1K us", "alltoall-256B us");
+  for (int n : {2, 4, 8}) {
+    auto cl = make_ring(n);
+    const double barrier = collective_us(*cl, 20, [](middleware::Communicator& c, int)
+                                             -> sim::Task<void> {
+      (co_await c.barrier()).expect("barrier");
+    });
+    auto cl2 = make_ring(n);
+    const double allreduce = collective_us(
+        *cl2, 20, [](middleware::Communicator& c, int i) -> sim::Task<void> {
+          (void)(co_await c.allreduce_u64(static_cast<std::uint64_t>(i),
+                                          middleware::ReduceOp::kSum))
+              .expect("allreduce");
+        });
+    auto cl3 = make_ring(n);
+    const double bcast = collective_us(
+        *cl3, 20, [](middleware::Communicator& c, int) -> sim::Task<void> {
+          std::vector<std::uint8_t> data;
+          if (c.rank() == 0) data.assign(1024, 0x42);
+          (co_await c.bcast(data, 0)).expect("bcast");
+        });
+    auto cl4 = make_ring(n);
+    const double alltoall = collective_us(
+        *cl4, 10, [n](middleware::Communicator& c, int) -> sim::Task<void> {
+          std::vector<std::vector<std::uint8_t>> blocks(static_cast<std::size_t>(n));
+          for (auto& b : blocks) b.assign(256, 0x17);
+          (void)(co_await c.alltoall(blocks)).expect("alltoall");
+        });
+    std::printf("%7d %14.2f %16.2f %14.2f %16.2f\n", n, barrier, allreduce, bcast,
+                alltoall);
+  }
+
+  // PGAS op costs on a 4-node ring.
+  std::printf("\n-- tcpgas op latency (4 nodes) --\n");
+  {
+    auto cl = make_ring(4);
+    std::vector<std::unique_ptr<middleware::PgasRuntime>> rts;
+    for (int r = 0; r < 4; ++r) {
+      rts.push_back(std::make_unique<middleware::PgasRuntime>(*cl, r));
+      rts.back()->start_service();
+    }
+    double local_get_us = 0, remote_get_us = 0, fadd_us = 0, put_us = 0;
+    for (int r = 0; r < 4; ++r) {
+      cl->engine().spawn_fn([&, r]() -> sim::Task<void> {
+        middleware::PgasRuntime& rt = *rts[static_cast<std::size_t>(r)];
+        auto arr = rt.allocate(1024);
+        arr.expect("alloc");
+        middleware::GlobalArray a = arr.value();
+        (co_await rt.barrier()).expect("barrier");
+        if (r == 0) {
+          constexpr int kIters = 50;
+          Picoseconds t0 = cl->engine().now();
+          for (int i = 0; i < kIters; ++i) (void)co_await a.get(0);  // local
+          local_get_us = (cl->engine().now() - t0).microseconds() / kIters;
+          t0 = cl->engine().now();
+          for (int i = 0; i < kIters; ++i) (void)co_await a.get(512);  // rank 2
+          remote_get_us = (cl->engine().now() - t0).microseconds() / kIters;
+          t0 = cl->engine().now();
+          for (int i = 0; i < kIters; ++i) (void)co_await a.fetch_add(512, 1);
+          fadd_us = (cl->engine().now() - t0).microseconds() / kIters;
+          t0 = cl->engine().now();
+          for (int i = 0; i < kIters; ++i) {
+            (co_await a.put(512, static_cast<std::uint64_t>(i))).expect("put");
+          }
+          (co_await cl->core(0).sfence()).expect("sfence");
+          put_us = (cl->engine().now() - t0).microseconds() / kIters;
+        }
+        (co_await rt.finalize()).expect("finalize");
+      });
+    }
+    cl->engine().run();
+    std::printf("  local get:  %8.3f us (uncacheable DRAM read)\n", local_get_us);
+    std::printf("  remote get: %8.3f us (active-message round trip — a write-only\n"
+                "                        network cannot route read responses, §IV.A)\n",
+                remote_get_us);
+    std::printf("  fetch_add:  %8.3f us (served atomically by the owner)\n", fadd_us);
+    std::printf("  remote put: %8.3f us (one-sided store, fire-and-forget)\n", put_us);
+  }
+
+  std::printf(
+      "\npaper check: collectives complete in a few microseconds on rings of\n"
+      "up to 8 nodes — the 'more complex applications' §VII aims for are\n"
+      "feasible; the put/get asymmetry is the structural cost of the\n"
+      "write-only network.\n");
+  return 0;
+}

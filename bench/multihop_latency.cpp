@@ -1,0 +1,54 @@
+// E-hop — multi-hop latency (§VI, in-text result).
+//
+// Paper: "We also measured multi-hop latencies by binding the benchmark
+// process to different processor sockets using numactl ... each hop
+// increases the end-to-end latency by less than 50 ns." We reproduce it on a
+// chain: ping-pong node 0 <-> node k for k = 1..7 and report the per-hop
+// increment; a ring shows the shortest-path effect.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  print_header("multihop_latency — latency vs hop count",
+               "§VI in-text: '<50 ns per additional hop'");
+
+  cluster::TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kChain;
+  o.topology.nx = 8;
+  o.topology.dram_per_chip = 16_MiB;
+  o.boot.model_code_fetch = false;
+  auto chain = cluster::TcCluster::create(o);
+  chain.expect("create chain");
+  chain.value()->boot().expect("boot chain");
+
+  std::printf("%6s %16s %14s\n", "hops", "half-RTT ns", "delta ns/hop");
+  constexpr int kIters = 100;
+  double prev = 0.0;
+  for (int k = 1; k <= 7; ++k) {
+    const double lat = pingpong_ns(*chain.value(), 0, k, 48, kIters);
+    std::printf("%6d %16.0f %14.0f%s\n", k, lat, k == 1 ? 0.0 : lat - prev,
+                k > 1 && (lat - prev) < 50.0 ? "   (<50 ns: ok)" : "");
+    prev = lat;
+  }
+
+  // Ring: node 0 to node 7 of an 8-ring is ONE hop the short way.
+  cluster::TcCluster::Options r;
+  r.topology.shape = topology::ClusterShape::kRing;
+  r.topology.nx = 8;
+  r.topology.dram_per_chip = 16_MiB;
+  r.boot.model_code_fetch = false;
+  auto ring = cluster::TcCluster::create(r);
+  ring.expect("create ring");
+  ring.value()->boot().expect("boot ring");
+  const double wrap = pingpong_ns(*ring.value(), 0, 7, 48, kIters);
+  const double four = pingpong_ns(*ring.value(), 0, 4, 48, kIters);
+  std::printf("\nring check: 0->7 (1 hop via wraparound) = %.0f ns, "
+              "0->4 (4 hops) = %.0f ns\n", wrap, four);
+
+  std::printf("\npaper check: per-hop increment below 50 ns — low enough that\n"
+              "'networks consisting of many nodes can still communicate with\n"
+              "low end-to-end latency'.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// mpi_stencil: a 1-D heat-diffusion stencil with halo exchange over tcmpi —
+// the classic HPC workload §I motivates ("Grand Challenges"), running on a
+// ring of TCCluster nodes with the middleware layer of §VII.
+//
+//   u_i(t+1) = u_i + alpha * (u_{i-1} - 2 u_i + u_{i+1})
+//
+// Each rank owns a block of the rod; every step exchanges one-cell halos
+// with both neighbours (tcmsg ring messages over the host interface), then a
+// global residual allreduce decides convergence.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "middleware/mpi.hpp"
+
+using namespace tcc;
+
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kCellsPerRank = 64;
+constexpr double kAlpha = 0.2;
+constexpr int kMaxSteps = 400;
+constexpr double kTolerance = 0.25;  // residual of the per-step update norm
+
+std::vector<std::uint8_t> pack(double v) {
+  std::vector<std::uint8_t> out(8);
+  std::memcpy(out.data(), &v, 8);
+  return out;
+}
+
+double unpack(const std::vector<std::uint8_t>& bytes) {
+  double v = 0;
+  std::memcpy(&v, bytes.data(), 8);
+  return v;
+}
+
+sim::Task<void> rank_program(middleware::Communicator& comm, int* steps_out,
+                             double* final_residual) {
+  const int rank = comm.rank();
+  const int n = comm.size();
+  const int left = (rank - 1 + n) % n;
+  const int right = (rank + 1) % n;
+
+  // Initial condition: a hot spike in rank 0's first cell; fixed ends are
+  // emulated by the periodic ring (a heat pulse spreading around a loop).
+  std::vector<double> u(kCellsPerRank, 0.0);
+  if (rank == 0) u[0] = 1000.0;
+
+  int step = 0;
+  double residual = 0.0;
+  for (step = 0; step < kMaxSteps; ++step) {
+    // Halo exchange: send boundary cells, receive neighbours' (tags L/R).
+    (co_await comm.send(left, pack(u.front()), 1)).expect("send left");
+    (co_await comm.send(right, pack(u.back()), 2)).expect("send right");
+    auto from_right = co_await comm.recv(right, 1);
+    from_right.expect("recv right");
+    auto from_left = co_await comm.recv(left, 2);
+    from_left.expect("recv left");
+    const double halo_left = unpack(from_left.value());
+    const double halo_right = unpack(from_right.value());
+
+    // Jacobi update.
+    std::vector<double> next(kCellsPerRank);
+    double local_sq = 0.0;
+    for (int i = 0; i < kCellsPerRank; ++i) {
+      const double lo = i == 0 ? halo_left : u[static_cast<std::size_t>(i - 1)];
+      const double hi = i == kCellsPerRank - 1 ? halo_right : u[static_cast<std::size_t>(i + 1)];
+      const double delta = kAlpha * (lo - 2.0 * u[static_cast<std::size_t>(i)] + hi);
+      next[static_cast<std::size_t>(i)] = u[static_cast<std::size_t>(i)] + delta;
+      local_sq += delta * delta;
+    }
+    u.swap(next);
+
+    // Global convergence check: fixed-point residual via integer allreduce
+    // (scaled, since the collective carries u64).
+    const auto scaled = static_cast<std::uint64_t>(local_sq * 1e12);
+    auto total = co_await comm.allreduce_u64(scaled, middleware::ReduceOp::kSum);
+    total.expect("allreduce");
+    residual = std::sqrt(static_cast<double>(total.value()) / 1e12);
+    if (residual < kTolerance) break;
+  }
+
+  // Conservation check: total heat is invariant under the ring stencil.
+  double local_sum = 0.0;
+  for (double v : u) local_sum += v;
+  auto heat = co_await comm.allreduce_u64(
+      static_cast<std::uint64_t>(local_sum * 1e6 + 0.5), middleware::ReduceOp::kSum);
+  heat.expect("heat allreduce");
+  if (rank == 0) {
+    std::printf("rank 0: total heat after diffusion = %.3f (expected 1000.000)\n",
+                static_cast<double>(heat.value()) / 1e6);
+  }
+  *steps_out = step;
+  *final_residual = residual;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== mpi_stencil: 1-D heat diffusion on a %d-node TCCluster ring ==\n\n",
+              kNodes);
+
+  cluster::TcCluster::Options options;
+  options.topology.shape = topology::ClusterShape::kRing;
+  options.topology.nx = kNodes;
+  options.topology.dram_per_chip = 32_MiB;
+  auto created = cluster::TcCluster::create(options);
+  created.expect("create");
+  cluster::TcCluster& cl = *created.value();
+  cl.boot().expect("boot");
+  std::printf("booted %d nodes in a ring; halo exchange runs over the "
+              "HyperTransport host interface\n", kNodes);
+
+  std::vector<std::unique_ptr<middleware::Communicator>> comms;
+  for (int r = 0; r < kNodes; ++r) {
+    comms.push_back(std::make_unique<middleware::Communicator>(cl, r));
+  }
+
+  std::vector<int> steps(kNodes, 0);
+  std::vector<double> residuals(kNodes, 0.0);
+  const Picoseconds t0 = cl.engine().now();
+  for (int r = 0; r < kNodes; ++r) {
+    cl.engine().spawn_fn([&, r]() -> sim::Task<void> {
+      co_await rank_program(*comms[static_cast<std::size_t>(r)],
+                            &steps[static_cast<std::size_t>(r)],
+                            &residuals[static_cast<std::size_t>(r)]);
+    });
+  }
+  cl.engine().run();
+  const Picoseconds elapsed = cl.engine().now() - t0;
+
+  std::printf("converged after %d steps, residual %.2e\n", steps[0], residuals[0]);
+  std::printf("simulated wall time: %s (%.1f us per step incl. 2 halos + "
+              "1 allreduce on 4 nodes)\n",
+              format_time_ps(elapsed.count()).c_str(),
+              elapsed.microseconds() / std::max(steps[0], 1));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Baseline interconnect models for the paper's comparisons (§II/§VI).
+//
+// The paper compares TCCluster against *published* Mellanox ConnectX numbers
+// (refs [3][10]): ~200 MB/s at 64 B, ~1500 MB/s at 1 KB, ~2500 MB/s at 1 MB,
+// and ~1.0–1.4 µs small-message latency. We model the NIC datapath as a
+// pipeline — host doorbell, descriptor fetch + DMA read, wire, remote DMA
+// write, completion — with stage costs calibrated so the published curve
+// falls out. A GbE model is included for context.
+//
+// The structural difference to TCCluster is the point of the model: a NIC
+// pays a fixed per-message pipeline cost that the host-interface approach
+// simply does not have.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/bounded.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::baseline {
+
+/// Per-message pipeline stage costs of a NIC-based transport.
+struct NicParams {
+  std::string name = "nic";
+  /// Host CPU cost to post a work request (fill WQE + doorbell PIO write).
+  Picoseconds post_overhead = Picoseconds::from_ns(60.0);
+  /// NIC per-message processing: descriptor fetch, DMA read of the payload
+  /// start, packetization. The dominant small-message cost.
+  Picoseconds nic_per_msg = Picoseconds::from_ns(290.0);
+  /// Wire + switch serialization rate seen by payload bytes.
+  DataRate wire = DataRate::from_gbytes_per_s(2.6);
+  /// Fixed one-way flight time: link PHY, switch hop, remote DMA write and
+  /// completion-queue update — everything a message pays once.
+  Picoseconds one_way_base = Picoseconds::from_ns(950.0);
+  /// Receiver completion-poll granularity.
+  Picoseconds completion_poll = Picoseconds::from_ns(50.0);
+  /// NIC send queue depth (messages in flight before the host blocks).
+  int send_queue_depth = 128;
+
+  /// Mellanox ConnectX (DDR, the paper's reference [10]).
+  static NicParams connectx();
+  /// 1 GbE with a kernel network stack, for context.
+  static NicParams gige();
+  /// VELO-class HTX-attached engine (§II refs [8][9][11]): the NIC sits
+  /// directly on a non-coherent HT link — no PCIe bridge — so the
+  /// per-message pipeline is much shorter than a PCIe NIC's, but it is
+  /// still a NIC: TCCluster's point is removing even this.
+  static NicParams htx_velo();
+};
+
+/// A completion record delivered to the receiving host.
+struct NicCompletion {
+  std::uint64_t seq = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// One unidirectional NIC channel (send side on host A, receive on host B).
+/// Bidirectional traffic uses two channels (NicPair).
+class NicChannel {
+ public:
+  NicChannel(sim::Engine& engine, NicParams params);
+
+  NicChannel(const NicChannel&) = delete;
+  NicChannel& operator=(const NicChannel&) = delete;
+
+  /// Host A: post one message of `bytes`. Suspends while the send queue is
+  /// full; returns once the WQE is posted (send completion is implicit).
+  [[nodiscard]] sim::Task<void> post_send(std::uint32_t bytes);
+
+  /// Host B: wait for the next arrival.
+  [[nodiscard]] sim::Task<NicCompletion> poll_recv();
+
+  [[nodiscard]] const NicParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  sim::Task<void> pump();
+
+  sim::Engine& engine_;
+  NicParams params_;
+  sim::BoundedChannel<std::uint32_t> send_queue_;
+  sim::Channel<NicCompletion> completions_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t delivered_ = 0;
+};
+
+/// Two hosts connected by a NIC-based network (full duplex).
+class NicPair {
+ public:
+  NicPair(sim::Engine& engine, NicParams params)
+      : a_to_b_(engine, params), b_to_a_(engine, params) {}
+
+  [[nodiscard]] NicChannel& a_to_b() { return a_to_b_; }
+  [[nodiscard]] NicChannel& b_to_a() { return b_to_a_; }
+
+ private:
+  NicChannel a_to_b_;
+  NicChannel b_to_a_;
+};
+
+}  // namespace tcc::baseline

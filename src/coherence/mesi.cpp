@@ -1,0 +1,77 @@
+#include "coherence/mesi.hpp"
+
+namespace tcc::coherence {
+
+const char* to_string(MesiState s) {
+  switch (s) {
+    case MesiState::kInvalid: return "I";
+    case MesiState::kShared: return "S";
+    case MesiState::kExclusive: return "E";
+    case MesiState::kModified: return "M";
+  }
+  return "?";
+}
+
+MesiTransition mesi_transition(MesiState state, MesiEvent event, bool others_share) {
+  using S = MesiState;
+  using E = MesiEvent;
+  using A = MesiAction;
+  switch (state) {
+    case S::kInvalid:
+      switch (event) {
+        case E::kLocalRead:
+          return {others_share ? S::kShared : S::kExclusive, A::kBusRead, false};
+        case E::kLocalWrite:
+          return {S::kModified, A::kBusReadExclusive, false};
+        case E::kRemoteRead:
+        case E::kRemoteWrite:
+        case E::kEviction:
+          return {S::kInvalid, A::kNone, false};
+      }
+      break;
+    case S::kShared:
+      switch (event) {
+        case E::kLocalRead:
+          return {S::kShared, A::kNone, false};
+        case E::kLocalWrite:
+          return {S::kModified, A::kInvalidateBcast, false};
+        case E::kRemoteRead:
+          return {S::kShared, A::kNone, false};
+        case E::kRemoteWrite:
+          return {S::kInvalid, A::kNone, false};
+        case E::kEviction:
+          return {S::kInvalid, A::kNone, false};
+      }
+      break;
+    case S::kExclusive:
+      switch (event) {
+        case E::kLocalRead:
+          return {S::kExclusive, A::kNone, false};
+        case E::kLocalWrite:
+          return {S::kModified, A::kNone, false};  // silent upgrade
+        case E::kRemoteRead:
+          return {S::kShared, A::kNone, true};  // supply clean data
+        case E::kRemoteWrite:
+          return {S::kInvalid, A::kNone, true};
+        case E::kEviction:
+          return {S::kInvalid, A::kNone, false};
+      }
+      break;
+    case S::kModified:
+      switch (event) {
+        case E::kLocalRead:
+        case E::kLocalWrite:
+          return {S::kModified, A::kNone, false};
+        case E::kRemoteRead:
+          return {S::kShared, A::kWritebackData, true};
+        case E::kRemoteWrite:
+          return {S::kInvalid, A::kWritebackData, true};
+        case E::kEviction:
+          return {S::kInvalid, A::kWritebackData, false};
+      }
+      break;
+  }
+  return {};
+}
+
+}  // namespace tcc::coherence

@@ -1,0 +1,63 @@
+// MESI cache-coherence state machine (§I/§III: the mechanism whose probe
+// overhead limits coherent Opteron systems to 8 sockets — the limitation
+// TCCluster abandons coherence to escape).
+//
+// The state machine is exact (every transition of the classic protocol); the
+// cost model around it lives in probe_domain.{hpp,cpp}.
+#pragma once
+
+#include <cstdint>
+
+namespace tcc::coherence {
+
+enum class MesiState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+[[nodiscard]] const char* to_string(MesiState s);
+
+/// Events observed by one cache for one line.
+enum class MesiEvent : std::uint8_t {
+  kLocalRead,    // this cache's core loads
+  kLocalWrite,   // this cache's core stores
+  kRemoteRead,   // probe: another cache wants to read
+  kRemoteWrite,  // probe: another cache wants to write (RFO / invalidate)
+  kEviction,     // capacity eviction
+};
+
+/// Bus/fabric action a transition requires.
+enum class MesiAction : std::uint8_t {
+  kNone,            // cache hit, no traffic
+  kBusRead,         // fetch line, shared intent (others may keep S)
+  kBusReadExclusive,// fetch line with ownership (others invalidate)
+  kInvalidateBcast, // upgrade S->M: invalidate other sharers
+  kWritebackData,   // supply/flush modified data
+};
+
+struct MesiTransition {
+  MesiState next = MesiState::kInvalid;
+  MesiAction action = MesiAction::kNone;
+  bool supplies_data = false;  ///< this cache sources the line to the requester
+};
+
+/// Pure transition function: (state, event, any_other_sharers) -> transition.
+/// `others_share` matters only for kLocalRead misses (E vs S fill).
+[[nodiscard]] MesiTransition mesi_transition(MesiState state, MesiEvent event,
+                                             bool others_share);
+
+/// A single line's state with transition bookkeeping, for tests and the
+/// probe domain.
+class MesiLine {
+ public:
+  [[nodiscard]] MesiState state() const { return state_; }
+
+  /// Apply an event; returns the action the fabric must perform.
+  MesiTransition apply(MesiEvent event, bool others_share = false) {
+    const MesiTransition t = mesi_transition(state_, event, others_share);
+    state_ = t.next;
+    return t;
+  }
+
+ private:
+  MesiState state_ = MesiState::kInvalid;
+};
+
+}  // namespace tcc::coherence

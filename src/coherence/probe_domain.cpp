@@ -1,0 +1,157 @@
+#include "coherence/probe_domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/join.hpp"
+
+namespace tcc::coherence {
+
+ProbeDomain::ProbeDomain(ProbeDomainParams params) : params_(params) {
+  TCC_ASSERT(params_.nodes >= 2, "a coherent domain needs at least 2 nodes");
+}
+
+int ProbeDomain::diameter() const {
+  const int n = params_.nodes;
+  if (n <= 4) return 1;  // fully connected (§III)
+  if (n <= 8) return 2;  // 8-socket twisted ladder
+  // Beyond 8 sockets no real Opteron fabric exists; Horus/3-Leaf-style
+  // extensions behave like a 2-D arrangement of glue chips.
+  return static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+}
+
+double ProbeDomain::mean_hops() const {
+  return (static_cast<double>(diameter()) + 1.0) / 2.0;
+}
+
+int ProbeDomain::probe_targets() const {
+  const int peers = params_.nodes - 1;
+  if (!params_.probe_filter) return peers;
+  return std::min(peers, params_.expected_sharers);
+}
+
+ProbeCost ProbeDomain::store_cost(double offered_store_rate_per_node) const {
+  const double hops = mean_hops();
+  const int targets = probe_targets();
+  const double wire_probe =
+      params_.link_rate.time_for(params_.probe_bytes).nanoseconds();
+  const double wire_resp =
+      params_.link_rate.time_for(params_.response_bytes).nanoseconds();
+  const double hop_ns = params_.hop_latency.nanoseconds();
+
+  // Request to the home node, fan-out serialization of the probes on the
+  // home's links, flight + processing, and the LAST response back to the
+  // requester (diameter, worst-case peer).
+  const double fanout_serialize =
+      std::ceil(static_cast<double>(targets) / params_.links_per_node) * wire_probe;
+  const double probe_phase = static_cast<double>(diameter()) * hop_ns +
+                             params_.probe_processing.nanoseconds() +
+                             static_cast<double>(diameter()) * hop_ns + wire_resp;
+  const double memory_phase = params_.memory_latency.nanoseconds();
+  const double latency_ns = hops * hop_ns + fanout_serialize +
+                            std::max(probe_phase, memory_phase);
+
+  ProbeCost cost;
+  cost.store_latency = Picoseconds::from_ns(latency_ns);
+  cost.fabric_bytes_per_store = static_cast<std::uint64_t>(
+      static_cast<double>(targets) *
+      static_cast<double>(params_.probe_bytes + params_.response_bytes) * hops);
+
+  // Fabric occupancy when every node streams stores at the offered rate.
+  const double n = params_.nodes;
+  const double capacity =
+      n * params_.links_per_node * params_.link_rate.bytes_per_second();
+  const double data_bytes_per_store = 73.0 * hops;  // 64 B line + header, per hop
+  const double probe_traffic =
+      n * offered_store_rate_per_node * static_cast<double>(cost.fabric_bytes_per_store);
+  cost.probe_bandwidth_fraction =
+      capacity > 0 ? probe_traffic / capacity : 0.0;
+
+  // Sustainable store rate: total traffic (probes + data) fits the fabric.
+  const double per_store_bytes =
+      static_cast<double>(cost.fabric_bytes_per_store) + data_bytes_per_store;
+  const double max_rate = capacity / (n * per_store_bytes);
+  cost.effective_store_bandwidth =
+      std::min(offered_store_rate_per_node, max_rate) * 64.0;
+  return cost;
+}
+
+namespace {
+
+/// FIFO mutex for simulated processes (serializes a node's probe engine).
+class SimMutex {
+ public:
+  explicit SimMutex(sim::Engine& engine) : freed_(engine) {}
+
+  sim::Task<void> lock() {
+    while (held_) {
+      co_await freed_.wait();
+    }
+    held_ = true;
+  }
+  void unlock() {
+    held_ = false;
+    freed_.notify();
+  }
+
+ private:
+  sim::Trigger freed_;
+  bool held_ = false;
+};
+
+}  // namespace
+
+Picoseconds ProbeDomain::simulate_store_latency(int stores_per_node, std::uint64_t seed) {
+  sim::Engine engine;
+  const int n = params_.nodes;
+  std::vector<std::unique_ptr<SimMutex>> probe_engine;
+  probe_engine.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) probe_engine.push_back(std::make_unique<SimMutex>(engine));
+
+  const Picoseconds wire_probe = params_.link_rate.time_for(params_.probe_bytes);
+  const Picoseconds wire_resp = params_.link_rate.time_for(params_.response_bytes);
+  const int targets = probe_targets();
+  const int links = params_.links_per_node;
+  const auto dia = static_cast<std::int64_t>(diameter());
+  const auto mean_h = Picoseconds{static_cast<std::int64_t>(
+      mean_hops() * static_cast<double>(params_.hop_latency.count()))};
+
+  std::int64_t total_latency = 0;
+  std::int64_t completed = 0;
+
+  sim::Joiner joiner(engine);
+  for (int node = 0; node < n; ++node) {
+    joiner.launch_fn([&, node]() -> sim::Task<void> {
+      Rng rng(seed * 977 + static_cast<std::uint64_t>(node));
+      for (int i = 0; i < stores_per_node; ++i) {
+        const Picoseconds start = engine.now();
+        // Request travels to a random home node.
+        int home = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+        if (home == node) home = (home + 1) % n;
+        co_await engine.delay(mean_h);
+        // The home's probe engine serializes concurrent transactions — this
+        // is where contention between nodes shows up.
+        co_await probe_engine[static_cast<std::size_t>(home)]->lock();
+        const int rounds = (targets + links - 1) / links;
+        for (int r = 0; r < rounds; ++r) {
+          co_await engine.delay(wire_probe);
+        }
+        probe_engine[static_cast<std::size_t>(home)]->unlock();
+        // Probe flight to the farthest peer, processing, response flight.
+        co_await engine.delay(dia * params_.hop_latency);
+        co_await engine.delay(params_.probe_processing);
+        co_await engine.delay(dia * params_.hop_latency + wire_resp);
+        total_latency += (engine.now() - start).count();
+        ++completed;
+      }
+    });
+  }
+  engine.spawn_fn([&]() -> sim::Task<void> { co_await joiner.wait_all(); });
+  engine.run();
+  TCC_ASSERT(completed == n * stores_per_node, "probe simulation lost transactions");
+  return Picoseconds{total_latency / std::max<std::int64_t>(completed, 1)};
+}
+
+}  // namespace tcc::coherence

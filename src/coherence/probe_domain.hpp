@@ -1,0 +1,96 @@
+// Probe-broadcast cost model for a coherent HyperTransport domain.
+//
+// §III: "Every time a data value is modified ... the other cores that
+// participate in the coherent domain have to be informed and probed for a
+// response. The transaction can only be completed if all nodes have
+// responded ... By increasing the number of nodes, the number of probe
+// messages is increased proportionally which costs bandwidth and latency as
+// the last incoming response [is] pivotal."
+//
+// This module quantifies exactly that: a domain of N sockets connected by a
+// HyperTransport fabric (fully connected up to 4, multi-hop beyond — §III:
+// "fully connected systems are only possible for two and four processor
+// configurations"), a broadcast-probe MESI protocol (optionally with an
+// HT-Assist-style probe filter / directory, the Horus/3-Leaf approach of
+// §II), and per-transaction latency + fabric occupancy accounting. The
+// ablation bench uses it to reproduce the paper's motivation (Fig. A-coh).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "coherence/mesi.hpp"
+#include "ht/link_regs.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::coherence {
+
+struct ProbeDomainParams {
+  int nodes = 4;
+  /// Per-hop latency (link serialize + forward), coherent fabric.
+  Picoseconds hop_latency = Picoseconds::from_ns(40.0);
+  /// Probe processing at each target (tag lookup + response generation).
+  Picoseconds probe_processing = Picoseconds::from_ns(16.0);
+  /// Probe + response wire cost in bytes (command packets).
+  std::uint64_t probe_bytes = 9;
+  std::uint64_t response_bytes = 9;
+  /// Per-link unidirectional bandwidth.
+  DataRate link_rate = DataRate::from_gbytes_per_s(3.2);
+  /// Links per node available for probe traffic.
+  int links_per_node = 4;
+  /// HT-Assist-style probe filter: probes go only to actual sharers
+  /// (modelled as a fixed expected sharer count instead of N-1).
+  bool probe_filter = false;
+  int expected_sharers = 2;
+  /// DRAM access when memory must supply the line.
+  Picoseconds memory_latency = Picoseconds::from_ns(55.0);
+};
+
+/// Aggregated results of a write-sharing workload on the domain.
+struct ProbeCost {
+  /// Latency of one coherent store that misses (RFO): request + probes to
+  /// every peer + last response back.
+  Picoseconds store_latency;
+  /// Probe+response bytes one store injects into the fabric.
+  std::uint64_t fabric_bytes_per_store = 0;
+  /// Fraction of total fabric bandwidth consumed by probe traffic when every
+  /// core streams stores at `store_rate`.
+  double probe_bandwidth_fraction = 0.0;
+  /// Effective per-node store throughput once probe traffic saturates the
+  /// fabric (bytes/s of useful data).
+  double effective_store_bandwidth = 0.0;
+};
+
+/// Closed-form + fabric-occupancy model (validated against the DES in tests).
+class ProbeDomain {
+ public:
+  explicit ProbeDomain(ProbeDomainParams params);
+
+  [[nodiscard]] const ProbeDomainParams& params() const { return params_; }
+
+  /// Network diameter of the coherent fabric for `nodes` sockets: 1 hop for
+  /// <= 4 (fully connected), 2 for 8 (twisted ladder), then grows.
+  [[nodiscard]] int diameter() const;
+
+  /// Average hop distance between distinct nodes.
+  [[nodiscard]] double mean_hops() const;
+
+  /// Probe targets for one RFO.
+  [[nodiscard]] int probe_targets() const;
+
+  /// Analytic cost of one write-sharing store (RFO with probe collection).
+  [[nodiscard]] ProbeCost store_cost(double offered_store_rate_per_node) const;
+
+  /// Discrete-event measurement of the same quantity: issue `stores` RFOs
+  /// from every node into a shared fabric with contention, return the mean
+  /// observed latency. Used by tests to validate the analytic model and by
+  /// the ablation bench for the contended series.
+  [[nodiscard]] Picoseconds simulate_store_latency(int stores_per_node,
+                                                   std::uint64_t seed = 1);
+
+ private:
+  ProbeDomainParams params_;
+};
+
+}  // namespace tcc::coherence

@@ -1,0 +1,125 @@
+// Error handling: recoverable configuration/protocol errors travel as
+// Result<T>; programming errors abort via TCC_ASSERT.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tcc {
+
+/// Category of a recoverable error.
+enum class ErrorCode {
+  kInvalidArgument,
+  kOutOfRange,
+  kUnsupported,
+  kProtocolViolation,   // illegal HyperTransport transaction
+  kConfigConflict,      // overlapping address maps, bad routing tables, ...
+  kResourceExhausted,   // ring buffer full, credits exhausted, ...
+  kNotFound,
+  kFailedPrecondition,  // e.g. machine not booted
+};
+
+[[nodiscard]] const char* to_string(ErrorCode code);
+
+/// A recoverable error with a code and a human-readable message.
+struct Error {
+  ErrorCode code = ErrorCode::kInvalidArgument;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(tcc::to_string(code)) + ": " + message;
+  }
+};
+
+/// Thrown when a Result is unwrapped while holding an error.
+class BadResultAccess : public std::runtime_error {
+ public:
+  explicit BadResultAccess(const Error& e) : std::runtime_error(e.to_string()) {}
+};
+
+/// Minimal expected-like type: either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess(std::get<Error>(data_));
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw BadResultAccess(std::get<Error>(data_));
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw BadResultAccess(std::get<Error>(data_));
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const { return std::get<Error>(data_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  /// Abort-on-error convenience for tests, benches and examples.
+  const T& expect(const char* what) const& {
+    if (!ok()) {
+      std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                   std::get<Error>(data_).to_string().c_str());
+      std::abort();
+    }
+    return std::get<T>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialisation for operations that return no value.
+class Status {
+ public:
+  Status() = default;                                       // success
+  Status(Error error) : error_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const { return *error_; }
+
+  /// Abort-on-error convenience for tests and examples.
+  void expect(const char* what) const {
+    if (!ok()) {
+      std::fprintf(stderr, "FATAL: %s: %s\n", what, error_->to_string().c_str());
+      std::abort();
+    }
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace tcc
+
+/// Programming-error assertion: always on (simulation correctness depends on
+/// internal invariants; a silently wrong simulator is worse than an abort).
+#define TCC_ASSERT(cond, msg)                                                        \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      std::fprintf(stderr, "TCC_ASSERT failed at %s:%d: %s — %s\n", __FILE__,        \
+                   __LINE__, #cond, msg);                                            \
+      std::abort();                                                                  \
+    }                                                                                \
+  } while (false)

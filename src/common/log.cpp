@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace tcc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Log::write(LogLevel level, const char* component, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%s] %-10s ", level_tag(level), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid argument";
+    case ErrorCode::kOutOfRange: return "out of range";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kProtocolViolation: return "protocol violation";
+    case ErrorCode::kConfigConflict: return "configuration conflict";
+    case ErrorCode::kResourceExhausted: return "resource exhausted";
+    case ErrorCode::kNotFound: return "not found";
+    case ErrorCode::kFailedPrecondition: return "failed precondition";
+  }
+  return "unknown error";
+}
+
+}  // namespace tcc

@@ -1,0 +1,38 @@
+// Leveled, component-tagged logging. Default level is Warn so tests and
+// benches stay quiet; examples raise it to Info to narrate the boot sequence.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace tcc {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-global log sink configuration.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  /// printf-style logging with a component tag, e.g. ("firmware", "...").
+  static void write(LogLevel level, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  [[nodiscard]] static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+}  // namespace tcc
+
+#define TCC_LOG(level, component, ...)                       \
+  do {                                                       \
+    if (::tcc::Log::enabled(level)) {                        \
+      ::tcc::Log::write(level, component, __VA_ARGS__);      \
+    }                                                        \
+  } while (false)
+
+#define TCC_TRACE(component, ...) TCC_LOG(::tcc::LogLevel::kTrace, component, __VA_ARGS__)
+#define TCC_DEBUG(component, ...) TCC_LOG(::tcc::LogLevel::kDebug, component, __VA_ARGS__)
+#define TCC_INFO(component, ...) TCC_LOG(::tcc::LogLevel::kInfo, component, __VA_ARGS__)
+#define TCC_WARN(component, ...) TCC_LOG(::tcc::LogLevel::kWarn, component, __VA_ARGS__)
+#define TCC_ERROR(component, ...) TCC_LOG(::tcc::LogLevel::kError, component, __VA_ARGS__)

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tcc {
+
+void Summary::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Samples::percentile(double p) {
+  TCC_ASSERT(!values_.empty(), "percentile of empty sample set");
+  TCC_ASSERT(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (p == 0.0) return values_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+  return values_[std::min(rank, values_.size()) - 1];
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  TCC_ASSERT(hi > lo, "histogram range must be non-empty");
+  TCC_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    ++counts_[std::min(i, counts_.size() - 1)];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) * width);
+    std::snprintf(line, sizeof line, "%12.1f | %-*s %llu\n", bucket_lo(i), width,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace tcc

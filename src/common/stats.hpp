@@ -1,0 +1,69 @@
+// Statistics accumulators used by benches: running summary (Welford) and a
+// sample reservoir for exact percentiles on the sizes we measure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;   ///< sample variance (n-1 denominator)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample; gives exact quantiles. Fine for bench-sized data.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double percentile(double p);  ///< p in [0,100], nearest-rank
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] double mean() const;
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+
+  /// Render a terminal bar chart, one line per non-empty bucket.
+  [[nodiscard]] std::string render(int width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace tcc

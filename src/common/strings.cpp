@@ -1,0 +1,81 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace tcc {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024ull * 1024) {
+    if (bytes % 1024 == 0) {
+      std::snprintf(buf, sizeof buf, "%llu KiB", static_cast<unsigned long long>(bytes / 1024));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(bytes) / 1024.0);
+    }
+  } else if (bytes < 1024ull * 1024 * 1024) {
+    const double m = static_cast<double>(bytes) / (1024.0 * 1024.0);
+    if (bytes % (1024ull * 1024) == 0) {
+      std::snprintf(buf, sizeof buf, "%llu MiB",
+                    static_cast<unsigned long long>(bytes / (1024ull * 1024)));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.1f MiB", m);
+    }
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string format_time_ps(std::int64_t time_ps) {
+  char buf[64];
+  const double abs_ps = static_cast<double>(time_ps < 0 ? -time_ps : time_ps);
+  if (abs_ps < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(time_ps));
+  } else if (abs_ps < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.0f ns", static_cast<double>(time_ps) / 1e3);
+  } else if (abs_ps < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f us", static_cast<double>(time_ps) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f ms", static_cast<double>(time_ps) / 1e9);
+  }
+  return buf;
+}
+
+std::string format_rate(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f MB/s", bytes_per_second / 1e6);
+  return buf;
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace tcc

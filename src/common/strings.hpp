@@ -1,0 +1,26 @@
+// Small string/formatting helpers shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcc {
+
+/// "64 B", "4 KiB", "2.5 MiB" — human-friendly byte size.
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// "227 ns", "1.41 us", "3.2 ms" — human-friendly duration from picoseconds.
+[[nodiscard]] std::string format_time_ps(std::int64_t ps);
+
+/// "2700.0 MB/s" from bytes per second.
+[[nodiscard]] std::string format_rate(double bytes_per_second);
+
+/// Split on a delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char delim);
+
+/// printf into a std::string.
+[[nodiscard]] std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace tcc

@@ -1,0 +1,144 @@
+// Strongly typed physical units used throughout the simulator.
+//
+// All simulated time is kept in integer picoseconds so that event ordering is
+// exact and runs are bit-reproducible; all link-rate arithmetic converts to
+// picoseconds as late as possible.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace tcc {
+
+/// Simulated time in picoseconds. 64-bit signed: ~106 days of simulated time,
+/// far beyond any experiment in this repository.
+class Picoseconds {
+ public:
+  constexpr Picoseconds() = default;
+  constexpr explicit Picoseconds(std::int64_t ps) : ps_(ps) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return ps_; }
+  [[nodiscard]] constexpr double nanoseconds() const { return static_cast<double>(ps_) / 1e3; }
+  [[nodiscard]] constexpr double microseconds() const { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ps_) / 1e12; }
+
+  static constexpr Picoseconds zero() { return Picoseconds{0}; }
+  static constexpr Picoseconds max() {
+    return Picoseconds{std::numeric_limits<std::int64_t>::max()};
+  }
+  static constexpr Picoseconds from_ns(double ns) {
+    return Picoseconds{static_cast<std::int64_t>(ns * 1e3 + 0.5)};
+  }
+  static constexpr Picoseconds from_us(double us) {
+    return Picoseconds{static_cast<std::int64_t>(us * 1e6 + 0.5)};
+  }
+
+  constexpr auto operator<=>(const Picoseconds&) const = default;
+
+  constexpr Picoseconds& operator+=(Picoseconds o) { ps_ += o.ps_; return *this; }
+  constexpr Picoseconds& operator-=(Picoseconds o) { ps_ -= o.ps_; return *this; }
+
+  friend constexpr Picoseconds operator+(Picoseconds a, Picoseconds b) {
+    return Picoseconds{a.ps_ + b.ps_};
+  }
+  friend constexpr Picoseconds operator-(Picoseconds a, Picoseconds b) {
+    return Picoseconds{a.ps_ - b.ps_};
+  }
+  friend constexpr Picoseconds operator*(Picoseconds a, std::int64_t k) {
+    return Picoseconds{a.ps_ * k};
+  }
+  friend constexpr Picoseconds operator*(std::int64_t k, Picoseconds a) { return a * k; }
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+/// Convenience literal-style factories.
+constexpr Picoseconds ps(std::int64_t v) { return Picoseconds{v}; }
+constexpr Picoseconds ns(std::int64_t v) { return Picoseconds{v * 1000}; }
+constexpr Picoseconds us(std::int64_t v) { return Picoseconds{v * 1000 * 1000}; }
+
+/// A 48-bit (architecturally; we store 64) physical address in the simulated
+/// machine's address space.
+class PhysAddr {
+ public:
+  constexpr PhysAddr() = default;
+  constexpr explicit PhysAddr(std::uint64_t a) : addr_(a) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return addr_; }
+
+  constexpr auto operator<=>(const PhysAddr&) const = default;
+
+  friend constexpr PhysAddr operator+(PhysAddr a, std::uint64_t off) {
+    return PhysAddr{a.addr_ + off};
+  }
+  friend constexpr std::uint64_t operator-(PhysAddr a, PhysAddr b) {
+    return a.addr_ - b.addr_;
+  }
+
+  /// Align down to a power-of-two boundary.
+  [[nodiscard]] constexpr PhysAddr align_down(std::uint64_t align) const {
+    return PhysAddr{addr_ & ~(align - 1)};
+  }
+  [[nodiscard]] constexpr bool is_aligned(std::uint64_t align) const {
+    return (addr_ & (align - 1)) == 0;
+  }
+
+ private:
+  std::uint64_t addr_ = 0;
+};
+
+/// A half-open [base, base+size) physical address range.
+struct AddrRange {
+  PhysAddr base;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] constexpr PhysAddr end() const { return base + size; }
+  [[nodiscard]] constexpr bool contains(PhysAddr a) const {
+    return a >= base && a.value() < base.value() + size;
+  }
+  [[nodiscard]] constexpr bool contains(const AddrRange& o) const {
+    return o.base >= base && o.end().value() <= end().value();
+  }
+  [[nodiscard]] constexpr bool overlaps(const AddrRange& o) const {
+    return base.value() < o.end().value() && o.base.value() < end().value();
+  }
+  [[nodiscard]] constexpr bool empty() const { return size == 0; }
+  constexpr bool operator==(const AddrRange&) const = default;
+};
+
+/// Data rate expressed in bytes per second; converts byte counts to wire time.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+  constexpr explicit DataRate(double bytes_per_second) : bps_(bytes_per_second) {}
+
+  static constexpr DataRate from_gbytes_per_s(double g) { return DataRate{g * 1e9}; }
+  static constexpr DataRate from_mbytes_per_s(double m) { return DataRate{m * 1e6}; }
+  /// Per-lane bit rate times lane count, e.g. HT800 16-bit: 1.6 Gbit/s x 16.
+  static constexpr DataRate from_lanes(double gbit_per_lane, int lanes) {
+    return DataRate{gbit_per_lane * 1e9 / 8.0 * lanes};
+  }
+
+  [[nodiscard]] constexpr double bytes_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double mbytes_per_second() const { return bps_ / 1e6; }
+
+  /// Wire time for `bytes` at this rate, rounded up to a whole picosecond.
+  [[nodiscard]] Picoseconds time_for(std::uint64_t bytes) const {
+    const double t_ps = static_cast<double>(bytes) / bps_ * 1e12;
+    return Picoseconds{static_cast<std::int64_t>(t_ps + 0.999999)};
+  }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  double bps_ = 0.0;
+};
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+}  // namespace tcc

@@ -1,0 +1,101 @@
+// The TCCluster boot sequencer: the modified-coreboot sequence of §V,
+// executed stage by stage against the simulated machine.
+//
+// Each Supernode's BSP runs the stages concurrently (the two-board prototype
+// powers both machines up simultaneously with short-circuited reset lines);
+// the warm reset is a synchronized barrier across Supernodes (§IV.E). Stage
+// code is fetched through the simulated fabric — from the slow southbridge
+// ROM before EXIT CAR, from DRAM after — so the recorded stage timings show
+// why the CAR exit matters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "firmware/image.hpp"
+#include "firmware/machine.hpp"
+#include "sim/join.hpp"
+
+namespace tcc::firmware {
+
+struct BootOptions {
+  /// Operating point for the TCCluster links after warm reset (§V: raised
+  /// from 400 Mbit/s to the target rate; the cable limits what trains).
+  ht::LinkFreq tccluster_freq = ht::LinkFreq::kHt800;
+
+  /// §IV.E: Supernodes must share a synchronized warm reset. Disabling this
+  /// reproduces the failure mode: one side re-trains while the other is
+  /// still running and the TCCluster link never connects.
+  bool synchronized_reset = true;
+
+  /// Model stage-code fetches through the fabric (slow ROM pre-CAR). Off =
+  /// registers-only boot, for tests that don't care about timing.
+  bool model_code_fetch = true;
+
+  /// Run UNMODIFIED coreboot behaviour instead of the paper's patches:
+  /// coherent enumeration walks across the (still-coherent) TCCluster links
+  /// and non-coherent enumeration probes them for IO devices. Boot fails —
+  /// this is exactly why the paper rewrote those stages.
+  bool stock_firmware = false;
+};
+
+/// Timing/outcome record of one boot stage.
+struct StageRecord {
+  BootStage stage;
+  Picoseconds start;
+  Picoseconds end;
+  std::string note;
+};
+
+class BootSequencer {
+ public:
+  BootSequencer(Machine& machine, BootOptions options = {});
+
+  /// Convenience entry point: loads the default firmware image into every
+  /// southbridge ROM, runs the full sequence on the engine, and returns the
+  /// outcome. (Uses engine().run() internally — call from non-simulated
+  /// context only.)
+  Status run();
+
+  /// The boot process itself, for composition with other processes.
+  [[nodiscard]] sim::Task<Status> boot();
+
+  [[nodiscard]] const std::vector<StageRecord>& trace() const { return trace_; }
+  [[nodiscard]] bool booted() const { return booted_; }
+  [[nodiscard]] const FirmwareImage& image() const { return image_; }
+
+ private:
+  // Per-Supernode stage bodies (run concurrently across Supernodes).
+  sim::Task<Status> stage_cold_reset(int sn);
+  sim::Task<Status> stage_coherent_enumeration(int sn);
+  sim::Task<Status> stage_force_noncoherent(int sn);
+  sim::Task<Status> stage_northbridge_init(int sn);
+  sim::Task<Status> stage_cpu_msr_init(int sn);
+  sim::Task<Status> stage_memory_init(int sn);
+  sim::Task<Status> stage_exit_car(int sn);
+  sim::Task<Status> stage_noncoherent_enumeration(int sn);
+  sim::Task<Status> stage_post_init(int sn);
+  sim::Task<Status> stage_load_os(int sn);
+
+  /// Fetch `bytes` of stage code on the Supernode's BSP: one uncacheable
+  /// 8-byte load per 64-byte line, from ROM (pre-CAR) or local DRAM.
+  sim::Task<Status> fetch_code(int sn, std::uint32_t bytes);
+
+  /// Run one stage on every Supernode concurrently and merge statuses.
+  template <typename StageFn>
+  sim::Task<Status> run_stage(BootStage stage, StageFn fn);
+
+  /// Train every link in the machine (cold or warm reset edge).
+  Status train_all(bool warm);
+
+  Machine& machine_;
+  BootOptions options_;
+  FirmwareImage image_;
+  std::vector<StageRecord> trace_;
+  std::vector<bool> car_exited_;  // per supernode
+  bool booted_ = false;
+};
+
+}  // namespace tcc::firmware

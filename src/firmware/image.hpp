@@ -1,0 +1,61 @@
+// Synthetic firmware image: a stage directory plus per-stage "code" blobs.
+// The boot sequencer fetches each stage's code through the simulated fabric
+// (from slow ROM before EXIT CAR, from DRAM after), so boot timing reflects
+// the real fetch paths of §V.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tcc::firmware {
+
+/// The boot stages of §V, in execution order.
+enum class BootStage : std::uint8_t {
+  kColdReset = 0,
+  kCoherentEnumeration,
+  kForceNonCoherent,
+  kWarmReset,
+  kNorthbridgeInit,
+  kCpuMsrInit,
+  kMemoryInit,
+  kExitCar,
+  kNonCoherentEnumeration,
+  kPostInitialization,
+  kLoadOperatingSystem,
+};
+inline constexpr int kNumBootStages = 11;
+
+[[nodiscard]] const char* to_string(BootStage s);
+
+/// A coreboot-like image: header, stage table, payload blobs, checksum.
+class FirmwareImage {
+ public:
+  /// Build the default TCCluster image ("coreboot with the paper's patches").
+  /// `os_payload_bytes` is the kernel blob copied during LoadOperatingSystem.
+  static FirmwareImage make_default(std::uint32_t os_payload_bytes = 64 * 1024);
+
+  /// Serialize to ROM content (what the Southbridge serves).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse and verify a ROM image (checksum and magic are validated — this
+  /// is what the simulated BSP does when it starts fetching).
+  static Result<FirmwareImage> parse(const std::vector<std::uint8_t>& rom);
+
+  [[nodiscard]] std::uint32_t stage_code_bytes(BootStage s) const {
+    return stage_bytes_.at(static_cast<std::size_t>(s));
+  }
+  [[nodiscard]] std::uint32_t os_payload_bytes() const { return os_payload_bytes_; }
+  [[nodiscard]] std::uint32_t total_bytes() const;
+
+  static constexpr std::uint32_t kMagic = 0x54434342;  // "TCCB"
+
+ private:
+  std::array<std::uint32_t, kNumBootStages> stage_bytes_{};
+  std::uint32_t os_payload_bytes_ = 0;
+};
+
+}  // namespace tcc::firmware

@@ -1,0 +1,63 @@
+#include "firmware/machine.hpp"
+
+namespace tcc::firmware {
+
+Machine::Machine(sim::Engine& engine, topology::ClusterPlan plan,
+                 opteron::ChipConfig chip_template)
+    : engine_(engine), plan_(std::move(plan)) {
+  const auto& cfg = plan_.config();
+
+  for (const topology::ChipPlan& cp : plan_.chips()) {
+    opteron::ChipConfig cc = chip_template;
+    cc.name = "sn" + std::to_string(cp.supernode) + ".n" + std::to_string(cp.member);
+    cc.dram_bytes = cfg.dram_per_chip;
+    chips_.push_back(std::make_unique<opteron::OpteronChip>(engine_, cc));
+  }
+
+  for (const topology::WireSpec& w : plan_.wires()) {
+    links_.push_back(std::make_unique<ht::HtLink>(
+        engine_, chip(w.a.chip).endpoint(w.a.port), chip(w.b.chip).endpoint(w.b.port),
+        w.medium));
+  }
+
+  for (const topology::SupernodePlan& sn : plan_.supernodes()) {
+    auto sb = std::make_unique<Southbridge>(engine_, "sn" + std::to_string(sn.index) + ".sb");
+    const topology::ChipPlan& bsp = plan_.chips()[static_cast<std::size_t>(sn.chips[0])];
+    TCC_ASSERT(bsp.southbridge_port.has_value(), "BSP plan lacks a southbridge port");
+    sb_links_.push_back(std::make_unique<ht::HtLink>(
+        engine_, chip(bsp.chip).endpoint(*bsp.southbridge_port), sb->endpoint(),
+        ht::LinkMedium{.length_inches = 4.0}));
+    southbridges_.push_back(std::move(sb));
+  }
+}
+
+std::vector<ht::HtLink*> Machine::tccluster_links() {
+  std::vector<ht::HtLink*> out;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (plan_.wires()[i].tccluster) out.push_back(links_[i].get());
+  }
+  return out;
+}
+
+std::optional<topology::PortRef> Machine::peer_of(topology::PortRef ref) const {
+  for (const topology::WireSpec& w : plan_.wires()) {
+    if (w.a == ref) return w.b;
+    if (w.b == ref) return w.a;
+  }
+  return std::nullopt;
+}
+
+ht::HtLink* Machine::link_at(topology::PortRef ref) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const topology::WireSpec& w = plan_.wires()[i];
+    if (w.a == ref || w.b == ref) return links_[i].get();
+  }
+  return nullptr;
+}
+
+opteron::Core& Machine::bsp_core(int supernode) {
+  const auto& sn = plan_.supernodes().at(static_cast<std::size_t>(supernode));
+  return chip(sn.chips[0]).core(0);
+}
+
+}  // namespace tcc::firmware

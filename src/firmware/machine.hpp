@@ -1,0 +1,71 @@
+// Machine: the physical system a ClusterPlan describes — Opteron chips,
+// southbridges, and HyperTransport links — in power-off state. The
+// BootSequencer brings it up.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "firmware/southbridge.hpp"
+#include "ht/link.hpp"
+#include "opteron/chip.hpp"
+#include "sim/engine.hpp"
+#include "topology/plan.hpp"
+
+namespace tcc::firmware {
+
+class Machine {
+ public:
+  Machine(sim::Engine& engine, topology::ClusterPlan plan,
+          opteron::ChipConfig chip_template = {});
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const topology::ClusterPlan& plan() const { return plan_; }
+
+  [[nodiscard]] int num_chips() const { return static_cast<int>(chips_.size()); }
+  [[nodiscard]] opteron::OpteronChip& chip(int i) {
+    return *chips_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] Southbridge& southbridge(int supernode) {
+    return *southbridges_.at(static_cast<std::size_t>(supernode));
+  }
+
+  /// All instantiated links, in plan wire order.
+  [[nodiscard]] int num_links() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] ht::HtLink& link(int i) { return *links_.at(static_cast<std::size_t>(i)); }
+  /// The subset of links that are TCCluster (external) links.
+  [[nodiscard]] std::vector<ht::HtLink*> tccluster_links();
+  /// Southbridge links, in supernode order.
+  [[nodiscard]] ht::HtLink& southbridge_link(int supernode) {
+    return *sb_links_.at(static_cast<std::size_t>(supernode));
+  }
+
+  /// Endpoint of wire `i` on the side of `chip`/`port` (for tests).
+  [[nodiscard]] ht::HtEndpoint& endpoint(topology::PortRef ref) {
+    return chip(ref.chip).endpoint(ref.port);
+  }
+
+  /// Convenience: the BSP core of a Supernode (core 0 of member 0).
+  [[nodiscard]] opteron::Core& bsp_core(int supernode);
+
+  /// The far side of a wired chip port, if any (plan wires only; the
+  /// southbridge attachment is not a PortRef pair).
+  [[nodiscard]] std::optional<topology::PortRef> peer_of(topology::PortRef ref) const;
+
+  /// The link attached at a chip port (plan wires only), or nullptr.
+  [[nodiscard]] ht::HtLink* link_at(topology::PortRef ref);
+
+ private:
+  sim::Engine& engine_;
+  topology::ClusterPlan plan_;
+  std::vector<std::unique_ptr<opteron::OpteronChip>> chips_;
+  std::vector<std::unique_ptr<Southbridge>> southbridges_;
+  std::vector<std::unique_ptr<ht::HtLink>> links_;     // plan wires
+  std::vector<std::unique_ptr<ht::HtLink>> sb_links_;  // southbridge attachments
+};
+
+}  // namespace tcc::firmware

@@ -1,0 +1,58 @@
+#include "firmware/southbridge.hpp"
+
+#include "common/log.hpp"
+
+namespace tcc::firmware {
+
+Southbridge::Southbridge(sim::Engine& engine, std::string name)
+    : engine_(engine),
+      name_(std::move(name)),
+      endpoint_(engine, name_ + ".ht", ht::EndpointDevice::kIoDevice) {
+  engine_.spawn(serve());
+}
+
+void Southbridge::load_rom(std::vector<std::uint8_t> image) {
+  TCC_ASSERT(image.size() <= kRomWindowSize, "firmware image exceeds the ROM window");
+  rom_ = std::move(image);
+}
+
+sim::Task<void> Southbridge::serve() {
+  for (;;) {
+    ht::Packet p = co_await endpoint_.receive();
+    switch (p.command) {
+      case ht::Command::kSizedRead: {
+        ++rom_reads_;
+        co_await engine_.delay(kRomReadLatency);
+        std::vector<std::uint8_t> data(p.size, 0xff);  // erased-flash filler
+        const std::uint64_t base = p.address.value();
+        for (std::uint32_t i = 0; i < p.size; ++i) {
+          const std::uint64_t off = base + i - kRomWindowBase;
+          if (base + i >= kRomWindowBase && off < rom_.size()) {
+            data[i] = rom_[off];
+          }
+        }
+        ht::Packet resp = ht::Packet::read_response(p.src, data);
+        Status s = co_await endpoint_.send_blocking(std::move(resp));
+        if (!s.ok()) {
+          TCC_WARN("southbridge", "%s: response send failed: %s", name_.c_str(),
+                   s.error().to_string().c_str());
+        }
+        break;
+      }
+      case ht::Command::kSizedWritePosted:
+        ++writes_received_;
+        break;
+      case ht::Command::kFlush: {
+        ht::Packet resp = ht::Packet::target_done(p.src);
+        (void)co_await endpoint_.send_blocking(std::move(resp));
+        break;
+      }
+      default:
+        TCC_DEBUG("southbridge", "%s: ignoring %s", name_.c_str(),
+                  ht::to_string(p.command));
+        break;
+    }
+  }
+}
+
+}  // namespace tcc::firmware

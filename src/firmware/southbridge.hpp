@@ -1,0 +1,54 @@
+// Southbridge model: the non-coherent IO device attached to each Supernode's
+// BSP (§III Fig. 2, §IV.E). It serves the firmware ROM — slowly, which is
+// why the Cache-as-RAM exit stage exists (§V "EXIT CAR") — and swallows
+// posted writes (console/IO).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ht/link.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::firmware {
+
+/// The fixed ROM decode window (compatibility segment below 4 GiB).
+inline constexpr std::uint64_t kRomWindowBase = 0xFFF0'0000ull;
+inline constexpr std::uint64_t kRomWindowSize = 1_MiB;
+
+/// SPI-flash read cost per 64-byte line: the "comparatively slow" pre-CAR
+/// fetch path of §V.
+inline constexpr Picoseconds kRomReadLatency = Picoseconds::from_ns(400.0);
+
+class Southbridge {
+ public:
+  Southbridge(sim::Engine& engine, std::string name);
+
+  Southbridge(const Southbridge&) = delete;
+  Southbridge& operator=(const Southbridge&) = delete;
+
+  [[nodiscard]] ht::HtEndpoint& endpoint() { return endpoint_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Install the firmware image served from the ROM window.
+  void load_rom(std::vector<std::uint8_t> image);
+  [[nodiscard]] const std::vector<std::uint8_t>& rom() const { return rom_; }
+
+  /// Posted writes that landed here (console output etc.), for tests.
+  [[nodiscard]] std::uint64_t writes_received() const { return writes_received_; }
+  [[nodiscard]] std::uint64_t rom_reads() const { return rom_reads_; }
+
+ private:
+  sim::Task<void> serve();
+
+  sim::Engine& engine_;
+  std::string name_;
+  ht::HtEndpoint endpoint_;
+  std::vector<std::uint8_t> rom_;
+  std::uint64_t writes_received_ = 0;
+  std::uint64_t rom_reads_ = 0;
+};
+
+}  // namespace tcc::firmware

@@ -1,0 +1,40 @@
+#include "ht/crc.hpp"
+
+#include <array>
+
+namespace tcc::ht {
+
+namespace {
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C polynomial
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state, std::span<const std::uint8_t> bytes) {
+  const auto& t = table();
+  for (std::uint8_t b : bytes) {
+    state = t[(state ^ b) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes) {
+  return crc32c_update(0xffffffffu, bytes) ^ 0xffffffffu;
+}
+
+}  // namespace tcc::ht

@@ -1,0 +1,18 @@
+// CRC-32C over packet contents. HT3 protects the wire with periodic CRC; we
+// compute a per-packet CRC so fault-injection tests can corrupt a packet and
+// verify the link layer detects and counts it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace tcc::ht {
+
+/// CRC-32C (Castagnoli), bitwise reflected, init/final 0xFFFFFFFF.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> bytes);
+
+/// Incremental form for composing header + payload.
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t state,
+                                          std::span<const std::uint8_t> bytes);
+
+}  // namespace tcc::ht

@@ -1,0 +1,312 @@
+#include "ht/link.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "ht/crc.hpp"
+
+namespace tcc::ht {
+
+const char* to_string(VirtualChannel vc) {
+  switch (vc) {
+    case VirtualChannel::kPosted: return "posted";
+    case VirtualChannel::kNonPosted: return "non-posted";
+    case VirtualChannel::kResponse: return "response";
+  }
+  return "?";
+}
+
+const char* to_string(Command cmd) {
+  switch (cmd) {
+    case Command::kSizedWritePosted: return "WrSized(posted)";
+    case Command::kSizedWriteNonPosted: return "WrSized(non-posted)";
+    case Command::kSizedRead: return "RdSized";
+    case Command::kRdResponse: return "RdResponse";
+    case Command::kTargetDone: return "TgtDone";
+    case Command::kBroadcast: return "Broadcast";
+    case Command::kFlush: return "Flush";
+    case Command::kNop: return "Nop";
+  }
+  return "?";
+}
+
+const char* to_string(LinkFreq f) {
+  switch (f) {
+    case LinkFreq::kHt200: return "HT200";
+    case LinkFreq::kHt400: return "HT400";
+    case LinkFreq::kHt600: return "HT600";
+    case LinkFreq::kHt800: return "HT800";
+    case LinkFreq::kHt1000: return "HT1000";
+    case LinkFreq::kHt1200: return "HT1200";
+    case LinkFreq::kHt1600: return "HT1600";
+    case LinkFreq::kHt2000: return "HT2000";
+    case LinkFreq::kHt2400: return "HT2400";
+    case LinkFreq::kHt2600: return "HT2600";
+  }
+  return "?";
+}
+
+std::string LinkTracer::dump() const {
+  std::string out;
+  char line[192];
+  for (const auto& r : records_) {
+    std::snprintf(line, sizeof line,
+                  "%10.1f ns  %-8s -> %-8s  %-19s %s vc=%-10s addr=0x%010llx "
+                  "size=%-3u seq=%llu%s\n",
+                  r.departed.nanoseconds(), r.from.c_str(), r.to.c_str(),
+                  ht::to_string(r.command), r.coherent ? "cHT " : "ncHT",
+                  ht::to_string(r.vc),
+                  static_cast<unsigned long long>(r.address.value()), r.size,
+                  static_cast<unsigned long long>(r.wire_seq),
+                  r.retries > 0 ? "  [retried]" : "");
+    out += line;
+  }
+  return out;
+}
+
+std::string Packet::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s %s addr=0x%llx size=%u seq=%llu",
+                ht::to_string(command), coherent ? "cHT" : "ncHT",
+                static_cast<unsigned long long>(address.value()), size,
+                static_cast<unsigned long long>(wire_seq));
+  return buf;
+}
+
+LinkFreq LinkMedium::max_clean_freq() const {
+  // Signal-integrity model from §IV.F/§VI: FR4 traces are clean to the spec
+  // ceiling up to 24"; the paper's HTX cable only sustained 1.6 Gbit/s/lane.
+  // Coax extends reach but the prototype-grade connector caps frequency.
+  if (coax_cable) {
+    if (length_inches <= 12.0) return LinkFreq::kHt1000;
+    if (length_inches <= 36.0) return LinkFreq::kHt800;  // the paper's cable
+    return LinkFreq::kHt400;
+  }
+  if (length_inches <= 24.0) return LinkFreq::kHt2600;
+  if (length_inches <= 30.0) return LinkFreq::kHt1200;
+  return LinkFreq::kHt400;
+}
+
+HtEndpoint::HtEndpoint(sim::Engine& engine, std::string name, EndpointDevice device)
+    : engine_(engine),
+      name_(std::move(name)),
+      device_(device),
+      rx_trigger_(engine),
+      tx_trigger_(engine) {}
+
+Status HtEndpoint::send(Packet packet) {
+  if (link_ == nullptr) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "endpoint " + name_ + " is not attached to a link");
+  }
+  if (!regs_.init_complete) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "link at " + name_ + " has not completed initialization");
+  }
+  if (packet.carries_data() && packet.data.size() != packet.size) {
+    return make_error(ErrorCode::kProtocolViolation,
+                      "packet payload does not match its size field");
+  }
+  if (packet.size > kMaxPayloadBytes) {
+    return make_error(ErrorCode::kProtocolViolation, "payload exceeds 64 bytes");
+  }
+  const auto vc = static_cast<int>(packet.vc());
+  packet.wire_seq = tx_seq_[vc]++;
+  tx_[vc].push_back(std::move(packet));
+  link_->kick(this);
+  return {};
+}
+
+sim::Task<Status> HtEndpoint::send_blocking(Packet packet) {
+  const auto vc = static_cast<int>(packet.vc());
+  while (tx_[vc].size() >= kTxFifoDepth) {
+    co_await tx_trigger_.wait();
+  }
+  co_return send(std::move(packet));
+}
+
+sim::Task<Packet> HtEndpoint::receive() {
+  TCC_ASSERT(!sink_, "receive() and set_sink() are mutually exclusive");
+  while (rx_queue_.empty()) {
+    co_await rx_trigger_.wait();
+  }
+  Packet p = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  // Consuming the buffer entry frees it; the credit travels back to the
+  // remote transmitter with a small turnaround delay.
+  HtEndpoint* peer = peer_;
+  const auto vc = static_cast<int>(p.vc());
+  engine_.schedule(kCreditReturnLatency, [peer, vc] {
+    ++peer->credits_[vc];
+    peer->link_->kick(peer);
+  });
+  co_return p;
+}
+
+void HtEndpoint::set_sink(std::function<void(Packet&&)> sink) {
+  sink_ = std::move(sink);
+  // Drain anything already buffered.
+  while (!rx_queue_.empty() && sink_) {
+    Packet p = std::move(rx_queue_.front());
+    rx_queue_.pop_front();
+    deliver(std::move(p));
+  }
+}
+
+void HtEndpoint::deliver(Packet&& packet) {
+  ++packets_received_;
+  if (sink_) {
+    // Sink consumption is immediate from the link's perspective: the
+    // northbridge drains its link FIFO at wire speed and applies its own
+    // forwarding latency downstream. Return the credit right away.
+    HtEndpoint* peer = peer_;
+    const auto vc = static_cast<int>(packet.vc());
+    engine_.schedule(kCreditReturnLatency, [peer, vc] {
+      ++peer->credits_[vc];
+      peer->link_->kick(peer);
+    });
+    sink_(std::move(packet));
+    return;
+  }
+  rx_queue_.push_back(std::move(packet));
+  rx_trigger_.notify();
+}
+
+HtLink::HtLink(sim::Engine& engine, HtEndpoint& a, HtEndpoint& b, LinkMedium medium)
+    : engine_(engine), a_(a), b_(b), medium_(medium), fault_rng_(0xc0ffee) {
+  TCC_ASSERT(a.link_ == nullptr && b.link_ == nullptr,
+             "endpoint already attached to another link");
+  a_.link_ = this;
+  b_.link_ = this;
+  a_.peer_ = &b_;
+  b_.peer_ = &a_;
+}
+
+TrainingResult HtLink::train() {
+  TrainingResult result;
+  result.connected = true;
+
+  // Width/frequency negotiation: both sides' requests, clamped by part
+  // capability and by the medium's signal-integrity ceiling.
+  const auto width =
+      static_cast<LinkWidth>(std::min({static_cast<int>(a_.regs_.requested_width),
+                                       static_cast<int>(b_.regs_.requested_width),
+                                       static_cast<int>(a_.regs_.max_width),
+                                       static_cast<int>(b_.regs_.max_width)}));
+  auto freq =
+      static_cast<LinkFreq>(std::min({static_cast<int>(a_.regs_.requested_freq),
+                                      static_cast<int>(b_.regs_.requested_freq),
+                                      static_cast<int>(a_.regs_.max_freq),
+                                      static_cast<int>(b_.regs_.max_freq)}));
+  const LinkFreq medium_cap = medium_.max_clean_freq();
+  if (static_cast<int>(freq) > static_cast<int>(medium_cap)) {
+    freq = medium_cap;
+  }
+
+  // Coherent/non-coherent identification (§IV.B): a link is coherent only if
+  // BOTH sides identify as coherent processors. The latched debug bit makes
+  // a processor identify non-coherent at this (re)initialization.
+  const auto identifies_coherent = [](const HtEndpoint& e) {
+    return e.device() == EndpointDevice::kProcessor && !e.regs_.force_noncoherent;
+  };
+  result.kind = (identifies_coherent(a_) && identifies_coherent(b_))
+                    ? LinkKind::kCoherent
+                    : LinkKind::kNonCoherent;
+  result.width = width;
+  result.freq = freq;
+
+  for (HtEndpoint* e : {&a_, &b_}) {
+    e->regs_.connected = true;
+    e->regs_.init_complete = true;
+    e->regs_.width = width;
+    e->regs_.freq = freq;
+    e->regs_.kind = result.kind;
+    // Reset flow control to the peer's buffer depth.
+    e->credits_.fill(kDefaultVcBufferDepth);
+    for (auto& q : e->tx_) q.clear();
+    e->rx_queue_.clear();
+  }
+
+  TCC_DEBUG("ht-link", "%s<->%s trained: %s, %d-bit, %s", a_.name().c_str(),
+            b_.name().c_str(),
+            result.kind == LinkKind::kCoherent ? "coherent" : "non-coherent",
+            static_cast<int>(width), to_string(freq));
+  return result;
+}
+
+void HtLink::kick(HtEndpoint* from) {
+  if (!from->pump_running_) {
+    from->pump_running_ = true;
+    HtEndpoint* to = &peer_of(*from);
+    engine_.spawn(pump(from, to));
+  } else {
+    from->tx_trigger_.notify();
+  }
+}
+
+sim::Task<void> HtLink::pump(HtEndpoint* from, HtEndpoint* to) {
+  int rr = 0;  // round-robin VC pointer
+  for (;;) {
+    // Pick the next sendable VC (has a packet and a credit), round-robin.
+    int chosen = -1;
+    for (int i = 0; i < kNumVirtualChannels; ++i) {
+      const int vc = (rr + i) % kNumVirtualChannels;
+      if (!from->tx_[vc].empty() && from->credits_[vc] > 0) {
+        chosen = vc;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      if (std::all_of(from->tx_.begin(), from->tx_.end(),
+                      [](const auto& q) { return q.empty(); })) {
+        // Idle: park the pump. A later send() restarts it.
+        from->pump_running_ = false;
+        co_return;
+      }
+      // Blocked on credits: wait for a credit return.
+      co_await from->tx_trigger_.wait();
+      continue;
+    }
+    rr = (chosen + 1) % kNumVirtualChannels;
+
+    Packet packet = std::move(from->tx_[chosen].front());
+    from->tx_[chosen].pop_front();
+    from->tx_trigger_.notify();  // wake send_blocking() waiters
+    --from->credits_[chosen];
+    ++from->packets_sent_;
+    from->bytes_sent_ += packet.wire_bytes();
+    const Picoseconds departed = engine_.now();
+
+    // Serialize onto the wire at the negotiated rate; the wire is busy for
+    // the full packet duration.
+    const Picoseconds wire_time = from->regs_.rate().time_for(packet.wire_bytes());
+    co_await engine_.delay(wire_time);
+
+    // HT3 retry: a CRC fault is detected by the receiver, NAKed, and the
+    // packet is replayed from the transmitter's retry buffer. We charge one
+    // extra round of wire time + turnaround per retry.
+    int packet_retries = 0;
+    while (medium_.fault_rate > 0.0 && fault_rng_.next_double() < medium_.fault_rate) {
+      ++to->regs_.crc_errors;
+      ++retries_;
+      ++packet_retries;
+      co_await engine_.delay(wire_time + 2 * kPhyLatency);
+    }
+
+    if (tracer_ != nullptr) {
+      tracer_->record(PacketTrace{departed, engine_.now() + kPhyLatency, from->name(),
+                                  to->name(), packet.command, packet.vc(),
+                                  packet.coherent, packet.address, packet.size,
+                                  packet.wire_seq, packet_retries});
+    }
+
+    // Propagate through the PHY and deliver.
+    Packet delivered = std::move(packet);
+    HtEndpoint* dst = to;
+    engine_.schedule(kPhyLatency, [dst, p = std::move(delivered)]() mutable {
+      dst->deliver(std::move(p));
+    });
+  }
+}
+
+}  // namespace tcc::ht

@@ -1,0 +1,188 @@
+// Timed HyperTransport link model.
+//
+// An HtLink is a full-duplex point-to-point connection between two
+// HtEndpoints. Each direction serializes one packet at a time at the
+// negotiated (width, frequency) rate, enforces credit-based flow control per
+// virtual channel, stamps per-VC sequence numbers (for in-order-delivery
+// checks), and can inject CRC faults that exercise the HT3 retry path.
+//
+// Low-level link initialization ("training") is modeled explicitly because
+// the paper's whole trick lives there: endpoints identify themselves as
+// coherent or non-coherent during training, and the firmware's debug-register
+// write flips that identification at the next warm reset (§IV.B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "ht/link_regs.hpp"
+#include "ht/packet.hpp"
+#include "ht/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::ht {
+
+class HtLink;
+
+/// What kind of device sits on this side of the link; determines the
+/// coherent/non-coherent identification during training.
+enum class EndpointDevice : std::uint8_t {
+  kProcessor,  // identifies coherent unless force_noncoherent is latched
+  kIoDevice,   // southbridge / NIC / HTX card: always non-coherent
+};
+
+/// One side of a link: TX queues + RX buffer owned here, credits for the
+/// *remote* RX buffer tracked here.
+class HtEndpoint {
+ public:
+  HtEndpoint(sim::Engine& engine, std::string name, EndpointDevice device);
+
+  HtEndpoint(const HtEndpoint&) = delete;
+  HtEndpoint& operator=(const HtEndpoint&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] EndpointDevice device() const { return device_; }
+  [[nodiscard]] LinkRegs& regs() { return regs_; }
+  [[nodiscard]] const LinkRegs& regs() const { return regs_; }
+
+  /// Per-VC transmit FIFO depth visible to send_blocking(); small, so that
+  /// backpressure reaches the northbridge quickly.
+  static constexpr std::size_t kTxFifoDepth = 2;
+
+  /// Queue a packet for transmission. Fails if the link has not completed
+  /// initialization. Actual wire departure is governed by serialization and
+  /// credits; posted traffic is fire-and-forget for the caller.
+  Status send(Packet packet);
+
+  /// Like send(), but suspends while this VC's transmit FIFO is full —
+  /// the form the northbridge uses so wire-rate backpressure propagates.
+  [[nodiscard]] sim::Task<Status> send_blocking(Packet packet);
+
+  /// Suspend until a packet arrives in this endpoint's RX buffer; consuming
+  /// it returns the buffer credit to the remote transmitter.
+  [[nodiscard]] sim::Task<Packet> receive();
+
+  /// Non-blocking probe of the RX buffer.
+  [[nodiscard]] bool rx_available() const { return !rx_queue_.empty(); }
+  [[nodiscard]] std::size_t rx_depth() const { return rx_queue_.size(); }
+
+  /// Register a drain process: when set, arriving packets are handed to the
+  /// sink instead of accumulating in the RX buffer. Used by the northbridge.
+  void set_sink(std::function<void(Packet&&)> sink);
+
+  /// TX-side occupancy (for tests and backpressure-visibility benches).
+  [[nodiscard]] std::size_t tx_depth(VirtualChannel vc) const {
+    return tx_[static_cast<int>(vc)].size();
+  }
+  [[nodiscard]] int credits(VirtualChannel vc) const {
+    return credits_[static_cast<int>(vc)];
+  }
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class HtLink;
+
+  void deliver(Packet&& packet);
+
+  sim::Engine& engine_;
+  std::string name_;
+  EndpointDevice device_;
+  LinkRegs regs_;
+  HtLink* link_ = nullptr;      // set by HtLink on attach
+  HtEndpoint* peer_ = nullptr;  // set by HtLink on attach
+
+  std::array<std::deque<Packet>, kNumVirtualChannels> tx_;
+  std::array<int, kNumVirtualChannels> credits_{0, 0, 0};
+  std::array<std::uint64_t, kNumVirtualChannels> tx_seq_{0, 0, 0};
+
+  std::deque<Packet> rx_queue_;
+  sim::Trigger rx_trigger_;
+  std::function<void(Packet&&)> sink_;
+
+  sim::Trigger tx_trigger_;  // new packet queued or credit returned
+  bool pump_running_ = false;
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Parameters of the physical medium this link runs over (§IV.F).
+struct LinkMedium {
+  /// Trace/cable length in inches. The HT spec limits FR4 traces to 24";
+  /// coax cables tolerate more, but at reduced frequency — the paper's cable
+  /// prototype had to drop from 5.2 to 1.6 Gbit/s per lane.
+  double length_inches = 10.0;
+  bool coax_cable = false;
+
+  /// CRC fault probability per packet (fault injection for tests).
+  double fault_rate = 0.0;
+
+  /// Highest frequency the medium supports with clean signal integrity.
+  [[nodiscard]] LinkFreq max_clean_freq() const;
+};
+
+/// Result of low-level link initialization, as firmware observes it.
+struct TrainingResult {
+  bool connected = false;
+  LinkKind kind = LinkKind::kCoherent;
+  LinkWidth width = LinkWidth::k8;
+  LinkFreq freq = LinkFreq::kHt200;
+};
+
+/// A full-duplex link between two endpoints.
+class HtLink {
+ public:
+  HtLink(sim::Engine& engine, HtEndpoint& a, HtEndpoint& b, LinkMedium medium = {});
+
+  HtLink(const HtLink&) = delete;
+  HtLink& operator=(const HtLink&) = delete;
+
+  /// Low-level initialization out of cold or warm reset: detect the partner,
+  /// negotiate width/frequency (clamped by the medium), and exchange
+  /// coherent/non-coherent identification. Mirrors §IV.B / §V.
+  TrainingResult train();
+
+  [[nodiscard]] const LinkMedium& medium() const { return medium_; }
+  [[nodiscard]] LinkMedium& medium() { return medium_; }
+  [[nodiscard]] HtEndpoint& side_a() { return a_; }
+  [[nodiscard]] HtEndpoint& side_b() { return b_; }
+
+  [[nodiscard]] HtEndpoint& peer_of(const HtEndpoint& e) {
+    return &e == &a_ ? b_ : a_;
+  }
+
+  [[nodiscard]] std::uint32_t retries() const { return retries_; }
+
+  /// Attach a protocol analyzer; nullptr detaches. Not owned.
+  void set_tracer(LinkTracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] LinkTracer* tracer() const { return tracer_; }
+
+ private:
+  friend class HtEndpoint;
+
+  /// Per-direction transmit pump: serializes packets from `from` to `to`.
+  sim::Task<void> pump(HtEndpoint* from, HtEndpoint* to);
+  void kick(HtEndpoint* from);
+
+  sim::Engine& engine_;
+  HtEndpoint& a_;
+  HtEndpoint& b_;
+  LinkMedium medium_;
+  Rng fault_rng_;
+  std::uint32_t retries_ = 0;
+  LinkTracer* tracer_ = nullptr;
+};
+
+}  // namespace tcc::ht

@@ -1,0 +1,89 @@
+// Per-link configuration registers (the subset of the BKDG link CSRs the
+// paper's firmware programs).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tcc::ht {
+
+/// Link clock frequency points. The wire is double-pumped: per-lane bit rate
+/// is 2x the clock. The paper boots at HT200 (400 Mbit/s/lane) and raises the
+/// TCCluster link to HT800 (1.6 Gbit/s/lane); the spec ceiling for the parts
+/// is HT2600 (5.2 Gbit/s/lane).
+enum class LinkFreq : std::uint8_t {
+  kHt200,   // 400 Mbit/s per lane — power-on default
+  kHt400,   // 800 Mbit/s
+  kHt600,   // 1.2 Gbit/s
+  kHt800,   // 1.6 Gbit/s — the paper's prototype operating point
+  kHt1000,  // 2.0 Gbit/s
+  kHt1200,  // 2.4 Gbit/s
+  kHt1600,  // 3.2 Gbit/s
+  kHt2000,  // 4.0 Gbit/s
+  kHt2400,  // 4.8 Gbit/s — "link speed is increased from 400 to 4.800 Mbit/s"
+  kHt2600,  // 5.2 Gbit/s — spec ceiling
+};
+
+[[nodiscard]] constexpr double gbit_per_lane(LinkFreq f) {
+  switch (f) {
+    case LinkFreq::kHt200: return 0.4;
+    case LinkFreq::kHt400: return 0.8;
+    case LinkFreq::kHt600: return 1.2;
+    case LinkFreq::kHt800: return 1.6;
+    case LinkFreq::kHt1000: return 2.0;
+    case LinkFreq::kHt1200: return 2.4;
+    case LinkFreq::kHt1600: return 3.2;
+    case LinkFreq::kHt2000: return 4.0;
+    case LinkFreq::kHt2400: return 4.8;
+    case LinkFreq::kHt2600: return 5.2;
+  }
+  return 0.4;
+}
+
+[[nodiscard]] const char* to_string(LinkFreq f);
+
+/// Link width in lanes (bits). Opteron links train at 8 or 16 bits.
+enum class LinkWidth : std::uint8_t { k8 = 8, k16 = 16 };
+
+/// Raw unidirectional data rate of a (width, freq) pair.
+[[nodiscard]] inline DataRate link_rate(LinkWidth w, LinkFreq f) {
+  return DataRate::from_lanes(gbit_per_lane(f), static_cast<int>(w));
+}
+
+/// How an endpoint identifies itself during low-level link init. Processors
+/// identify coherent by default; the undocumented debug register the paper
+/// exploits (§IV.B) forces the *next* init to identify non-coherent.
+enum class LinkKind : std::uint8_t { kCoherent, kNonCoherent };
+
+/// Per-link CSR block on one endpoint (one HT port of one chip).
+struct LinkRegs {
+  // -- Capabilities (fixed per part) --
+  LinkWidth max_width = LinkWidth::k16;
+  LinkFreq max_freq = LinkFreq::kHt2600;
+
+  // -- Software-programmed, takes effect at next (warm) reset --
+  LinkWidth requested_width = LinkWidth::k16;
+  LinkFreq requested_freq = LinkFreq::kHt200;
+
+  /// The debug/"force non-coherent" bit (§IV.B). Not in public BKDG tables;
+  /// modeled as a latched request evaluated during the next link init.
+  bool force_noncoherent = false;
+
+  // -- Status (set by link initialization) --
+  bool connected = false;        ///< training pattern detected a partner
+  bool init_complete = false;
+  LinkWidth width = LinkWidth::k8;      ///< negotiated
+  LinkFreq freq = LinkFreq::kHt200;     ///< negotiated
+  LinkKind kind = LinkKind::kCoherent;  ///< negotiated link type
+
+  /// Error log.
+  std::uint32_t crc_errors = 0;
+  bool link_failure = false;
+
+  /// Effective data rate after negotiation.
+  [[nodiscard]] DataRate rate() const { return link_rate(width, freq); }
+};
+
+}  // namespace tcc::ht

@@ -1,0 +1,158 @@
+// HyperTransport packet model.
+//
+// We model the command set the paper's mechanism depends on: posted sized
+// writes (the only transaction TCCluster traffic may use), non-posted sized
+// reads plus their tagged responses (needed to demonstrate *why* reads cannot
+// cross a TCCluster link — §IV.A), and broadcasts (interrupts, which the
+// custom kernel must suppress — §VI).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "ht/timing.hpp"
+
+namespace tcc::ht {
+
+/// The three HyperTransport virtual channels. Ordering is guaranteed only
+/// within one VC (the in-order property §IV.A relies on).
+enum class VirtualChannel : std::uint8_t { kPosted = 0, kNonPosted = 1, kResponse = 2 };
+inline constexpr int kNumVirtualChannels = 3;
+
+[[nodiscard]] const char* to_string(VirtualChannel vc);
+
+/// Command encoding (subset of HT 3.10 Table 5).
+enum class Command : std::uint8_t {
+  kSizedWritePosted,     // posted VC; fire-and-forget store
+  kSizedWriteNonPosted,  // non-posted VC; expects TargetDone
+  kSizedRead,            // non-posted VC; expects RdResponse
+  kRdResponse,           // response VC; routed by (node, srcTag), not address
+  kTargetDone,           // response VC
+  kBroadcast,            // posted VC; interrupts/system management
+  kFlush,                // non-posted VC; drains posted channel
+  kNop,                  // credit return carrier
+};
+
+[[nodiscard]] const char* to_string(Command cmd);
+
+/// VC a command travels in.
+[[nodiscard]] constexpr VirtualChannel vc_of(Command cmd) {
+  switch (cmd) {
+    case Command::kSizedWritePosted:
+    case Command::kBroadcast:
+    case Command::kNop:
+      return VirtualChannel::kPosted;
+    case Command::kSizedWriteNonPosted:
+    case Command::kSizedRead:
+    case Command::kFlush:
+      return VirtualChannel::kNonPosted;
+    case Command::kRdResponse:
+    case Command::kTargetDone:
+      return VirtualChannel::kResponse;
+  }
+  return VirtualChannel::kPosted;
+}
+
+/// Identifies the issuing unit for response routing: responses carry
+/// (src_node, src_tag) instead of an address. The tag indexes the response
+/// matching table in the source northbridge; the table is per-NodeID, which
+/// is exactly why responses cannot be routed across a TCCluster fabric where
+/// every node claims NodeID 0 (§IV.A).
+struct SourceTag {
+  std::uint8_t node = 0;
+  std::uint8_t unit = 0;
+  std::uint8_t tag = 0;
+  constexpr bool operator==(const SourceTag&) const = default;
+};
+
+/// One HyperTransport packet (command + optional data).
+struct Packet {
+  Command command = Command::kNop;
+  bool coherent = false;       ///< cHT framing (probes etc.) vs ncHT
+  PhysAddr address;            ///< request address (unused for responses)
+  std::uint32_t size = 0;      ///< payload bytes (0..64)
+  SourceTag src;               ///< issuing unit, for response matching
+  bool pass_pw = false;        ///< PassPW: may pass posted writes (unordered)
+  std::vector<std::uint8_t> data;  ///< payload; size() == size for data cmds
+
+  /// Sequence number stamped by the sending link endpoint; used by tests to
+  /// check per-VC in-order delivery.
+  std::uint64_t wire_seq = 0;
+
+  [[nodiscard]] VirtualChannel vc() const { return vc_of(command); }
+
+  /// Bytes this packet occupies on the wire: command + payload (only for
+  /// data-carrying commands — a read *request* is command-only) + CRC charge.
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return kCommandBytes + (carries_data() ? size : 0) + kCrcBytesPerPacket;
+  }
+
+  [[nodiscard]] bool is_request() const {
+    return command == Command::kSizedWritePosted ||
+           command == Command::kSizedWriteNonPosted || command == Command::kSizedRead ||
+           command == Command::kBroadcast || command == Command::kFlush;
+  }
+  [[nodiscard]] bool is_response() const {
+    return command == Command::kRdResponse || command == Command::kTargetDone;
+  }
+  [[nodiscard]] bool carries_data() const {
+    return command == Command::kSizedWritePosted ||
+           command == Command::kSizedWriteNonPosted || command == Command::kRdResponse;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Factory helpers -----------------------------------------------------
+
+  static Packet posted_write(PhysAddr addr, std::span<const std::uint8_t> payload,
+                             SourceTag src = {}) {
+    TCC_ASSERT(payload.size() <= kMaxPayloadBytes, "posted write larger than 64 B");
+    Packet p;
+    p.command = Command::kSizedWritePosted;
+    p.address = addr;
+    p.size = static_cast<std::uint32_t>(payload.size());
+    p.src = src;
+    p.data.assign(payload.begin(), payload.end());
+    return p;
+  }
+
+  static Packet sized_read(PhysAddr addr, std::uint32_t bytes, SourceTag src) {
+    TCC_ASSERT(bytes <= kMaxPayloadBytes, "sized read larger than 64 B");
+    Packet p;
+    p.command = Command::kSizedRead;
+    p.address = addr;
+    p.size = bytes;
+    p.src = src;
+    return p;
+  }
+
+  static Packet read_response(SourceTag src, std::span<const std::uint8_t> payload) {
+    Packet p;
+    p.command = Command::kRdResponse;
+    p.size = static_cast<std::uint32_t>(payload.size());
+    p.src = src;
+    p.data.assign(payload.begin(), payload.end());
+    return p;
+  }
+
+  static Packet target_done(SourceTag src) {
+    Packet p;
+    p.command = Command::kTargetDone;
+    p.src = src;
+    return p;
+  }
+
+  static Packet broadcast(PhysAddr addr, SourceTag src = {}) {
+    Packet p;
+    p.command = Command::kBroadcast;
+    p.address = addr;
+    p.src = src;
+    return p;
+  }
+};
+
+}  // namespace tcc::ht

@@ -1,0 +1,46 @@
+// HyperTransport timing/size constants.
+//
+// Sources: HyperTransport I/O Link Specification rev 3.10 [4]; the paper's
+// prototype parameters (§V/§VI: 16-bit links, HT800 = 1.6 Gbit/s per lane,
+// ~50 ns per hop). Constants are centralized here so the calibration that
+// reproduces Fig. 6/7 is auditable in one place.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace tcc::ht {
+
+/// Command (control) packet size on the wire. Sized requests with a 40-bit
+/// address use 8 bytes; the 64-bit address extension adds 4 more. The
+/// prototype's global space fits in 40 bits, so 8 bytes throughout.
+inline constexpr std::uint64_t kCommandBytes = 8;
+
+/// Maximum payload of a single sized-write data packet (16 dwords).
+inline constexpr std::uint64_t kMaxPayloadBytes = 64;
+
+/// Per-packet CRC overhead amortized into the wire time. HT3 uses periodic
+/// CRC insertion (4 bytes per 512-byte window per 8-lane group); we fold the
+/// equivalent ~1.6% into an explicit per-packet byte charge for clarity.
+inline constexpr std::uint64_t kCrcBytesPerPacket = 1;
+
+/// Transmitter + receiver PHY (SerDes, FIFO sync) latency per link traversal.
+inline constexpr Picoseconds kPhyLatency = Picoseconds{14'000};  // 14 ns
+
+/// Time for the receiving northbridge to accept a packet from the link FIFO,
+/// perform the address-map lookup and either sink or forward it. The paper
+/// measures "<50 ns" per additional hop; lookup+crossbar is the bulk of it.
+inline constexpr Picoseconds kForwardLatency = Picoseconds{26'000};  // 26 ns
+
+/// Credit-return turnaround (buffer-release NOP piggyback).
+inline constexpr Picoseconds kCreditReturnLatency = Picoseconds{8'000};  // 8 ns
+
+/// Low-level link initialization time out of cold/warm reset (the training
+/// pattern handshake of §IV.B). Value from HT3 spec order-of-magnitude.
+inline constexpr Picoseconds kLinkTrainingTime = Picoseconds::from_us(1.0);
+
+/// Default per-VC receive buffer depth (packets) on each link endpoint.
+inline constexpr int kDefaultVcBufferDepth = 8;
+
+}  // namespace tcc::ht

@@ -1,0 +1,72 @@
+// Wire-level packet tracing: attach a LinkTracer to any HtLink to record
+// every packet with departure/arrival timestamps — the software equivalent
+// of putting a protocol analyzer on the HTX cable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ht/packet.hpp"
+
+namespace tcc::ht {
+
+struct PacketTrace {
+  Picoseconds departed;  ///< serialization start at the transmitter
+  Picoseconds arrived;   ///< delivery into the receiver's link FIFO
+  std::string from;      ///< transmitting endpoint name
+  std::string to;        ///< receiving endpoint name
+  Command command = Command::kNop;
+  VirtualChannel vc = VirtualChannel::kPosted;
+  bool coherent = false;
+  PhysAddr address;
+  std::uint32_t size = 0;
+  std::uint64_t wire_seq = 0;
+  int retries = 0;  ///< CRC retries this packet suffered
+};
+
+class LinkTracer {
+ public:
+  void record(PacketTrace trace) {
+    if (records_.size() < max_records_) {
+      records_.push_back(std::move(trace));
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<PacketTrace>& records() const { return records_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void set_max_records(std::size_t n) { max_records_ = n; }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+  /// Packets of a given command seen so far.
+  [[nodiscard]] std::uint64_t count(Command cmd) const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) {
+      if (r.command == cmd) ++n;
+    }
+    return n;
+  }
+
+  /// Total payload bytes that crossed the wire.
+  [[nodiscard]] std::uint64_t payload_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& r : records_) n += r.size;
+    return n;
+  }
+
+  /// Human-readable log, one line per packet.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::vector<PacketTrace> records_;
+  std::size_t max_records_ = 65536;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tcc::ht

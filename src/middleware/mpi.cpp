@@ -1,0 +1,238 @@
+#include "middleware/mpi.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tcc::middleware {
+
+namespace {
+// Envelope word ahead of every payload: low 16 bits = tag, bit 16 = "stream
+// header" flag (the frame carries a u64 total length instead of data).
+constexpr std::size_t kEnvelope = 4;
+constexpr std::uint32_t kTagMask = 0xffffu;
+constexpr std::uint32_t kStreamFlag = 1u << 16;
+}
+
+std::uint64_t apply(ReduceOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+Communicator::Communicator(cluster::TcCluster& cluster, int rank)
+    : cluster_(cluster), rank_(rank), size_(cluster.num_nodes()) {
+  TCC_ASSERT(rank >= 0 && rank < size_, "rank out of range");
+}
+
+Result<cluster::MsgEndpoint*> Communicator::ep(int peer) {
+  return cluster_.msg(rank_).connect(peer);
+}
+
+sim::Task<Status> Communicator::send(int dst, std::span<const std::uint8_t> data,
+                                     std::uint32_t tag) {
+  if (dst == rank_ || dst < 0 || dst >= size_) {
+    co_return make_error(ErrorCode::kInvalidArgument, "bad destination rank");
+  }
+  if ((tag & ~kTagMask) != 0) {
+    co_return make_error(ErrorCode::kInvalidArgument, "tags are 16 bits");
+  }
+  auto endpoint = ep(dst);
+  if (!endpoint.ok()) co_return endpoint.error();
+  if (kEnvelope + data.size() <= cluster::kMaxMessageBytes) {
+    std::vector<std::uint8_t> framed(kEnvelope + data.size());
+    std::memcpy(framed.data(), &tag, kEnvelope);
+    std::memcpy(framed.data() + kEnvelope, data.data(), data.size());
+    co_return co_await endpoint.value()->send(framed);
+  }
+  // Large payload: a flagged stream header (tag | kStreamFlag, u64 length),
+  // then raw segments; FIFO ordering reassembles deterministically.
+  std::uint8_t hdr[12];
+  const std::uint32_t flagged = tag | kStreamFlag;
+  const std::uint64_t total = data.size();
+  std::memcpy(hdr, &flagged, 4);
+  std::memcpy(hdr + 4, &total, 8);
+  Status s = co_await endpoint.value()->send(std::span<const std::uint8_t>(hdr, 12));
+  if (!s.ok()) co_return s;
+  co_return co_await endpoint.value()->send_bytes(data);
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> Communicator::recv(int src,
+                                                                std::uint32_t tag) {
+  if (src == rank_ || src < 0 || src >= size_) {
+    co_return make_error(ErrorCode::kInvalidArgument, "bad source rank");
+  }
+  auto endpoint = ep(src);
+  if (!endpoint.ok()) co_return endpoint.error();
+  auto first = co_await endpoint.value()->recv();
+  if (!first.ok()) co_return first.error();
+  std::vector<std::uint8_t>& head = first.value();
+  if (head.size() < kEnvelope) {
+    co_return make_error(ErrorCode::kProtocolViolation, "runt tcmpi message");
+  }
+  std::uint32_t envelope = 0;
+  std::memcpy(&envelope, head.data(), 4);
+  if ((envelope & kTagMask) != tag) {
+    co_return make_error(ErrorCode::kProtocolViolation,
+                        "tag mismatch at the head of a FIFO channel");
+  }
+  if (envelope & kStreamFlag) {
+    if (head.size() != 12) {
+      co_return make_error(ErrorCode::kProtocolViolation, "malformed stream header");
+    }
+    std::uint64_t total = 0;
+    std::memcpy(&total, head.data() + 4, 8);
+    if (total > (1ull << 32)) {
+      co_return make_error(ErrorCode::kProtocolViolation, "absurd stream length");
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(total);
+    while (out.size() < total) {
+      auto seg = co_await endpoint.value()->recv();
+      if (!seg.ok()) co_return seg.error();
+      out.insert(out.end(), seg.value().begin(), seg.value().end());
+    }
+    if (out.size() != total) {
+      co_return make_error(ErrorCode::kProtocolViolation, "stream overrun");
+    }
+    co_return out;
+  }
+  co_return std::vector<std::uint8_t>(head.begin() + kEnvelope, head.end());
+}
+
+sim::Task<Status> Communicator::send_u64(int dst, std::uint64_t value, std::uint32_t tag) {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &value, 8);
+  co_return co_await send(dst, buf, tag);
+}
+
+sim::Task<Result<std::uint64_t>> Communicator::recv_u64(int src, std::uint32_t tag) {
+  auto r = co_await recv(src, tag);
+  if (!r.ok()) co_return r.error();
+  if (r.value().size() != 8) {
+    co_return make_error(ErrorCode::kProtocolViolation, "expected a u64 payload");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, r.value().data(), 8);
+  co_return v;
+}
+
+sim::Task<Status> Communicator::barrier() {
+  // Dissemination barrier: round k pairs rank with rank +/- 2^k.
+  for (int dist = 1; dist < size_; dist <<= 1) {
+    const int to = (rank_ + dist) % size_;
+    const int from = (rank_ - dist % size_ + size_) % size_;
+    Status s = co_await send(to, {}, /*tag=*/0xBA55);
+    if (!s.ok()) co_return s;
+    auto r = co_await recv(from, /*tag=*/0xBA55);
+    if (!r.ok()) co_return r.error();
+  }
+  co_return Status{};
+}
+
+sim::Task<Status> Communicator::bcast(std::vector<std::uint8_t>& data, int root) {
+  const int vrank = (rank_ - root + size_) % size_;
+  int mask = 1;
+  // Receive phase: wait for the subtree parent.
+  while (mask < size_) {
+    if (vrank & mask) {
+      const int parent = (vrank - mask + root) % size_;
+      auto r = co_await recv(parent, 0xBCA5);
+      if (!r.ok()) co_return r.error();
+      data = std::move(r.value());
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send phase: fan out to children below the received bit.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size_) {
+      const int child = (vrank + mask + root) % size_;
+      Status s = co_await send(child, data, 0xBCA5);
+      if (!s.ok()) co_return s;
+    }
+    mask >>= 1;
+  }
+  co_return Status{};
+}
+
+sim::Task<Result<std::uint64_t>> Communicator::reduce_u64(std::uint64_t value,
+                                                          ReduceOp op, int root) {
+  const int vrank = (rank_ - root + size_) % size_;
+  std::uint64_t acc = value;
+  int mask = 1;
+  while (mask < size_) {
+    if (vrank & mask) {
+      const int parent = (vrank - mask + root) % size_;
+      Status s = co_await send_u64(parent, acc, 0x5ED0);
+      if (!s.ok()) co_return s.error();
+      break;
+    }
+    if (vrank + mask < size_) {
+      const int child = (vrank + mask + root) % size_;
+      auto r = co_await recv_u64(child, 0x5ED0);
+      if (!r.ok()) co_return r.error();
+      acc = apply(op, acc, r.value());
+    }
+    mask <<= 1;
+  }
+  co_return acc;
+}
+
+sim::Task<Result<std::uint64_t>> Communicator::allreduce_u64(std::uint64_t value,
+                                                             ReduceOp op) {
+  auto reduced = co_await reduce_u64(value, op, /*root=*/0);
+  if (!reduced.ok()) co_return reduced.error();
+  std::vector<std::uint8_t> buf(8);
+  if (rank_ == 0) std::memcpy(buf.data(), &reduced.value(), 8);
+  Status s = co_await bcast(buf, /*root=*/0);
+  if (!s.ok()) co_return s.error();
+  std::uint64_t out = 0;
+  std::memcpy(&out, buf.data(), 8);
+  co_return out;
+}
+
+sim::Task<Result<std::vector<std::uint64_t>>> Communicator::gather_u64(
+    std::uint64_t value, int root) {
+  if (rank_ != root) {
+    Status s = co_await send_u64(root, value, 0x6A7E);
+    if (!s.ok()) co_return s.error();
+    co_return std::vector<std::uint64_t>{};
+  }
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(size_), 0);
+  out[static_cast<std::size_t>(rank_)] = value;
+  for (int r = 0; r < size_; ++r) {
+    if (r == root) continue;
+    auto v = co_await recv_u64(r, 0x6A7E);
+    if (!v.ok()) co_return v.error();
+    out[static_cast<std::size_t>(r)] = v.value();
+  }
+  co_return out;
+}
+
+sim::Task<Result<std::vector<std::vector<std::uint8_t>>>> Communicator::alltoall(
+    const std::vector<std::vector<std::uint8_t>>& send_blocks) {
+  if (static_cast<int>(send_blocks.size()) != size_) {
+    co_return make_error(ErrorCode::kInvalidArgument, "need one block per rank");
+  }
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(size_));
+  out[static_cast<std::size_t>(rank_)] = send_blocks[static_cast<std::size_t>(rank_)];
+  // Pairwise exchange: step i pairs rank with rank XOR-free rotation
+  // (rank+i, rank-i) — deadlock-free because lower rank sends first is NOT
+  // needed here: sends are buffered (posted), only recv blocks.
+  for (int i = 1; i < size_; ++i) {
+    const int to = (rank_ + i) % size_;
+    const int from = (rank_ - i + size_) % size_;
+    Status s = co_await send(to, send_blocks[static_cast<std::size_t>(to)], 0xA77A);
+    if (!s.ok()) co_return s.error();
+    auto r = co_await recv(from, 0xA77A);
+    if (!r.ok()) co_return r.error();
+    out[static_cast<std::size_t>(from)] = std::move(r.value());
+  }
+  co_return out;
+}
+
+}  // namespace tcc::middleware

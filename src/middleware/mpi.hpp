@@ -1,0 +1,83 @@
+// tcmpi: a compact MPI-style message-passing layer over tcmsg — the
+// middleware port the paper names as its next step (§VII: "port a middleware
+// software layer like MPI ... on top of our simple message library").
+//
+// Point-to-point semantics: each (src, dst) pair is a FIFO channel (the HT
+// posted channel guarantees in-order delivery, §IV.A), so receive names its
+// source and optional tag; a tag mismatch at the channel head is an error
+// rather than a reorder, and this is documented behaviour.
+//
+// Collectives: dissemination barrier, binomial-tree broadcast and reduce,
+// recursive allreduce (reduce+bcast), gather, and all-to-all exchange.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tccluster/cluster.hpp"
+
+namespace tcc::middleware {
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+[[nodiscard]] std::uint64_t apply(ReduceOp op, std::uint64_t a, std::uint64_t b);
+
+/// One rank's handle onto the cluster (rank == chip index).
+class Communicator {
+ public:
+  Communicator(cluster::TcCluster& cluster, int rank);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Point-to-point send with a 32-bit tag envelope.
+  [[nodiscard]] sim::Task<Status> send(int dst, std::span<const std::uint8_t> data,
+                                       std::uint32_t tag = 0);
+
+  /// Receive the next message from `src`; the tag at the channel head must
+  /// match (FIFO channel semantics).
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> recv(int src,
+                                                                  std::uint32_t tag = 0);
+
+  /// Typed convenience for u64 scalars.
+  [[nodiscard]] sim::Task<Status> send_u64(int dst, std::uint64_t value,
+                                           std::uint32_t tag = 0);
+  [[nodiscard]] sim::Task<Result<std::uint64_t>> recv_u64(int src, std::uint32_t tag = 0);
+
+  /// Dissemination barrier: ceil(log2(n)) rounds.
+  [[nodiscard]] sim::Task<Status> barrier();
+
+  /// Binomial-tree broadcast; `data` is input at root, output elsewhere.
+  [[nodiscard]] sim::Task<Status> bcast(std::vector<std::uint8_t>& data, int root);
+
+  /// Binomial-tree reduction to `root`; returns the reduced value there
+  /// (other ranks receive their partial, flagged by `is_root`).
+  [[nodiscard]] sim::Task<Result<std::uint64_t>> reduce_u64(std::uint64_t value,
+                                                            ReduceOp op, int root);
+
+  /// Reduce + broadcast (every rank gets the result).
+  [[nodiscard]] sim::Task<Result<std::uint64_t>> allreduce_u64(std::uint64_t value,
+                                                               ReduceOp op);
+
+  /// Gather one u64 per rank at `root` (rank order).
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint64_t>>> gather_u64(
+      std::uint64_t value, int root);
+
+  /// Personalized all-to-all of fixed-size blocks. `send_blocks[i]` goes to
+  /// rank i; returns the blocks received, indexed by source rank.
+  [[nodiscard]] sim::Task<Result<std::vector<std::vector<std::uint8_t>>>> alltoall(
+      const std::vector<std::vector<std::uint8_t>>& send_blocks);
+
+ private:
+  [[nodiscard]] Result<cluster::MsgEndpoint*> ep(int peer);
+
+  cluster::TcCluster& cluster_;
+  int rank_;
+  int size_;
+};
+
+}  // namespace tcc::middleware

@@ -1,0 +1,48 @@
+#include "opteron/chip.hpp"
+
+namespace tcc::opteron {
+
+OpteronChip::OpteronChip(sim::Engine& engine, ChipConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      mc_(engine, AddrRange{PhysAddr{0}, 0}),
+      nb_(engine, config_.name + ".nb", mc_, config_.nb_outbound_depth) {
+  for (int i = 0; i < kMaxLinks; ++i) {
+    endpoints_[static_cast<std::size_t>(i)] = std::make_unique<ht::HtEndpoint>(
+        engine_, config_.name + ".L" + std::to_string(i), ht::EndpointDevice::kProcessor);
+    nb_.attach_link(i, *endpoints_[static_cast<std::size_t>(i)]);
+  }
+  for (int c = 0; c < config_.num_cores; ++c) {
+    cores_.push_back(std::make_unique<Core>(
+        engine_, config_.name + ".core" + std::to_string(c), nb_));
+  }
+}
+
+void OpteronChip::set_dram_window(AddrRange range) { mc_.set_range(range); }
+
+Status OpteronChip::set_mtrr_all_cores(AddrRange range, MemType type) {
+  for (auto& core : cores_) {
+    Status s = core->mtrr().set(range, type);
+    if (!s.ok()) return s;
+  }
+  return {};
+}
+
+void OpteronChip::warm_reset() {
+  nb_.regs().node_id = kUnassignedNodeId;
+  nb_.regs().clear_ranges();
+  nb_.regs().tccluster_mode = false;
+  nb_.regs().tccluster_links = 0;
+  nb_.regs().broadcast_forward_mask = 0;
+  for (auto& ep : endpoints_) {
+    ep->regs().init_complete = false;
+    ep->regs().connected = false;
+    // requested_width / requested_freq / force_noncoherent are latched and
+    // survive: they are evaluated by the next link training.
+  }
+  for (auto& core : cores_) {
+    core->mtrr() = MtrrFile{MemType::kUncacheable};
+  }
+}
+
+}  // namespace tcc::opteron

@@ -1,0 +1,50 @@
+#include "opteron/mtrr.hpp"
+
+#include <algorithm>
+
+namespace tcc::opteron {
+
+const char* to_string(MemType t) {
+  switch (t) {
+    case MemType::kUncacheable: return "UC";
+    case MemType::kWriteCombining: return "WC";
+    case MemType::kWriteBack: return "WB";
+  }
+  return "?";
+}
+
+Status MtrrFile::set(AddrRange range, MemType type) {
+  if (range.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty MTRR range");
+  }
+  if (!range.base.is_aligned(4096) || range.size % 4096 != 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "MTRR ranges must be 4 KiB aligned");
+  }
+  entries_.push_back(MtrrEntry{range, type});
+  return {};
+}
+
+void MtrrFile::clear(AddrRange range) {
+  std::erase_if(entries_, [&](const MtrrEntry& e) { return e.range.overlaps(range); });
+}
+
+MemType MtrrFile::type_of(PhysAddr addr) const {
+  // Later entries take precedence: scan from the back.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->range.contains(addr)) return it->type;
+  }
+  return default_type_;
+}
+
+bool MtrrFile::uniform(PhysAddr addr, std::uint64_t len) const {
+  if (len == 0) return true;
+  const MemType first = type_of(addr);
+  // 4 KiB granularity: checking page boundaries inside the span suffices.
+  for (std::uint64_t off = 0; off < len; off += 4096) {
+    if (type_of(addr + off) != first) return false;
+  }
+  return type_of(addr + (len - 1)) == first;
+}
+
+}  // namespace tcc::opteron

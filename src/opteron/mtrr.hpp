@@ -1,0 +1,62 @@
+// Memory Type Range Registers.
+//
+// The TCCluster firmware reprograms the MTRRs so that the remote aperture is
+// write-combining (sends become max-sized HT packets) and the local receive
+// rings are uncacheable (polls always reach DRAM, since TCCluster writes
+// cannot generate cache invalidations on the receiver — §V/§VI).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tcc::opteron {
+
+enum class MemType : std::uint8_t {
+  kUncacheable,     // UC: every access is a single un-buffered transaction
+  kWriteCombining,  // WC: stores collect in WC buffers, loads are uncached
+  kWriteBack,       // WB: normal cacheable memory
+};
+
+[[nodiscard]] const char* to_string(MemType t);
+
+/// A variable-range MTRR entry. Real MTRRs require power-of-two alignment;
+/// we enforce 4 KiB granularity which is what the firmware uses.
+struct MtrrEntry {
+  AddrRange range;
+  MemType type = MemType::kWriteBack;
+};
+
+/// The MTRR file of one core (mirrored across cores by firmware).
+class MtrrFile {
+ public:
+  /// Default type for addresses not covered by any entry.
+  explicit MtrrFile(MemType default_type = MemType::kUncacheable)
+      : default_type_(default_type) {}
+
+  /// Install an entry; later entries take precedence over earlier ones
+  /// (firmware programs most-specific last). 4 KiB granularity enforced.
+  Status set(AddrRange range, MemType type);
+
+  /// Remove all entries overlapping `range`.
+  void clear(AddrRange range);
+
+  [[nodiscard]] MemType type_of(PhysAddr addr) const;
+
+  /// True if [addr, addr+len) has a single uniform memory type.
+  [[nodiscard]] bool uniform(PhysAddr addr, std::uint64_t len) const;
+
+  [[nodiscard]] const std::vector<MtrrEntry>& entries() const { return entries_; }
+  [[nodiscard]] MemType default_type() const { return default_type_; }
+  void set_default(MemType t) { default_type_ = t; }
+
+ private:
+  MemType default_type_;
+  std::vector<MtrrEntry> entries_;
+};
+
+}  // namespace tcc::opteron

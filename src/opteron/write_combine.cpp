@@ -1,0 +1,113 @@
+#include "opteron/write_combine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tcc::opteron {
+
+int WriteCombiningUnit::open_buffers() const {
+  return static_cast<int>(
+      std::count_if(buffers_.begin(), buffers_.end(), [](const Buffer& b) { return b.valid; }));
+}
+
+sim::Task<Status> WriteCombiningUnit::store(PhysAddr addr,
+                                            std::span<const std::uint8_t> bytes) {
+  TCC_ASSERT(bytes.size() <= 8, "WC stores are at most 8 bytes");
+  const PhysAddr line = addr.align_down(kWcLineBytes);
+  TCC_ASSERT((addr - line) + bytes.size() <= kWcLineBytes,
+             "WC store must not cross a cache line");
+
+  if (!enabled_) {
+    // Ablation mode: no combining, one packet per store.
+    ht::Packet p = ht::Packet::posted_write(addr, bytes);
+    ++packets_emitted_;
+    co_await engine_.delay(kWcDispatch);
+    co_return co_await nb_.core_posted_write(std::move(p));
+  }
+
+  // Find an open buffer for this line.
+  Buffer* buf = nullptr;
+  for (auto& b : buffers_) {
+    if (b.valid && b.line == line) {
+      buf = &b;
+      break;
+    }
+  }
+  if (buf == nullptr) {
+    // Allocate: free buffer if available, else evict the oldest (partial
+    // dispatch — the weakly-ordered "flushed automatically on overflow"
+    // behaviour of §VI).
+    for (auto& b : buffers_) {
+      if (!b.valid) {
+        buf = &b;
+        break;
+      }
+    }
+    if (buf == nullptr) {
+      buf = &*std::min_element(buffers_.begin(), buffers_.end(),
+                               [](const Buffer& a, const Buffer& b) {
+                                 return a.alloc_seq < b.alloc_seq;
+                               });
+      ++evictions_;
+      Status s = co_await dispatch(*buf);
+      if (!s.ok()) co_return s;
+    }
+    buf->valid = true;
+    buf->line = line;
+    buf->mask.reset();
+    buf->alloc_seq = next_seq_++;
+  }
+
+  const std::uint64_t off = addr - buf->line;
+  std::memcpy(buf->data.data() + off, bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    buf->mask.set(off + i);
+  }
+
+  if (buf->mask.all()) {
+    ++full_line_packets_;
+    co_return co_await dispatch(*buf);
+  }
+  co_return Status{};
+}
+
+sim::Task<Status> WriteCombiningUnit::flush_all() {
+  // Dispatch in allocation order so program order is preserved per line.
+  for (;;) {
+    Buffer* oldest = nullptr;
+    for (auto& b : buffers_) {
+      if (b.valid && (oldest == nullptr || b.alloc_seq < oldest->alloc_seq)) {
+        oldest = &b;
+      }
+    }
+    if (oldest == nullptr) co_return Status{};
+    Status s = co_await dispatch(*oldest);
+    if (!s.ok()) co_return s;
+  }
+}
+
+sim::Task<Status> WriteCombiningUnit::dispatch(Buffer& buf) {
+  TCC_ASSERT(buf.valid, "dispatch of an invalid WC buffer");
+  buf.valid = false;
+
+  // Emit each contiguous run of valid bytes as one sized posted write.
+  std::size_t i = 0;
+  while (i < kWcLineBytes) {
+    if (!buf.mask.test(i)) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < kWcLineBytes && buf.mask.test(j)) ++j;
+    ht::Packet p = ht::Packet::posted_write(
+        buf.line + i, std::span<const std::uint8_t>(buf.data.data() + i, j - i));
+    ++packets_emitted_;
+    co_await engine_.delay(kWcDispatch);
+    Status s = co_await nb_.core_posted_write(std::move(p));
+    if (!s.ok()) co_return s;
+    i = j;
+  }
+  co_return Status{};
+}
+
+}  // namespace tcc::opteron

@@ -1,0 +1,71 @@
+// Write-combining buffers.
+//
+// K10 cores have eight 64-byte WC buffers. Stores to WC-typed memory collect
+// in them; a buffer dispatches to the northbridge when it fills, when it is
+// evicted to make room, or when an Sfence drains the unit. This is how the
+// paper turns individual 64-bit stores into max-sized HyperTransport packets
+// (§VI: "intensive use of the write combining capability").
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "ht/packet.hpp"
+#include "opteron/northbridge.hpp"
+#include "opteron/timing.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::opteron {
+
+class WriteCombiningUnit {
+ public:
+  WriteCombiningUnit(sim::Engine& engine, Northbridge& nb)
+      : engine_(engine), nb_(nb) {}
+
+  WriteCombiningUnit(const WriteCombiningUnit&) = delete;
+  WriteCombiningUnit& operator=(const WriteCombiningUnit&) = delete;
+
+  /// Ablation control: with combining disabled every store dispatches as its
+  /// own HT packet (bench/ablation_writecombine).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Accept one store of at most 8 bytes that does not cross a 64 B line.
+  /// May suspend: filling the last byte of a line (or running out of
+  /// buffers) dispatches a packet, which backpressures when queues are full.
+  [[nodiscard]] sim::Task<Status> store(PhysAddr addr, std::span<const std::uint8_t> bytes);
+
+  /// Dispatch every open buffer in allocation order (the Sfence drain).
+  [[nodiscard]] sim::Task<Status> flush_all();
+
+  [[nodiscard]] std::uint64_t packets_emitted() const { return packets_emitted_; }
+  [[nodiscard]] std::uint64_t full_line_packets() const { return full_line_packets_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] int open_buffers() const;
+
+ private:
+  struct Buffer {
+    bool valid = false;
+    PhysAddr line;                      // 64 B aligned base
+    std::array<std::uint8_t, kWcLineBytes> data{};
+    std::bitset<kWcLineBytes> mask;
+    std::uint64_t alloc_seq = 0;
+  };
+
+  [[nodiscard]] sim::Task<Status> dispatch(Buffer& buf);
+
+  sim::Engine& engine_;
+  Northbridge& nb_;
+  bool enabled_ = true;
+  std::array<Buffer, kWcBuffers> buffers_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t packets_emitted_ = 0;
+  std::uint64_t full_line_packets_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace tcc::opteron

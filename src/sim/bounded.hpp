@@ -1,0 +1,68 @@
+// Bounded FIFO between simulated processes. push() suspends while full,
+// pop() suspends while empty — the primitive that propagates backpressure
+// through the chip model (WC buffers -> northbridge queue -> link wire).
+#pragma once
+
+#include <deque>
+
+#include "common/error.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::sim {
+
+template <typename T>
+class BoundedChannel {
+ public:
+  BoundedChannel(Engine& engine, std::size_t capacity)
+      : capacity_(capacity), space_(engine), items_(engine) {
+    TCC_ASSERT(capacity > 0, "bounded channel needs capacity >= 1");
+  }
+
+  /// Suspend until there is room, then enqueue.
+  [[nodiscard]] Task<void> push(T value) {
+    while (queue_.size() >= capacity_) {
+      co_await space_.wait();
+    }
+    queue_.push_back(std::move(value));
+    items_.notify();
+  }
+
+  /// Enqueue without blocking; returns false if full.
+  bool try_push(T value) {
+    if (queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(value));
+    items_.notify();
+    return true;
+  }
+
+  /// Suspend until an item is available, then dequeue.
+  [[nodiscard]] Task<T> pop() {
+    while (queue_.empty()) {
+      co_await items_.wait();
+    }
+    T v = std::move(queue_.front());
+    queue_.pop_front();
+    space_.notify();
+    co_return v;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] bool full() const { return queue_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Wait until the queue drains completely (used by Sfence-style barriers).
+  [[nodiscard]] Task<void> wait_empty() {
+    while (!queue_.empty()) {
+      co_await space_.wait();
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  Trigger space_;   // notified on pop
+  Trigger items_;   // notified on push
+  std::deque<T> queue_;
+};
+
+}  // namespace tcc::sim

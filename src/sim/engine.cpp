@@ -1,0 +1,83 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tcc::sim {
+
+void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  engine_.schedule_resume(duration_, h);
+}
+
+Engine::~Engine() {
+  for (auto h : processes_) {
+    if (h) h.destroy();
+  }
+}
+
+void Engine::schedule(Picoseconds delay, std::function<void()> fn) {
+  TCC_ASSERT(delay >= Picoseconds::zero(), "cannot schedule into the past");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_resume(Picoseconds delay, std::coroutine_handle<> h) {
+  schedule(delay, [h] { h.resume(); });
+}
+
+void Engine::spawn(Task<void> task) {
+  auto handle = task.release();
+  TCC_ASSERT(handle != nullptr, "spawn of an empty task");
+  processes_.push_back(handle);
+  // Start the process as an event so that spawning inside a running process
+  // keeps deterministic ordering.
+  schedule(Picoseconds::zero(), [handle] { handle.resume(); });
+}
+
+Picoseconds Engine::run() { return run_until(Picoseconds::max()); }
+
+Picoseconds Engine::run_until(Picoseconds deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > deadline) break;
+    // Copy out before pop: the callback may push new events.
+    Event ev{top.at, top.seq, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    TCC_ASSERT(ev.at >= now_, "event queue went backwards in time");
+    now_ = ev.at;
+    ++events_processed_;
+    ev.fn();
+    if (events_processed_ % 4096 == 0) reap_finished();
+  }
+  reap_finished();
+  return now_;
+}
+
+bool Engine::all_processes_done() const {
+  return std::all_of(processes_.begin(), processes_.end(),
+                     [](auto h) { return !h || h.done(); });
+}
+
+void Engine::reap_finished() {
+  for (auto& h : processes_) {
+    if (h && h.done()) {
+      auto& p = h.promise();
+      if (p.exception) std::rethrow_exception(p.exception);
+      h.destroy();
+      h = nullptr;
+    }
+  }
+  std::erase(processes_, nullptr);
+}
+
+void Trigger::notify() {
+  // Move the waiter list out first: a resumed process may immediately wait
+  // again, and that wait belongs to the *next* notification.
+  std::vector<std::coroutine_handle<>> to_wake;
+  to_wake.swap(waiters_);
+  for (auto h : to_wake) {
+    engine_.schedule_resume(Picoseconds::zero(), h);
+  }
+}
+
+}  // namespace tcc::sim

@@ -1,0 +1,170 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded and deterministic: events fire in (time, insertion-sequence)
+// order, so two runs of the same configuration produce identical timelines.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/task.hpp"
+
+namespace tcc::sim {
+
+class Engine;
+
+/// Awaitable that suspends a coroutine for a fixed amount of simulated time.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Engine& engine, Picoseconds duration)
+      : engine_(engine), duration_(duration) {}
+  bool await_ready() const noexcept { return duration_ == Picoseconds::zero(); }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  Engine& engine_;
+  Picoseconds duration_;
+};
+
+/// Discrete-event engine: an event queue plus the set of running processes.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  [[nodiscard]] Picoseconds now() const { return now_; }
+
+  /// Schedule a callback `delay` after the current time.
+  void schedule(Picoseconds delay, std::function<void()> fn);
+
+  /// Resume a suspended coroutine `delay` after the current time.
+  void schedule_resume(Picoseconds delay, std::coroutine_handle<> h);
+
+  /// Launch a top-level simulated process. The engine owns the coroutine
+  /// frame until it completes; completed frames are reclaimed during run().
+  ///
+  /// CAUTION: do not pass the result of invoking a capturing lambda
+  /// coroutine — the lambda object dies at the end of the full expression
+  /// and its captures dangle. Use spawn_fn for lambdas.
+  void spawn(Task<void> task);
+
+  /// Launch a callable returning Task<void>. The callable is moved into a
+  /// wrapper coroutine frame, so capturing lambdas are safe here.
+  template <typename F>
+  void spawn_fn(F fn) {
+    spawn(invoke_owned(std::move(fn)));
+  }
+
+  /// Convenience awaitable: `co_await engine.delay(ns(50))`.
+  [[nodiscard]] DelayAwaiter delay(Picoseconds d) { return DelayAwaiter{*this, d}; }
+
+  /// Run until the event queue drains. Returns the final simulated time.
+  Picoseconds run();
+
+  /// Run until the queue drains or simulated time would exceed `deadline`.
+  Picoseconds run_until(Picoseconds deadline);
+
+  /// Number of events processed so far (for tests / debugging).
+  [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
+
+  /// True if every spawned process has run to completion.
+  [[nodiscard]] bool all_processes_done() const;
+
+ private:
+  template <typename F>
+  static Task<void> invoke_owned(F fn) {
+    co_await fn();
+  }
+
+  struct Event {
+    Picoseconds at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap by time
+      return a.seq > b.seq;                  // FIFO among simultaneous events
+    }
+  };
+
+  void reap_finished();
+
+  Picoseconds now_ = Picoseconds::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::coroutine_handle<detail::Promise<void>>> processes_;
+};
+
+/// A broadcast notification processes can wait on (akin to a SystemC event).
+/// notify() wakes all current waiters at the current simulated time; waiters
+/// that subscribe after the notify wait for the next one.
+class Trigger {
+ public:
+  explicit Trigger(Engine& engine) : engine_(engine) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Trigger& t) : trigger_(t) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { trigger_.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+
+   private:
+    Trigger& trigger_;
+  };
+
+  [[nodiscard]] Awaiter wait() { return Awaiter{*this}; }
+
+  /// Wake all waiters registered at this moment.
+  void notify();
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+  [[nodiscard]] Engine& engine() { return engine_; }
+
+ private:
+  Engine& engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded typed FIFO between simulated processes; pop() suspends while
+/// empty. Exactly one value is handed to exactly one popper (FIFO order).
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : trigger_(engine) {}
+
+  void push(T value) {
+    items_.push_back(std::move(value));
+    trigger_.notify();
+  }
+
+  [[nodiscard]] Task<T> pop() {
+    while (items_.empty()) {
+      co_await trigger_.wait();
+    }
+    T v = std::move(items_.front());
+    items_.erase(items_.begin());
+    co_return v;
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+ private:
+  Trigger trigger_;
+  std::vector<T> items_;
+};
+
+}  // namespace tcc::sim

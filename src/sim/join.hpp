@@ -1,0 +1,84 @@
+// Fork/join for simulated processes: launch several tasks that run
+// concurrently in simulated time, then wait for all of them.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace tcc::sim {
+
+/// Join counter. Usage:
+///   Joiner j(engine);
+///   j.launch(task_a());        // tasks start immediately (as events)
+///   j.launch(task_b());
+///   co_await j.wait_all();
+class Joiner {
+ public:
+  explicit Joiner(Engine& engine) : engine_(engine), done_(engine) {}
+
+  void launch(Task<void> task) {
+    ++remaining_;
+    engine_.spawn(wrap(std::move(task)));
+  }
+
+  template <typename F>
+  void launch_fn(F fn) {
+    ++remaining_;
+    engine_.spawn(wrap_fn(std::move(fn)));
+  }
+
+  [[nodiscard]] Task<void> wait_all() {
+    while (remaining_ > 0) {
+      co_await done_.wait();
+    }
+  }
+
+  [[nodiscard]] int remaining() const { return remaining_; }
+
+ private:
+  Task<void> wrap(Task<void> task) {
+    co_await std::move(task);
+    --remaining_;
+    done_.notify();
+  }
+  template <typename F>
+  Task<void> wrap_fn(F fn) {
+    co_await fn();
+    --remaining_;
+    done_.notify();
+  }
+
+  Engine& engine_;
+  Trigger done_;
+  int remaining_ = 0;
+};
+
+/// A reusable N-party rendezvous for simulated processes (the synchronized
+/// warm reset of §IV.E uses one).
+class Barrier {
+ public:
+  Barrier(Engine& engine, int parties) : trigger_(engine), parties_(parties) {}
+
+  [[nodiscard]] Task<void> arrive_and_wait() {
+    const std::uint64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      trigger_.notify();
+      co_return;
+    }
+    while (generation_ == my_generation) {
+      co_await trigger_.wait();
+    }
+  }
+
+ private:
+  Trigger trigger_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace tcc::sim

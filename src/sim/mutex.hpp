@@ -1,0 +1,59 @@
+// Cooperative mutex for simulated processes. Not a host-thread mutex: the
+// engine is single-threaded; this serializes *simulated* critical sections
+// that span suspension points.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace tcc::sim {
+
+class Mutex {
+ public:
+  explicit Mutex(Engine& engine) : freed_(engine) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  [[nodiscard]] Task<void> lock() {
+    while (held_) {
+      co_await freed_.wait();
+    }
+    held_ = true;
+  }
+
+  void unlock() {
+    TCC_ASSERT(held_, "unlock of a free mutex");
+    held_ = false;
+    freed_.notify();
+  }
+
+  [[nodiscard]] bool held() const { return held_; }
+
+  /// RAII-ish scope helper: `auto g = co_await m.scoped();` releases on
+  /// destruction (end of enclosing scope).
+  class Guard {
+   public:
+    explicit Guard(Mutex& m) : mutex_(&m) {}
+    Guard(Guard&& o) noexcept : mutex_(std::exchange(o.mutex_, nullptr)) {}
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard() {
+      if (mutex_ != nullptr) mutex_->unlock();
+    }
+
+   private:
+    Mutex* mutex_;
+  };
+
+  [[nodiscard]] Task<Guard> scoped() {
+    co_await lock();
+    co_return Guard{*this};
+  }
+
+ private:
+  Trigger freed_;
+  bool held_ = false;
+};
+
+}  // namespace tcc::sim

@@ -1,0 +1,127 @@
+// Lazy coroutine task type for simulated processes.
+//
+// Simulated software (firmware stages, the message library, benchmark
+// kernels) is written as ordinary-looking sequential code that co_awaits
+// simulated time: `co_await engine.delay(ns(50))`, `co_await chan.pop()`.
+// Task<T> supports composition — awaiting a child Task suspends the parent
+// until the child co_returns — via symmetric transfer, so arbitrarily deep
+// call chains cost no stack.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tcc::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this coroutine finishes
+  std::exception_ptr exception;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& p = h.promise();
+      return p.continuation ? p.continuation : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  // emplace, not assignment: T only needs to be move-constructible.
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() {}
+};
+
+}  // namespace detail
+
+/// A lazily started coroutine. Move-only; owns its frame.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+  /// Awaiting a Task starts it and resumes the awaiter when it co_returns.
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;  // symmetric transfer into the child
+      }
+      T await_resume() {
+        if (handle.promise().exception) std::rethrow_exception(handle.promise().exception);
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*handle.promise().value);
+        }
+      }
+    };
+    TCC_ASSERT(handle_ != nullptr, "co_await on an empty Task");
+    return Awaiter{handle_};
+  }
+
+  /// For the engine: detach the raw handle (caller takes over destruction).
+  Handle release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_ = nullptr;
+};
+
+namespace detail {
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<Promise<T>>::from_promise(*this)};
+}
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>{std::coroutine_handle<Promise<void>>::from_promise(*this)};
+}
+}  // namespace detail
+
+}  // namespace tcc::sim

@@ -1,0 +1,41 @@
+#include "tccluster/cluster.hpp"
+
+namespace tcc::cluster {
+
+Result<std::unique_ptr<TcCluster>> TcCluster::create(Options options) {
+  auto plan = topology::ClusterPlan::build(options.topology);
+  if (!plan.ok()) return plan.error();
+  // Not make_unique: the constructor is private.
+  return std::unique_ptr<TcCluster>(
+      new TcCluster(std::move(options), std::move(plan.value())));
+}
+
+TcCluster::TcCluster(Options options, topology::ClusterPlan plan)
+    : options_(std::move(options)) {
+  opteron::ChipConfig chip_template;
+  chip_template.nb_outbound_depth = options_.nb_outbound_depth;
+  machine_ = std::make_unique<firmware::Machine>(engine_, std::move(plan), chip_template);
+  boot_ = std::make_unique<firmware::BootSequencer>(*machine_, options_.boot);
+}
+
+Status TcCluster::boot() {
+  if (booted_) {
+    return make_error(ErrorCode::kFailedPrecondition, "cluster already booted");
+  }
+  if (Status s = boot_->run(); !s.ok()) return s;
+
+  drivers_.clear();
+  libraries_.clear();
+  for (int c = 0; c < machine_->num_chips(); ++c) {
+    auto driver = std::make_unique<TcDriver>(*machine_, c);
+    driver->set_shared_bytes(options_.shared_bytes);
+    if (Status s = driver->load(); !s.ok()) return s;
+    libraries_.push_back(
+        std::make_unique<MsgLibrary>(*driver, machine_->chip(c).core(0)));
+    drivers_.push_back(std::move(driver));
+  }
+  booted_ = true;
+  return {};
+}
+
+}  // namespace tcc::cluster

@@ -1,0 +1,77 @@
+// TcCluster: the top-level public API. One object = one simulated TCCluster
+// machine room: planned topology, chips and links, firmware boot, per-node
+// drivers and message libraries.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   TcCluster::Options opt;
+//   opt.topology.shape = topology::ClusterShape::kCable;
+//   auto cluster = TcCluster::create(opt).value();
+//   cluster->boot().expect("boot");
+//   auto* ep0 = cluster->msg(0).connect(1).value();
+//   ... spawn simulated programs on cluster->engine(), co_await ep0->send(...)
+//   cluster->engine().run();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "firmware/boot.hpp"
+#include "firmware/machine.hpp"
+#include "tccluster/driver.hpp"
+#include "tccluster/msg.hpp"
+
+namespace tcc::cluster {
+
+class TcCluster {
+ public:
+  struct Options {
+    topology::ClusterConfig topology;
+    firmware::BootOptions boot;
+    /// Northbridge outbound queue depth (Fig. 6 issue-timing artifact raises
+    /// this to model a deep buffering chain).
+    int nb_outbound_depth = opteron::kNbOutboundDepth;
+    /// Per-node rendezvous region (uncacheable, remotely writable).
+    std::uint64_t shared_bytes = 4_MiB;
+  };
+
+  /// Plan + assemble the machine (powered off). Fails on impossible
+  /// topologies (port budget, register budget, alignment).
+  static Result<std::unique_ptr<TcCluster>> create(Options options);
+
+  /// Run the firmware sequence on all Supernodes and load the per-node
+  /// drivers. Uses engine().run() internally.
+  Status boot();
+
+  [[nodiscard]] bool booted() const { return booted_; }
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] firmware::Machine& machine() { return *machine_; }
+  [[nodiscard]] const topology::ClusterPlan& plan() const { return machine_->plan(); }
+  [[nodiscard]] const firmware::BootSequencer& boot_sequencer() const { return *boot_; }
+
+  [[nodiscard]] int num_nodes() const { return machine_->num_chips(); }
+  [[nodiscard]] opteron::Core& core(int chip, int core_index = 0) {
+    return machine_->chip(chip).core(core_index);
+  }
+  [[nodiscard]] TcDriver& driver(int chip) {
+    return *drivers_.at(static_cast<std::size_t>(chip));
+  }
+  /// The default message library of a node (bound to core 0).
+  [[nodiscard]] MsgLibrary& msg(int chip) {
+    return *libraries_.at(static_cast<std::size_t>(chip));
+  }
+
+ private:
+  TcCluster(Options options, topology::ClusterPlan plan);
+
+  Options options_;
+  sim::Engine engine_;
+  std::unique_ptr<firmware::Machine> machine_;
+  std::unique_ptr<firmware::BootSequencer> boot_;
+  std::vector<std::unique_ptr<TcDriver>> drivers_;
+  std::vector<std::unique_ptr<MsgLibrary>> libraries_;
+  bool booted_ = false;
+};
+
+}  // namespace tcc::cluster

@@ -1,0 +1,102 @@
+#include "tccluster/diag.hpp"
+
+#include "common/strings.hpp"
+#include "firmware/image.hpp"
+
+namespace tcc::cluster {
+
+std::string link_report(TcCluster& cluster) {
+  std::string out = "== links ==\n";
+  firmware::Machine& m = cluster.machine();
+  for (int i = 0; i < m.num_links(); ++i) {
+    ht::HtLink& link = m.link(i);
+    const auto& wire = cluster.plan().wires()[static_cast<std::size_t>(i)];
+    const ht::LinkRegs& regs = link.side_a().regs();
+    out += strprintf(
+        "  %-10s <-> %-10s %-9s %2d-bit %-7s %s%s  tx_a=%llu tx_b=%llu retries=%u\n",
+        link.side_a().name().c_str(), link.side_b().name().c_str(),
+        !regs.init_complete     ? "untrained"
+        : wire.tccluster        ? "TCCLUSTER"
+        : regs.kind == ht::LinkKind::kCoherent ? "coherent"
+                                               : "ncHT",
+        static_cast<int>(regs.width), ht::to_string(regs.freq),
+        wire.medium.coax_cable ? "coax" : "fr4",
+        strprintf("(%.0f\")", wire.medium.length_inches).c_str(),
+        static_cast<unsigned long long>(link.side_a().packets_sent()),
+        static_cast<unsigned long long>(link.side_b().packets_sent()),
+        link.retries());
+  }
+  for (std::size_t s = 0; s < cluster.plan().supernodes().size(); ++s) {
+    ht::HtLink& sb = m.southbridge_link(static_cast<int>(s));
+    out += strprintf("  %-10s <-> %-10s %-9s (boot ROM path)\n",
+                     sb.side_a().name().c_str(), sb.side_b().name().c_str(),
+                     sb.side_a().regs().init_complete ? "ncHT" : "untrained");
+  }
+  return out;
+}
+
+std::string address_map_report(TcCluster& cluster) {
+  std::string out = "== northbridge address maps ==\n";
+  for (int c = 0; c < cluster.num_nodes(); ++c) {
+    const opteron::NorthbridgeRegs& regs = cluster.machine().chip(c).nb().regs();
+    out += strprintf("  chip %d (%s): NodeID=%d tccluster=%s links=0x%x\n", c,
+                     cluster.machine().chip(c).name().c_str(), regs.node_id,
+                     regs.tccluster_mode ? "on" : "off", regs.tccluster_links);
+    for (const auto& d : regs.dram) {
+      if (!d.enabled) continue;
+      out += strprintf("    DRAM 0x%010llx..0x%010llx -> node %d%s\n",
+                       static_cast<unsigned long long>(d.range.base.value()),
+                       static_cast<unsigned long long>(d.range.end().value()),
+                       d.dst_node, d.dst_node == regs.node_id ? " (local)" : "");
+    }
+    for (const auto& mm : regs.mmio) {
+      if (!mm.enabled) continue;
+      out += strprintf("    MMIO 0x%010llx..0x%010llx -> link %d%s\n",
+                       static_cast<unsigned long long>(mm.range.base.value()),
+                       static_cast<unsigned long long>(mm.range.end().value()),
+                       mm.dst_link, mm.non_posted_allowed ? "" : " [posted-only]");
+    }
+    if (regs.master_aborts || regs.dropped_reads || regs.dropped_broadcasts) {
+      out += strprintf("    errors: %llu master aborts, %llu dropped reads, %llu "
+                       "dropped broadcasts\n",
+                       static_cast<unsigned long long>(regs.master_aborts),
+                       static_cast<unsigned long long>(regs.dropped_reads),
+                       static_cast<unsigned long long>(regs.dropped_broadcasts));
+    }
+  }
+  return out;
+}
+
+std::string mtrr_report(TcCluster& cluster) {
+  std::string out = "== MTRRs (core 0 of each chip) ==\n";
+  for (int c = 0; c < cluster.num_nodes(); ++c) {
+    const opteron::MtrrFile& mtrr = cluster.machine().chip(c).core(0).mtrr();
+    out += strprintf("  chip %d: default=%s\n", c,
+                     opteron::to_string(mtrr.default_type()));
+    for (const auto& e : mtrr.entries()) {
+      out += strprintf("    0x%010llx..0x%010llx %s\n",
+                       static_cast<unsigned long long>(e.range.base.value()),
+                       static_cast<unsigned long long>(e.range.end().value()),
+                       opteron::to_string(e.type));
+    }
+  }
+  return out;
+}
+
+std::string boot_report(const TcCluster& cluster) {
+  std::string out = "== boot trace ==\n";
+  for (const auto& rec : cluster.boot_sequencer().trace()) {
+    out += strprintf("  %-26s %10.1f us  (%8.1f us)%s%s\n",
+                     firmware::to_string(rec.stage), rec.start.microseconds(),
+                     (rec.end - rec.start).microseconds(),
+                     rec.note.empty() ? "" : "  ", rec.note.c_str());
+  }
+  return out;
+}
+
+std::string full_report(TcCluster& cluster) {
+  return link_report(cluster) + address_map_report(cluster) + mtrr_report(cluster) +
+         boot_report(cluster);
+}
+
+}  // namespace tcc::cluster

@@ -1,0 +1,29 @@
+// Cluster diagnostics: human-readable reports of the machine state —
+// the moral equivalent of lspci + the BKDG register dump the paper's
+// authors must have stared at for weeks.
+#pragma once
+
+#include <string>
+
+#include "tccluster/cluster.hpp"
+
+namespace tcc::cluster {
+
+/// Per-link table: endpoints, kind (cHT/ncHT/TCCluster), negotiated width
+/// and frequency, medium, packet counters.
+[[nodiscard]] std::string link_report(TcCluster& cluster);
+
+/// Per-chip northbridge state: NodeID, DRAM ranges, MMIO interval->port
+/// table, TCCluster flags, error counters.
+[[nodiscard]] std::string address_map_report(TcCluster& cluster);
+
+/// Per-chip MTRR summary for core 0 (firmware mirrors all cores).
+[[nodiscard]] std::string mtrr_report(TcCluster& cluster);
+
+/// The boot trace as a table.
+[[nodiscard]] std::string boot_report(const TcCluster& cluster);
+
+/// Everything above concatenated.
+[[nodiscard]] std::string full_report(TcCluster& cluster);
+
+}  // namespace tcc::cluster

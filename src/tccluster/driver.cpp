@@ -1,0 +1,150 @@
+#include "tccluster/driver.hpp"
+
+#include "common/strings.hpp"
+#include "opteron/mtrr.hpp"
+
+namespace tcc::cluster {
+
+TcDriver::TcDriver(firmware::Machine& machine, int chip)
+    : machine_(machine), chip_(chip) {
+  TCC_ASSERT(chip >= 0 && chip < machine.num_chips(), "bad chip index for driver");
+}
+
+bool TcDriver::same_supernode(int other_chip) const {
+  const auto& chips = machine_.plan().chips();
+  return chips[static_cast<std::size_t>(chip_)].supernode ==
+         chips[static_cast<std::size_t>(other_chip)].supernode;
+}
+
+AddrRange TcDriver::ring_region(int owner_chip) const {
+  const auto& cp = machine_.plan().chips().at(static_cast<std::size_t>(owner_chip));
+  return AddrRange{cp.dram.base, static_cast<std::uint64_t>(machine_.num_chips()) *
+                                     kNumChannels * kRingBytes};
+}
+
+AddrRange TcDriver::ring(int owner_chip, int sender_chip, RingChannel channel) const {
+  const AddrRange region = ring_region(owner_chip);
+  const auto index = static_cast<std::uint64_t>(static_cast<int>(channel)) *
+                         static_cast<std::uint64_t>(machine_.num_chips()) +
+                     static_cast<std::uint64_t>(sender_chip);
+  return AddrRange{region.base + index * kRingBytes, kRingBytes};
+}
+
+AddrRange TcDriver::shared_region(int owner_chip) const {
+  const AddrRange rings = ring_region(owner_chip);
+  return AddrRange{rings.end(), shared_bytes_};
+}
+
+Status TcDriver::load() {
+  probe_log_.clear();
+  const auto& cp = machine_.plan().chips().at(static_cast<std::size_t>(chip_));
+  opteron::OpteronChip& chip = machine_.chip(chip_);
+  const opteron::NorthbridgeRegs& regs = chip.nb().regs();
+
+  // ---- precondition probes (what the real module checks in sysfs/PCI) ----
+  auto fail = [&](std::string msg) {
+    probe_log_.push_back("FAIL: " + msg);
+    return make_error(ErrorCode::kFailedPrecondition, std::move(msg));
+  };
+
+  if (!regs.tccluster_mode) {
+    return fail("northbridge is not in TCCluster mode — firmware did not run");
+  }
+  probe_log_.push_back("ok: TCCluster mode enabled");
+
+  for (int port = 0; port < opteron::kMaxLinks; ++port) {
+    if (((cp.tccluster_ports >> port) & 1u) == 0) continue;
+    const ht::LinkRegs& lr = chip.endpoint(port).regs();
+    if (!lr.init_complete || lr.kind != ht::LinkKind::kNonCoherent) {
+      return fail(strprintf("link %d is not a trained non-coherent link", port));
+    }
+    probe_log_.push_back(strprintf("ok: link %d non-coherent at %s", port,
+                                   ht::to_string(lr.freq)));
+  }
+
+  if (!regs.suppress_remote_broadcasts) {
+    return fail("interrupt broadcasts are not suppressed — custom kernel rule "
+                "missing (would storm the network, §VI)");
+  }
+  probe_log_.push_back("ok: interrupt broadcasts suppressed");
+
+  if (regs.node_id != cp.node_id) {
+    return fail("NodeID register does not match the plan");
+  }
+  probe_log_.push_back(strprintf("ok: NodeID %d", regs.node_id));
+
+  if ((ring_region(chip_).size + shared_bytes_) > cp.dram.size) {
+    return fail("DRAM too small for ring + shared regions");
+  }
+
+  // ---- memory typing ----
+  // Our own receive rings + shared region: uncacheable, so polls always
+  // reach DRAM (TCCluster writes cannot invalidate the receiver's caches).
+  if (Status s = chip.set_mtrr_all_cores(ring_region(chip_), opteron::MemType::kUncacheable);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = chip.set_mtrr_all_cores(shared_region(chip_), opteron::MemType::kUncacheable);
+      !s.ok()) {
+    return s;
+  }
+  // Ring/shared regions of same-Supernode peers: reachable over the coherent
+  // fabric, but must be uncacheable too (stores become individual posted
+  // writes; no write-combining across the coherent fabric).
+  for (int other = 0; other < machine_.num_chips(); ++other) {
+    if (other == chip_ || !same_supernode(other)) continue;
+    if (Status s =
+            chip.set_mtrr_all_cores(ring_region(other), opteron::MemType::kUncacheable);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s =
+            chip.set_mtrr_all_cores(shared_region(other), opteron::MemType::kUncacheable);
+        !s.ok()) {
+      return s;
+    }
+  }
+  probe_log_.push_back("ok: ring and shared regions typed UC");
+
+  loaded_ = true;
+  return {};
+}
+
+Result<RemoteWindow> TcDriver::map_remote(int target_chip, std::uint64_t offset,
+                                          std::uint64_t bytes) {
+  if (!loaded_) {
+    return make_error(ErrorCode::kFailedPrecondition, "driver not loaded");
+  }
+  if (target_chip == chip_) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "map_remote of the local node; use map_local");
+  }
+  if (target_chip < 0 || target_chip >= machine_.num_chips()) {
+    return make_error(ErrorCode::kNotFound, "no such node");
+  }
+  if (offset % 4096 != 0 || bytes % 4096 != 0 || bytes == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "remote mappings are page granular (§V: page wise memory "
+                      "mapping of remote addresses)");
+  }
+  const auto& target = machine_.plan().chips().at(static_cast<std::size_t>(target_chip));
+  const AddrRange window{target.dram.base + offset, bytes};
+  if (!target.dram.contains(window)) {
+    return make_error(ErrorCode::kOutOfRange, "window exceeds the target node's memory");
+  }
+  return RemoteWindow{window, target_chip};
+}
+
+Result<LocalWindow> TcDriver::map_local(std::uint64_t offset, std::uint64_t bytes) {
+  if (!loaded_) {
+    return make_error(ErrorCode::kFailedPrecondition, "driver not loaded");
+  }
+  const auto& cp = machine_.plan().chips().at(static_cast<std::size_t>(chip_));
+  const AddrRange window{cp.dram.base + offset, bytes};
+  if (!cp.dram.contains(window) || bytes == 0) {
+    return make_error(ErrorCode::kOutOfRange, "window exceeds local memory");
+  }
+  return LocalWindow{window};
+}
+
+}  // namespace tcc::cluster

@@ -1,0 +1,127 @@
+// TcDriver: the simulated equivalent of the paper's Linux device driver (§V
+// "Enabling Remote Access" / §VI).
+//
+// Responsibilities, mirroring the real driver:
+//  * verify the firmware left the machine in TCCluster state (links
+//    non-coherent, NodeID 0, remote apertures mapped, interrupts suppressed),
+//  * reserve and type the receive-ring region (uncacheable — TCCluster
+//    writes cannot invalidate caches on the receiver),
+//  * hand out page-granular mappings of remote apertures (write-only) and of
+//    local shared memory (read/write),
+//  * expose the layout constants the message library builds on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "firmware/machine.hpp"
+
+namespace tcc::cluster {
+
+/// Ring geometry (§IV.A: "each node has to allocate a 4 KB ring buffer for
+/// each endpoint it wants to communicate with").
+inline constexpr std::uint64_t kRingBytes = 4096;
+inline constexpr std::uint64_t kSlotBytes = 64;
+/// Slot 0 of each ring is the control block (remote-written ack counter);
+/// the remaining 63 slots carry messages.
+inline constexpr int kDataSlots = 63;
+
+/// Independent ring channels per endpoint pair. Channel 0 carries
+/// application/MPI traffic; 1 and 2 carry PGAS active-message requests and
+/// responses (each ring has exactly one consumer, so the channels never
+/// steal each other's messages).
+inline constexpr int kNumChannels = 3;
+enum class RingChannel : int { kApp = 0, kPgasRequest = 1, kPgasResponse = 2 };
+
+/// A write-only user-space view of remote memory.
+class RemoteWindow {
+ public:
+  RemoteWindow() = default;
+  RemoteWindow(AddrRange range, int home_chip) : range_(range), home_chip_(home_chip) {}
+
+  [[nodiscard]] const AddrRange& range() const { return range_; }
+  [[nodiscard]] int home_chip() const { return home_chip_; }
+  [[nodiscard]] PhysAddr at(std::uint64_t offset) const {
+    TCC_ASSERT(offset < range_.size, "offset outside the mapped window");
+    return range_.base + offset;
+  }
+
+ private:
+  AddrRange range_;
+  int home_chip_ = -1;
+};
+
+/// A read/write view of local (or Supernode-local) memory.
+class LocalWindow {
+ public:
+  LocalWindow() = default;
+  explicit LocalWindow(AddrRange range) : range_(range) {}
+  [[nodiscard]] const AddrRange& range() const { return range_; }
+  [[nodiscard]] PhysAddr at(std::uint64_t offset) const {
+    TCC_ASSERT(offset < range_.size, "offset outside the mapped window");
+    return range_.base + offset;
+  }
+
+ private:
+  AddrRange range_;
+};
+
+class TcDriver {
+ public:
+  /// One driver instance per chip ("node" in paper terms).
+  TcDriver(firmware::Machine& machine, int chip);
+
+  /// Module load: precondition checks + ring-region setup. Must run after
+  /// the firmware boot completed.
+  Status load();
+
+  [[nodiscard]] bool loaded() const { return loaded_; }
+  [[nodiscard]] int chip() const { return chip_; }
+
+  // ---- layout ---------------------------------------------------------------
+
+  /// The receive-ring region of `owner_chip` (at the bottom of its DRAM):
+  /// one kRingBytes ring per (possible sender, channel).
+  [[nodiscard]] AddrRange ring_region(int owner_chip) const;
+
+  /// Ring inside `owner_chip`'s memory that `sender_chip` writes into.
+  [[nodiscard]] AddrRange ring(int owner_chip, int sender_chip,
+                               RingChannel channel = RingChannel::kApp) const;
+
+  /// Local shared (rendezvous) region: uncacheable, remotely writable.
+  [[nodiscard]] AddrRange shared_region(int owner_chip) const;
+
+  /// Bytes of shared region per node (configurable before load()).
+  void set_shared_bytes(std::uint64_t bytes) { shared_bytes_ = bytes; }
+  [[nodiscard]] std::uint64_t shared_bytes() const { return shared_bytes_; }
+
+  // ---- mappings --------------------------------------------------------------
+
+  /// Map (part of) a remote node's ring/shared space for writing. Page
+  /// granular; rejects local addresses and unreachable nodes.
+  [[nodiscard]] Result<RemoteWindow> map_remote(int target_chip, std::uint64_t offset,
+                                                std::uint64_t bytes);
+
+  /// Map local memory (for polling receive rings / reading rendezvous data).
+  [[nodiscard]] Result<LocalWindow> map_local(std::uint64_t offset, std::uint64_t bytes);
+
+  // ---- diagnostics -------------------------------------------------------------
+
+  /// The precondition report produced by load() (one line per check).
+  [[nodiscard]] const std::vector<std::string>& probe_log() const { return probe_log_; }
+
+ private:
+  [[nodiscard]] bool same_supernode(int other_chip) const;
+
+  firmware::Machine& machine_;
+  int chip_;
+  std::uint64_t shared_bytes_ = 4_MiB;
+  bool loaded_ = false;
+  std::vector<std::string> probe_log_;
+};
+
+}  // namespace tcc::cluster

@@ -1,0 +1,351 @@
+#include "tccluster/msg.hpp"
+
+#include <cstring>
+
+#include "ht/crc.hpp"
+#include "opteron/timing.hpp"
+
+namespace tcc::cluster {
+
+namespace {
+
+/// Slots needed for a payload of `len` bytes.
+std::uint64_t slots_for(std::uint32_t len) {
+  if (len <= MsgSlot::kFirstPayload) return 1;
+  return 1 + (len - MsgSlot::kFirstPayload + MsgSlot::kNextPayload - 1) /
+                 MsgSlot::kNextPayload;
+}
+
+}  // namespace
+
+const char* to_string(OrderingMode m) {
+  switch (m) {
+    case OrderingMode::kStrict: return "strict";
+    case OrderingMode::kWeaklyOrdered: return "weakly-ordered";
+  }
+  return "?";
+}
+
+MsgEndpoint::MsgEndpoint(TcDriver& driver, opteron::Core& core, int peer_chip,
+                         RingChannel channel)
+    : driver_(driver), core_(core), peer_(peer_chip), channel_(channel) {
+  tx_ring_ = driver_.ring(peer_chip, driver_.chip(), channel);
+  rx_ring_ = driver_.ring(driver_.chip(), peer_chip, channel);
+  tx_ack_ = rx_ring_.base;  // control block of our RX ring, written by peer
+  rx_ack_ = tx_ring_.base;  // control block of the TX ring, written by us
+}
+
+PhysAddr MsgEndpoint::tx_slot_addr(std::uint64_t logical_slot) const {
+  return tx_ring_.base + kSlotBytes * (1 + logical_slot % kDataSlots);
+}
+
+PhysAddr MsgEndpoint::rx_slot_addr(std::uint64_t logical_slot) const {
+  return rx_ring_.base + kSlotBytes * (1 + logical_slot % kDataSlots);
+}
+
+sim::Task<Status> MsgEndpoint::ordered_store(PhysAddr addr,
+                                             std::span<const std::uint8_t> bytes,
+                                             OrderingMode mode) {
+  // Walk cache-line chunks; strict mode fences after each one (the paper's
+  // "after each cache line sized store operation an Sfence instruction is
+  // triggered").
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const std::uint64_t a = addr.value() + done;
+    const std::uint64_t line_end = (a | (kSlotBytes - 1)) + 1;
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes.size() - done, line_end - a);
+    Status s = co_await core_.store_bytes(PhysAddr{a}, bytes.subspan(done, chunk));
+    if (!s.ok()) co_return s;
+    if (mode == OrderingMode::kStrict) {
+      s = co_await core_.sfence();
+      if (!s.ok()) co_return s;
+    }
+    done += chunk;
+  }
+  co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::acquire_credits(std::uint64_t slots) {
+  TCC_ASSERT(slots <= kDataSlots, "message larger than the whole ring");
+  bool stalled = false;
+  while (send_slots_ + slots - acked_slots_cache_ > kDataSlots) {
+    // Refresh the ack counter the peer pushes into our memory.
+    auto v = co_await core_.load_u64(tx_ack_);
+    if (!v.ok()) co_return v.error();
+    acked_slots_cache_ = v.value();
+    if (send_slots_ + slots - acked_slots_cache_ <= kDataSlots) break;
+    if (!stalled) {
+      stalled = true;
+      ++stats_.credit_stalls;
+    }
+    co_await core_.compute(opteron::kPollLoopOverhead);
+  }
+  co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
+                                    OrderingMode mode) {
+  if (payload.size() > kMaxMessageBytes) {
+    co_return make_error(ErrorCode::kInvalidArgument,
+                        "message exceeds kMaxMessageBytes; use send_bytes");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t slots = slots_for(len);
+  Status s = co_await acquire_credits(slots);
+  if (!s.ok()) co_return s;
+
+  const std::uint64_t head = send_slots_;
+  const std::uint32_t crc = ht::crc32c(payload);
+
+  // Write slots in ascending order; in-order posted delivery (§IV.A) makes
+  // the LAST slot's marker the commit point on the receiver.
+  std::size_t off = 0;
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    std::uint8_t slot[kSlotBytes] = {};
+    std::memcpy(slot + MsgSlot::kMarkerOffset, &send_seq_, 8);
+    std::size_t data_off;
+    std::size_t capacity;
+    if (i == 0) {
+      std::memcpy(slot + MsgSlot::kLenOffset, &len, 4);
+      std::memcpy(slot + MsgSlot::kCrcOffset, &crc, 4);
+      data_off = MsgSlot::kHeaderSize;
+      capacity = MsgSlot::kFirstPayload;
+    } else {
+      data_off = MsgSlot::kMarkerSize;
+      capacity = MsgSlot::kNextPayload;
+    }
+    const std::size_t chunk = std::min<std::size_t>(payload.size() - off, capacity);
+    std::memcpy(slot + data_off, payload.data() + off, chunk);
+    off += chunk;
+    s = co_await ordered_store(tx_slot_addr(head + i),
+                               std::span<const std::uint8_t>(slot, kSlotBytes), mode);
+    if (!s.ok()) co_return s;
+  }
+  s = co_await core_.sfence();  // push the tail out of the WC buffers
+  if (!s.ok()) co_return s;
+
+  ++send_seq_;
+  send_slots_ += slots;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += len;
+  co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::send_bytes(std::span<const std::uint8_t> payload,
+                                          OrderingMode mode) {
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(payload.size() - off, kMaxMessageBytes);
+    Status s = co_await send(payload.subspan(off, chunk), mode);
+    if (!s.ok()) co_return s;
+    off += chunk;
+  }
+  co_return Status{};
+}
+
+sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(std::vector<std::uint8_t>* copy_out) {
+  const PhysAddr header_addr = rx_slot_addr(recv_slots_);
+  // Poll the marker word in uncacheable local memory (§VI receive path).
+  bool first_miss = true;
+  for (;;) {
+    auto marker = co_await core_.load_u64(header_addr);
+    if (!marker.ok()) co_return marker.error();
+    if (marker.value() == recv_seq_) break;
+    if (first_miss) {
+      // The ring is empty: the sender may be stalled on credits (a max-size
+      // message needs every slot). Push any batched acks before waiting, or
+      // the pointer exchange deadlocks — the "periodically ... exchange
+      // pointer information" rule of §IV.A needs this aperiodic edge.
+      first_miss = false;
+      if (Status s = co_await flush_acks(); !s.ok()) co_return s.error();
+    }
+    co_await core_.compute(opteron::kPollLoopOverhead);
+  }
+
+  auto lenword = co_await core_.load_u64(header_addr + MsgSlot::kLenOffset);
+  if (!lenword.ok()) co_return lenword.error();
+  std::uint32_t len = 0, crc = 0;
+  std::memcpy(&len, &lenword.value(), 4);
+  crc = static_cast<std::uint32_t>(lenword.value() >> 32);
+  if (len > kMaxMessageBytes) {
+    co_return make_error(ErrorCode::kProtocolViolation, "corrupt message length");
+  }
+  const std::uint64_t slots = slots_for(len);
+
+  // Multi-slot message: the commit point is the LAST slot's marker (in-order
+  // delivery means everything before it has landed too).
+  if (slots > 1) {
+    const PhysAddr tail_addr = rx_slot_addr(recv_slots_ + slots - 1);
+    for (;;) {
+      auto tail = co_await core_.load_u64(tail_addr);
+      if (!tail.ok()) co_return tail.error();
+      if (tail.value() == recv_seq_) break;
+      co_await core_.compute(opteron::kPollLoopOverhead);
+    }
+  }
+
+  if (copy_out != nullptr) {
+    copy_out->resize(len);
+    std::size_t off = 0;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      const std::uint64_t data_off = i == 0 ? MsgSlot::kHeaderSize : MsgSlot::kMarkerSize;
+      const std::size_t capacity =
+          i == 0 ? MsgSlot::kFirstPayload : MsgSlot::kNextPayload;
+      const std::size_t chunk = std::min<std::size_t>(len - off, capacity);
+      Status s = co_await core_.load_bytes(rx_slot_addr(recv_slots_ + i) + data_off,
+                                           std::span(copy_out->data() + off, chunk));
+      if (!s.ok()) co_return s.error();
+      off += chunk;
+    }
+    if (ht::crc32c(*copy_out) != crc) {
+      co_return make_error(ErrorCode::kProtocolViolation, "payload CRC mismatch");
+    }
+  }
+
+  // Free the slots ("It then has to overwrite the slot to free it", §IV.A):
+  // zero every consumed slot's marker word so no stale sequence number can
+  // ever satisfy a future poll.
+  for (std::uint64_t i = 0; i < slots; ++i) {
+    Status s = co_await core_.store_u64(rx_slot_addr(recv_slots_ + i), 0);
+    if (!s.ok()) co_return s.error();
+  }
+
+  ++recv_seq_;
+  recv_slots_ += slots;
+  ++stats_.messages_received;
+  stats_.bytes_received += len;
+
+  // Periodic pointer exchange for flow control (§IV.A).
+  if (recv_slots_ - acked_out_ >= kAckThreshold) {
+    if (Status s = co_await flush_acks(); !s.ok()) co_return s.error();
+  }
+  co_return len;
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> MsgEndpoint::recv() {
+  std::vector<std::uint8_t> out;
+  auto r = co_await recv_impl(&out);
+  if (!r.ok()) co_return r.error();
+  co_return out;
+}
+
+sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_discard() {
+  co_return co_await recv_impl(nullptr);
+}
+
+sim::Task<bool> MsgEndpoint::poll() {
+  auto marker = co_await core_.load_u64(rx_slot_addr(recv_slots_));
+  co_return marker.ok() && marker.value() == recv_seq_;
+}
+
+sim::Task<Status> MsgEndpoint::flush_acks() {
+  if (recv_slots_ == acked_out_) co_return Status{};
+  Status s = co_await core_.store_u64(rx_ack_, recv_slots_);
+  if (!s.ok()) co_return s;
+  s = co_await core_.sfence();  // acks must not linger in a WC buffer
+  if (!s.ok()) co_return s;
+  acked_out_ = recv_slots_;
+  ++stats_.acks_sent;
+  co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::put(const RemoteWindow& window, std::uint64_t offset,
+                                   std::span<const std::uint8_t> payload,
+                                   OrderingMode mode) {
+  if (window.home_chip() != peer_) {
+    co_return make_error(ErrorCode::kInvalidArgument,
+                        "window does not belong to this endpoint's peer");
+  }
+  if (offset + payload.size() > window.range().size) {
+    co_return make_error(ErrorCode::kOutOfRange, "put exceeds the mapped window");
+  }
+  Status s = co_await ordered_store(window.at(offset), payload, mode);
+  if (!s.ok()) co_return s;
+  if (mode == OrderingMode::kWeaklyOrdered) {
+    s = co_await core_.sfence();  // commit
+    if (!s.ok()) co_return s;
+  }
+  stats_.bytes_sent += payload.size();
+  co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::send_rendezvous(const RemoteWindow& window,
+                                               std::uint64_t offset,
+                                               std::span<const std::uint8_t> payload,
+                                               OrderingMode mode) {
+  // Data first (ordered ahead of the notice in the posted channel)...
+  Status s = co_await put(window, offset, payload, mode);
+  if (!s.ok()) co_return s;
+  // ...then the control message. The notice carries the offset relative to
+  // the receiver's shared region so the receiver can find the data without
+  // knowing the sender's window arithmetic.
+  const std::uint64_t shared_base =
+      driver_.shared_region(peer_).base.value();
+  const std::uint64_t abs = window.at(offset).value();
+  TCC_ASSERT(abs >= shared_base, "rendezvous windows live in the shared region");
+  RendezvousNotice notice;
+  notice.offset = abs - shared_base;
+  notice.len = static_cast<std::uint32_t>(payload.size());
+  notice.crc = ht::crc32c(payload);
+  std::uint8_t frame[16];
+  std::memcpy(frame, &notice.offset, 8);
+  std::memcpy(frame + 8, &notice.len, 4);
+  std::memcpy(frame + 12, &notice.crc, 4);
+  co_return co_await send(frame, mode);
+}
+
+sim::Task<Result<MsgEndpoint::RendezvousNotice>> MsgEndpoint::recv_rendezvous() {
+  auto msg = co_await recv();
+  if (!msg.ok()) co_return msg.error();
+  if (msg.value().size() != 16) {
+    co_return make_error(ErrorCode::kProtocolViolation, "malformed rendezvous notice");
+  }
+  RendezvousNotice notice;
+  std::memcpy(&notice.offset, msg.value().data(), 8);
+  std::memcpy(&notice.len, msg.value().data() + 8, 4);
+  std::memcpy(&notice.crc, msg.value().data() + 12, 4);
+  const AddrRange shared = driver_.shared_region(driver_.chip());
+  if (notice.offset + notice.len > shared.size) {
+    co_return make_error(ErrorCode::kProtocolViolation,
+                        "rendezvous notice points outside the shared region");
+  }
+  co_return notice;
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> MsgEndpoint::recv_rendezvous_bytes() {
+  auto notice = co_await recv_rendezvous();
+  if (!notice.ok()) co_return notice.error();
+  const AddrRange shared = driver_.shared_region(driver_.chip());
+  std::vector<std::uint8_t> out(notice.value().len);
+  Status s = co_await core_.load_bytes(shared.base + notice.value().offset, out);
+  if (!s.ok()) co_return s.error();
+  if (ht::crc32c(out) != notice.value().crc) {
+    co_return make_error(ErrorCode::kProtocolViolation, "rendezvous payload CRC mismatch");
+  }
+  co_return out;
+}
+
+MsgLibrary::MsgLibrary(TcDriver& driver, opteron::Core& core)
+    : driver_(driver), core_(core) {}
+
+Result<MsgEndpoint*> MsgLibrary::connect(int peer_chip, RingChannel channel) {
+  if (!driver_.loaded()) {
+    return make_error(ErrorCode::kFailedPrecondition, "driver not loaded");
+  }
+  if (peer_chip == driver_.chip()) {
+    return make_error(ErrorCode::kInvalidArgument, "cannot connect to self");
+  }
+  auto& per_channel = endpoints_[static_cast<int>(channel)];
+  if (per_channel.size() < static_cast<std::size_t>(peer_chip + 1)) {
+    per_channel.resize(static_cast<std::size_t>(peer_chip + 1));
+  }
+  auto& slot = per_channel[static_cast<std::size_t>(peer_chip)];
+  if (!slot) {
+    slot = std::make_unique<MsgEndpoint>(driver_, core_, peer_chip, channel);
+  }
+  return slot.get();
+}
+
+}  // namespace tcc::cluster

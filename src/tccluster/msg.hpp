@@ -1,0 +1,195 @@
+// tcmsg: the user-space message library of §IV.A/§VI, implemented exactly as
+// the paper describes and run against the simulated fabric.
+//
+//  * sending = remote stores into a 4 KB per-endpoint ring buffer,
+//  * receiving = polling uncacheable local memory,
+//  * flow control = the receiver periodically remote-writes a cumulative
+//    "slots consumed" counter into the sender's memory,
+//  * ordering = HyperTransport delivers posted writes in order within a VC;
+//    Sfence serializes the sender pipeline. Strict mode fences every cache
+//    line; weakly-ordered mode fences once per message commit (the two
+//    curves of Fig. 6),
+//  * one-sided rendezvous puts into a remote shared region (§IV.A).
+//
+// The network is write-only: nothing here ever loads from a remote address.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "opteron/core.hpp"
+#include "tccluster/driver.hpp"
+
+namespace tcc::cluster {
+
+/// The two send mechanisms of Fig. 6.
+enum class OrderingMode {
+  kStrict,         ///< Sfence after every cache-line store (~2000 MB/s)
+  kWeaklyOrdered,  ///< WC buffers flush on overflow; one fence per commit (~2700 MB/s)
+};
+
+[[nodiscard]] const char* to_string(OrderingMode m);
+
+/// Per-endpoint counters.
+struct MsgStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t credit_stalls = 0;  ///< times send() had to wait for credits
+};
+
+/// Slot wire format. EVERY slot begins with an 8-byte marker holding the
+/// message sequence number; the first slot of a message additionally carries
+/// length + CRC. Because marker words only ever contain sequence numbers (or
+/// zero after the receiver releases the slot), raw payload bytes can never
+/// alias a marker — the property that makes polling sound. In-order posted
+/// delivery (§IV.A) means the LAST slot's marker becoming visible implies
+/// the whole message has landed.
+struct MsgSlot {
+  static constexpr std::uint64_t kMarkerOffset = 0;  // u64 sequence, never 0
+  static constexpr std::uint64_t kLenOffset = 8;     // u32, first slot only
+  static constexpr std::uint64_t kCrcOffset = 12;    // u32, first slot only
+  static constexpr std::uint64_t kHeaderSize = 16;   // first slot overhead
+  static constexpr std::uint64_t kMarkerSize = 8;    // later slots overhead
+  static constexpr std::uint64_t kFirstPayload = kSlotBytes - kHeaderSize;  // 48
+  static constexpr std::uint64_t kNextPayload = kSlotBytes - kMarkerSize;   // 56
+};
+
+/// Largest single message: 48 bytes in the first slot, 56 in each of the
+/// remaining 62 slots.
+inline constexpr std::uint32_t kMaxMessageBytes = static_cast<std::uint32_t>(
+    MsgSlot::kFirstPayload + (kDataSlots - 1) * MsgSlot::kNextPayload);
+
+/// How many consumed slots accumulate before the receiver pushes an ack.
+inline constexpr std::uint64_t kAckThreshold = 16;
+
+class MsgEndpoint {
+ public:
+  MsgEndpoint(TcDriver& driver, opteron::Core& core, int peer_chip,
+              RingChannel channel = RingChannel::kApp);
+
+  MsgEndpoint(const MsgEndpoint&) = delete;
+  MsgEndpoint& operator=(const MsgEndpoint&) = delete;
+
+  [[nodiscard]] int peer() const { return peer_; }
+  [[nodiscard]] const MsgStats& stats() const { return stats_; }
+  [[nodiscard]] opteron::Core& core() { return core_; }
+
+  /// Send one message (<= kMaxMessageBytes). Suspends while the ring lacks
+  /// free slots (flow control).
+  [[nodiscard]] sim::Task<Status> send(std::span<const std::uint8_t> payload,
+                                       OrderingMode mode = OrderingMode::kWeaklyOrdered);
+
+  /// Send arbitrarily large data by segmenting into ring messages.
+  [[nodiscard]] sim::Task<Status> send_bytes(std::span<const std::uint8_t> payload,
+                                             OrderingMode mode = OrderingMode::kWeaklyOrdered);
+
+  /// Blocking receive with payload copy + CRC check.
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> recv();
+
+  /// Blocking receive that only observes the header and releases the slots
+  /// (what a zero-copy consumer or a latency benchmark does). Returns the
+  /// payload length.
+  [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_discard();
+
+  /// True if a complete message is waiting (single header probe, no block).
+  [[nodiscard]] sim::Task<bool> poll();
+
+  /// One-sided put into a window previously mapped with TcDriver::map_remote
+  /// (the rendezvous path of §IV.A). Completion is local: data is in flight,
+  /// ordered ahead of any later send() on the same link.
+  [[nodiscard]] sim::Task<Status> put(const RemoteWindow& window, std::uint64_t offset,
+                                      std::span<const std::uint8_t> payload,
+                                      OrderingMode mode = OrderingMode::kWeaklyOrdered);
+
+  /// §IV.A one-sided rendezvous: put the payload directly at its final
+  /// destination, then post a small control message ("an additional queue is
+  /// used for synchronization and management"). In-order posted delivery
+  /// guarantees the data precedes the notice.
+  struct RendezvousNotice {
+    std::uint64_t offset = 0;  ///< where in the receiver's shared region
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;  ///< CRC-32C of the payload
+  };
+  [[nodiscard]] sim::Task<Status> send_rendezvous(
+      const RemoteWindow& window, std::uint64_t offset,
+      std::span<const std::uint8_t> payload,
+      OrderingMode mode = OrderingMode::kWeaklyOrdered);
+
+  /// Await the next rendezvous notice (does not copy the payload — it is
+  /// already in the receiver's shared region).
+  [[nodiscard]] sim::Task<Result<RendezvousNotice>> recv_rendezvous();
+
+  /// Convenience: await a notice, copy the payload out of the shared region
+  /// and verify its CRC.
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> recv_rendezvous_bytes();
+
+  /// Push the ack counter now instead of waiting for kAckThreshold.
+  [[nodiscard]] sim::Task<Status> flush_acks();
+
+ private:
+  [[nodiscard]] PhysAddr tx_slot_addr(std::uint64_t logical_slot) const;
+  [[nodiscard]] PhysAddr rx_slot_addr(std::uint64_t logical_slot) const;
+
+  /// Store a byte range with the chosen ordering (per-line fences if strict).
+  [[nodiscard]] sim::Task<Status> ordered_store(PhysAddr addr,
+                                                std::span<const std::uint8_t> bytes,
+                                                OrderingMode mode);
+
+  /// Wait until `slots` transmit slots are free.
+  [[nodiscard]] sim::Task<Status> acquire_credits(std::uint64_t slots);
+
+  /// Common receive path; `copy_out` nullptr = discard.
+  [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_impl(std::vector<std::uint8_t>* copy_out);
+
+  TcDriver& driver_;
+  opteron::Core& core_;
+  int peer_;
+  RingChannel channel_;
+
+  AddrRange tx_ring_;   // remote: ring(peer, self)
+  AddrRange rx_ring_;   // local:  ring(self, peer)
+  PhysAddr tx_ack_;     // local:  rx_ring_.control — peer writes cumulative acks
+  PhysAddr rx_ack_;     // remote: tx_ring_.control — we write cumulative acks
+
+  std::uint64_t send_seq_ = 1;  // marker 0 means "empty slot"
+  std::uint64_t send_slots_ = 0;
+  std::uint64_t acked_slots_cache_ = 0;
+
+  std::uint64_t recv_seq_ = 1;
+  std::uint64_t recv_slots_ = 0;
+  std::uint64_t acked_out_ = 0;
+
+  MsgStats stats_;
+};
+
+/// Per-node library handle: opens endpoints on demand (§VI: "It can open
+/// local and remote memory addresses by calling the TCCluster device
+/// driver").
+class MsgLibrary {
+ public:
+  MsgLibrary(TcDriver& driver, opteron::Core& core);
+
+  MsgLibrary(const MsgLibrary&) = delete;
+  MsgLibrary& operator=(const MsgLibrary&) = delete;
+
+  /// Open (or return the existing) endpoint to `peer_chip` on `channel`.
+  [[nodiscard]] Result<MsgEndpoint*> connect(int peer_chip,
+                                             RingChannel channel = RingChannel::kApp);
+
+  [[nodiscard]] TcDriver& driver() { return driver_; }
+  [[nodiscard]] opteron::Core& core() { return core_; }
+
+ private:
+  TcDriver& driver_;
+  opteron::Core& core_;
+  /// endpoints_[channel][peer]
+  std::vector<std::unique_ptr<MsgEndpoint>> endpoints_[kNumChannels];
+};
+
+}  // namespace tcc::cluster

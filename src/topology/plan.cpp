@@ -1,0 +1,533 @@
+#include "topology/plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace tcc::topology {
+
+namespace {
+
+constexpr int kPortsPerChip = 4;  // Opteron: four HT links (§III)
+constexpr int kMmioRegisterBudget = 8;
+
+/// Directions a Supernode at position `s` needs external ports for.
+std::vector<Direction> needed_directions(const ClusterConfig& cfg, int s) {
+  std::vector<Direction> dirs;
+  switch (cfg.shape) {
+    case ClusterShape::kCable:
+      dirs.push_back(s == 0 ? Direction::kEast : Direction::kWest);
+      break;
+    case ClusterShape::kChain:
+      if (s > 0) dirs.push_back(Direction::kWest);
+      if (s < cfg.nx - 1) dirs.push_back(Direction::kEast);
+      break;
+    case ClusterShape::kRing:
+      dirs.push_back(Direction::kWest);
+      dirs.push_back(Direction::kEast);
+      break;
+    case ClusterShape::kMesh2D: {
+      const int x = s % cfg.nx;
+      const int y = s / cfg.nx;
+      if (x > 0) dirs.push_back(Direction::kWest);
+      if (x < cfg.nx - 1) dirs.push_back(Direction::kEast);
+      if (y > 0) dirs.push_back(Direction::kNorth);
+      if (y < cfg.ny - 1) dirs.push_back(Direction::kSouth);
+      break;
+    }
+    case ClusterShape::kTorus2D:
+      if (cfg.nx > 1) {
+        dirs.push_back(Direction::kWest);
+        dirs.push_back(Direction::kEast);
+      }
+      if (cfg.ny > 1) {
+        dirs.push_back(Direction::kNorth);
+        dirs.push_back(Direction::kSouth);
+      }
+      break;
+  }
+  return dirs;
+}
+
+/// For Supernode `s`, the egress direction for traffic to Supernode `t`.
+Direction direction_for(const ClusterConfig& cfg, int s, int t) {
+  switch (cfg.shape) {
+    case ClusterShape::kCable:
+    case ClusterShape::kChain:
+      return t < s ? Direction::kWest : Direction::kEast;
+    case ClusterShape::kRing: {
+      const int n = cfg.nx;
+      const int right = ((t - s) % n + n) % n;
+      const int left = n - right;
+      return right <= left ? Direction::kEast : Direction::kWest;  // tie -> East
+    }
+    case ClusterShape::kMesh2D: {
+      const int y = s / cfg.nx;
+      const int ty = t / cfg.nx;
+      // Y-then-X dimension order: settle the row first.
+      if (ty < y) return Direction::kNorth;
+      if (ty > y) return Direction::kSouth;
+      return (t % cfg.nx) < (s % cfg.nx) ? Direction::kWest : Direction::kEast;
+    }
+    case ClusterShape::kTorus2D: {
+      const int y = s / cfg.nx;
+      const int ty = t / cfg.nx;
+      if (ty != y) {
+        // Shortest way around the vertical ring; ties go South.
+        const int down = ((ty - y) % cfg.ny + cfg.ny) % cfg.ny;
+        const int up = cfg.ny - down;
+        return down <= up ? Direction::kSouth : Direction::kNorth;
+      }
+      const int right = ((t - s) % cfg.nx + cfg.nx) % cfg.nx;
+      const int left = cfg.nx - right;
+      return right <= left ? Direction::kEast : Direction::kWest;
+    }
+  }
+  return Direction::kEast;
+}
+
+}  // namespace
+
+const char* to_string(ClusterShape s) {
+  switch (s) {
+    case ClusterShape::kCable: return "cable";
+    case ClusterShape::kChain: return "chain";
+    case ClusterShape::kRing: return "ring";
+    case ClusterShape::kMesh2D: return "mesh2d";
+    case ClusterShape::kTorus2D: return "torus2d";
+  }
+  return "?";
+}
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::kWest: return "west";
+    case Direction::kEast: return "east";
+    case Direction::kNorth: return "north";
+    case Direction::kSouth: return "south";
+  }
+  return "?";
+}
+
+Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
+  // ---- validate -----------------------------------------------------------
+  if (config.supernode_size != 1 && config.supernode_size != 2 &&
+      config.supernode_size != 4) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "supernode_size must be 1, 2 or 4");
+  }
+  if (config.nx < 1 || config.ny < 1) {
+    return make_error(ErrorCode::kInvalidArgument, "cluster dimensions must be >= 1");
+  }
+  if (config.shape == ClusterShape::kCable && config.nx != 2) {
+    return make_error(ErrorCode::kInvalidArgument, "a cable cluster has exactly 2 nodes");
+  }
+  if (!config.is_2d() && config.ny != 1) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "ny > 1 requires a 2-D shape (mesh or torus)");
+  }
+  if (config.num_supernodes() < 2) {
+    return make_error(ErrorCode::kInvalidArgument, "a cluster needs at least 2 Supernodes");
+  }
+  if (config.is_2d() && config.nx > 1 && config.ny > 1 && config.supernode_size < 2) {
+    return make_error(
+        ErrorCode::kConfigConflict,
+        "a 2-D mesh/torus needs supernode_size >= 2: one Opteron has four HT links, "
+        "and four mesh directions plus the southbridge do not fit (this is why "
+        "§IV.E introduces Supernodes)");
+  }
+  if (config.dram_per_chip < 1_MiB || config.dram_per_chip % 4096 != 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "dram_per_chip must be >= 1 MiB and 4 KiB aligned");
+  }
+  if (config.cable_links < 1 || config.cable_links > 3) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "cable_links must be 1..3 (the 4th port is the southbridge)");
+  }
+  if (config.cable_links > 1 && config.shape != ClusterShape::kCable) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "link aggregation is only defined for the cable shape");
+  }
+
+  ClusterPlan plan;
+  plan.config_ = config;
+
+  const int k = config.supernode_size;
+  const int num_sn = config.num_supernodes();
+  const std::uint64_t sn_bytes = static_cast<std::uint64_t>(k) * config.dram_per_chip;
+
+  // ---- chips, Supernodes, internal wiring --------------------------------
+  std::vector<int> free_port(static_cast<std::size_t>(config.num_chips()), 0);
+  auto alloc_port = [&](int chip) -> Result<int> {
+    if (free_port[static_cast<std::size_t>(chip)] >= kPortsPerChip) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        strprintf("chip %d has no free HT port", chip));
+    }
+    return free_port[static_cast<std::size_t>(chip)]++;
+  };
+
+  for (int s = 0; s < num_sn; ++s) {
+    SupernodePlan sn;
+    sn.index = s;
+    sn.range = AddrRange{PhysAddr{config.global_base + static_cast<std::uint64_t>(s) * sn_bytes},
+                         sn_bytes};
+    for (int m = 0; m < k; ++m) {
+      const int chip = s * k + m;
+      sn.chips.push_back(chip);
+      ChipPlan cp;
+      cp.chip = chip;
+      cp.supernode = s;
+      cp.member = m;
+      cp.node_id = m;   // coherent NodeID within the Supernode
+      cp.is_bsp = (m == 0);
+      cp.dram = AddrRange{
+          PhysAddr{config.global_base + static_cast<std::uint64_t>(chip) * config.dram_per_chip},
+          config.dram_per_chip};
+      plan.chips_.push_back(std::move(cp));
+    }
+
+    // Southbridge on the BSP member, always the first port.
+    {
+      auto p = alloc_port(sn.chips[0]);
+      if (!p.ok()) return p.error();
+      plan.chips_[static_cast<std::size_t>(sn.chips[0])].southbridge_port = p.value();
+    }
+
+    // Internal coherent links: k=2 one link, k=4 a ring.
+    auto wire_internal = [&](int ma, int mb) -> Status {
+      const int ca = sn.chips[static_cast<std::size_t>(ma)];
+      const int cb = sn.chips[static_cast<std::size_t>(mb)];
+      auto pa = alloc_port(ca);
+      if (!pa.ok()) return pa.error();
+      auto pb = alloc_port(cb);
+      if (!pb.ok()) return pb.error();
+      plan.wires_.push_back(WireSpec{PortRef{ca, pa.value()}, PortRef{cb, pb.value()},
+                                     /*tccluster=*/false, config.internal_medium});
+      plan.chips_[static_cast<std::size_t>(ca)].coherent_ports |= 1u << pa.value();
+      plan.chips_[static_cast<std::size_t>(cb)].coherent_ports |= 1u << pb.value();
+      plan.chips_[static_cast<std::size_t>(ca)].route_to_member[static_cast<std::size_t>(mb)] =
+          pa.value();
+      plan.chips_[static_cast<std::size_t>(cb)].route_to_member[static_cast<std::size_t>(ma)] =
+          pb.value();
+      return {};
+    };
+    if (k == 2) {
+      if (Status st = wire_internal(0, 1); !st.ok()) return st.error();
+    } else if (k == 4) {
+      for (int m = 0; m < 4; ++m) {
+        if (Status st = wire_internal(m, (m + 1) % 4); !st.ok()) return st.error();
+      }
+      // Two-hop members route via the clockwise neighbour.
+      for (int m = 0; m < 4; ++m) {
+        ChipPlan& cp = plan.chips_[static_cast<std::size_t>(sn.chips[static_cast<std::size_t>(m)])];
+        const int two_away = (m + 2) % 4;
+        cp.route_to_member[static_cast<std::size_t>(two_away)] =
+            cp.route_to_member[static_cast<std::size_t>((m + 1) % 4)];
+      }
+    }
+
+    // Allocate one external (TCCluster) port on the member with the most
+    // free links.
+    auto alloc_external = [&](const char* what) -> Result<PortRef> {
+      int best = -1;
+      for (int m = 0; m < k; ++m) {
+        const int chip = sn.chips[static_cast<std::size_t>(m)];
+        if (free_port[static_cast<std::size_t>(chip)] >= kPortsPerChip) continue;
+        if (best < 0 || free_port[static_cast<std::size_t>(chip)] <
+                            free_port[static_cast<std::size_t>(best)]) {
+          best = chip;
+        }
+      }
+      if (best < 0) {
+        return make_error(ErrorCode::kResourceExhausted,
+                          strprintf("Supernode %d cannot host a %s port: all HT "
+                                    "links in use",
+                                    s, what));
+      }
+      auto p = alloc_port(best);
+      if (!p.ok()) return p.error();
+      plan.chips_[static_cast<std::size_t>(best)].tccluster_ports |= 1u << p.value();
+      return PortRef{best, p.value()};
+    };
+
+    if (config.shape == ClusterShape::kCable) {
+      // Cable link aggregation (§V): cable_links parallel ports.
+      for (int l = 0; l < config.cable_links; ++l) {
+        auto p = alloc_external("cable");
+        if (!p.ok()) return p.error();
+        sn.cable_ports.push_back(p.value());
+      }
+      sn.external[static_cast<std::size_t>(s == 0 ? Direction::kEast : Direction::kWest)] =
+          sn.cable_ports[0];
+    } else {
+      for (Direction d : needed_directions(config, s)) {
+        auto p = alloc_external(to_string(d));
+        if (!p.ok()) return p.error();
+        sn.external[static_cast<std::size_t>(d)] = p.value();
+      }
+    }
+
+    plan.supernodes_.push_back(std::move(sn));
+  }
+
+  // ---- external wiring -----------------------------------------------------
+  auto ext = [&](int s, Direction d) -> const std::optional<PortRef>& {
+    return plan.supernodes_[static_cast<std::size_t>(s)].external[static_cast<std::size_t>(d)];
+  };
+  auto wire_external = [&](int sa, Direction da, int sb, Direction db) -> Status {
+    const auto& pa = ext(sa, da);
+    const auto& pb = ext(sb, db);
+    if (!pa || !pb) {
+      return make_error(ErrorCode::kConfigConflict, "missing external port for wiring");
+    }
+    plan.wires_.push_back(WireSpec{*pa, *pb, /*tccluster=*/true, config.external_medium});
+    return {};
+  };
+  switch (config.shape) {
+    case ClusterShape::kCable:
+      for (int l = 0; l < config.cable_links; ++l) {
+        plan.wires_.push_back(WireSpec{plan.supernodes_[0].cable_ports[static_cast<std::size_t>(l)],
+                                       plan.supernodes_[1].cable_ports[static_cast<std::size_t>(l)],
+                                       /*tccluster=*/true, config.external_medium});
+      }
+      break;
+    case ClusterShape::kChain:
+      for (int s = 0; s + 1 < num_sn; ++s) {
+        if (Status st = wire_external(s, Direction::kEast, s + 1, Direction::kWest);
+            !st.ok()) {
+          return st.error();
+        }
+      }
+      break;
+    case ClusterShape::kRing:
+      for (int s = 0; s < num_sn; ++s) {
+        if (Status st =
+                wire_external(s, Direction::kEast, (s + 1) % num_sn, Direction::kWest);
+            !st.ok()) {
+          return st.error();
+        }
+      }
+      break;
+    case ClusterShape::kMesh2D:
+      for (int y = 0; y < config.ny; ++y) {
+        for (int x = 0; x < config.nx; ++x) {
+          const int s = y * config.nx + x;
+          if (x + 1 < config.nx) {
+            if (Status st = wire_external(s, Direction::kEast, s + 1, Direction::kWest);
+                !st.ok()) {
+              return st.error();
+            }
+          }
+          if (y + 1 < config.ny) {
+            if (Status st =
+                    wire_external(s, Direction::kSouth, s + config.nx, Direction::kNorth);
+                !st.ok()) {
+              return st.error();
+            }
+          }
+        }
+      }
+      break;
+    case ClusterShape::kTorus2D:
+      for (int y = 0; y < config.ny; ++y) {
+        for (int x = 0; x < config.nx; ++x) {
+          const int s = y * config.nx + x;
+          if (config.nx > 1) {
+            const int east = y * config.nx + (x + 1) % config.nx;
+            if (Status st = wire_external(s, Direction::kEast, east, Direction::kWest);
+                !st.ok()) {
+              return st.error();
+            }
+          }
+          if (config.ny > 1) {
+            const int south = ((y + 1) % config.ny) * config.nx + x;
+            if (Status st = wire_external(s, Direction::kSouth, south, Direction::kNorth);
+                !st.ok()) {
+              return st.error();
+            }
+          }
+        }
+      }
+      break;
+  }
+
+  // ---- per-chip address maps ----------------------------------------------
+  for (int s = 0; s < num_sn; ++s) {
+    // Group remote Supernodes into contiguous runs sharing one direction.
+    struct Run {
+      int first, last;  // inclusive Supernode range
+      Direction dir;
+    };
+    std::vector<Run> runs;
+    for (int t = 0; t < num_sn; ++t) {
+      if (t == s) continue;
+      const Direction d = direction_for(config, s, t);
+      if (!runs.empty() && runs.back().last == t - 1 && runs.back().dir == d) {
+        runs.back().last = t;
+      } else {
+        runs.push_back(Run{t, t, d});
+      }
+    }
+    const SupernodePlan& sn = plan.supernodes_[static_cast<std::size_t>(s)];
+
+    // Resolve runs to (byte range, external port) segments. On a cable the
+    // single remote run is striped across the aggregated links (§V).
+    struct Segment {
+      AddrRange bytes;
+      PortRef port;
+    };
+    std::vector<Segment> segments;
+    for (const Run& run : runs) {
+      const AddrRange bytes{
+          PhysAddr{config.global_base + static_cast<std::uint64_t>(run.first) * sn_bytes},
+          static_cast<std::uint64_t>(run.last - run.first + 1) * sn_bytes};
+      if (config.shape == ClusterShape::kCable && config.cable_links > 1) {
+        const auto stripes = static_cast<std::uint64_t>(config.cable_links);
+        const std::uint64_t stripe = bytes.size / stripes / 4096 * 4096;
+        std::uint64_t off = 0;
+        for (std::uint64_t l = 0; l < stripes; ++l) {
+          const std::uint64_t len = l + 1 == stripes ? bytes.size - off : stripe;
+          segments.push_back(Segment{AddrRange{bytes.base + off, len},
+                                     sn.cable_ports[static_cast<std::size_t>(l)]});
+          off += len;
+        }
+      } else if (config.shape == ClusterShape::kCable) {
+        segments.push_back(Segment{bytes, sn.cable_ports[0]});
+      } else {
+        const auto& port = sn.external[static_cast<std::size_t>(run.dir)];
+        TCC_ASSERT(port.has_value(), "direction in use but no external port planned");
+        segments.push_back(Segment{bytes, *port});
+      }
+    }
+
+    // The BSP chip spends one MMIO register pair on the boot-ROM window.
+    const int budget_bsp = kMmioRegisterBudget - 1;
+    if (static_cast<int>(segments.size()) > budget_bsp) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        strprintf("Supernode %d needs %d MMIO intervals, but only %d "
+                                  "base/limit register pairs remain next to the BSP's "
+                                  "ROM window",
+                                  s, static_cast<int>(segments.size()), budget_bsp));
+    }
+    for (int m = 0; m < k; ++m) {
+      ChipPlan& cp = plan.chips_[static_cast<std::size_t>(sn.chips[static_cast<std::size_t>(m)])];
+
+      // Peer DRAM within the Supernode.
+      for (int pm = 0; pm < k; ++pm) {
+        if (pm == m) continue;
+        const ChipPlan& peer =
+            plan.chips_[static_cast<std::size_t>(sn.chips[static_cast<std::size_t>(pm)])];
+        cp.peer_dram.push_back(ChipPlan::PeerDram{peer.dram, peer.node_id});
+      }
+
+      // MMIO intervals: egress on the member owning the segment's port, or
+      // towards that member over the internal fabric.
+      for (const Segment& seg : segments) {
+        int egress;
+        if (seg.port.chip == cp.chip) {
+          egress = seg.port.port;
+        } else {
+          const int owner_member =
+              plan.chips_[static_cast<std::size_t>(seg.port.chip)].member;
+          egress = cp.route_to_member[static_cast<std::size_t>(owner_member)];
+          TCC_ASSERT(egress >= 0, "no internal route to the port-owning member");
+        }
+        cp.mmio.push_back(MmioPlan{seg.bytes, egress});
+      }
+    }
+  }
+
+  return plan;
+}
+
+AddrRange ClusterPlan::global_range() const {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(config_.num_chips()) * config_.dram_per_chip;
+  return AddrRange{PhysAddr{config_.global_base}, total};
+}
+
+Result<int> ClusterPlan::supernode_of(PhysAddr addr) const {
+  if (!global_range().contains(addr)) {
+    return make_error(ErrorCode::kOutOfRange, "address outside the global space");
+  }
+  const std::uint64_t sn_bytes =
+      static_cast<std::uint64_t>(config_.supernode_size) * config_.dram_per_chip;
+  return static_cast<int>((addr.value() - config_.global_base) / sn_bytes);
+}
+
+Result<int> ClusterPlan::chip_of(PhysAddr addr) const {
+  if (!global_range().contains(addr)) {
+    return make_error(ErrorCode::kOutOfRange, "address outside the global space");
+  }
+  return static_cast<int>((addr.value() - config_.global_base) / config_.dram_per_chip);
+}
+
+Result<std::optional<int>> ClusterPlan::next_hop(int chip, PhysAddr addr) const {
+  if (chip < 0 || chip >= static_cast<int>(chips_.size())) {
+    return make_error(ErrorCode::kOutOfRange, "bad chip index");
+  }
+  const ChipPlan& cp = chips_[static_cast<std::size_t>(chip)];
+  if (cp.dram.contains(addr)) return std::optional<int>{};
+  for (const auto& peer : cp.peer_dram) {
+    if (peer.range.contains(addr)) {
+      const int port = cp.route_to_member[static_cast<std::size_t>(peer.node_id)];
+      if (port < 0) {
+        return make_error(ErrorCode::kConfigConflict, "no route to peer member");
+      }
+      return std::optional<int>{port};
+    }
+  }
+  for (const auto& m : cp.mmio) {
+    if (m.range.contains(addr)) return std::optional<int>{m.port};
+  }
+  return make_error(ErrorCode::kOutOfRange,
+                    strprintf("chip %d: address 0x%llx matches no range", chip,
+                              static_cast<unsigned long long>(addr.value())));
+}
+
+Result<std::vector<int>> ClusterPlan::trace_route(int chip, PhysAddr addr,
+                                                  int max_hops) const {
+  // Build the port->peer map once per call; plans are small.
+  std::map<std::pair<int, int>, PortRef> peer;
+  for (const WireSpec& w : wires_) {
+    peer[{w.a.chip, w.a.port}] = w.b;
+    peer[{w.b.chip, w.b.port}] = w.a;
+  }
+  std::vector<int> visited{chip};
+  int cur = chip;
+  for (int hop = 0; hop < max_hops; ++hop) {
+    auto nh = next_hop(cur, addr);
+    if (!nh.ok()) return nh.error();
+    if (!nh.value().has_value()) return visited;  // sunk
+    auto it = peer.find({cur, *nh.value()});
+    if (it == peer.end()) {
+      return make_error(ErrorCode::kConfigConflict,
+                        strprintf("chip %d routes out port %d which is not wired", cur,
+                                  *nh.value()));
+    }
+    cur = it->second.chip;
+    visited.push_back(cur);
+  }
+  return make_error(ErrorCode::kConfigConflict, "routing loop: exceeded max hops");
+}
+
+Result<int> ClusterPlan::external_hops(int from_supernode, int to_supernode) const {
+  if (from_supernode == to_supernode) return 0;
+  const std::size_t from_chip =
+      static_cast<std::size_t>(supernodes_.at(static_cast<std::size_t>(from_supernode)).chips[0]);
+  const PhysAddr target =
+      supernodes_.at(static_cast<std::size_t>(to_supernode)).range.base;
+  auto route = trace_route(static_cast<int>(from_chip), target);
+  if (!route.ok()) return route.error();
+  // Count external crossings: consecutive chips in different Supernodes.
+  int hops = 0;
+  for (std::size_t i = 1; i < route.value().size(); ++i) {
+    const int a = chips_[static_cast<std::size_t>(route.value()[i - 1])].supernode;
+    const int b = chips_[static_cast<std::size_t>(route.value()[i])].supernode;
+    if (a != b) ++hops;
+  }
+  return hops;
+}
+
+}  // namespace tcc::topology

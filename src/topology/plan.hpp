@@ -1,0 +1,183 @@
+// Cluster planning: shapes, Supernode composition, the global address map,
+// and the contiguous-interval routing tables (§IV.C–§IV.F).
+//
+// The planner is pure (no simulation dependencies): it turns a ClusterConfig
+// into per-chip register programs — DRAM windows, MMIO interval->port
+// assignments, coherent NodeIDs and routes, wire lists — that the firmware
+// later writes into the simulated chips. Keeping it pure lets the routing
+// properties be tested exhaustively on large clusters without simulating
+// them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "ht/link.hpp"
+#include "ht/link_regs.hpp"
+
+namespace tcc::topology {
+
+/// Cluster shapes supported by the interval-routing solver.
+enum class ClusterShape {
+  kCable,    // two Supernodes, one external link (the paper's prototype, §V)
+  kChain,    // 1-D line
+  kRing,     // 1-D ring, shortest-path routing
+  kMesh2D,   // 2-D mesh, Y-then-X dimension-order routing
+  kTorus2D,  // 2-D torus: mesh + wraparound, shortest path per dimension.
+             // Needs up to 8 MMIO intervals per chip (wrapping splits each
+             // direction's row/column set into two address runs).
+};
+
+[[nodiscard]] const char* to_string(ClusterShape s);
+
+/// Logical external port directions on a Supernode.
+enum class Direction : std::uint8_t { kWest = 0, kEast = 1, kNorth = 2, kSouth = 3 };
+inline constexpr int kNumDirections = 4;
+
+[[nodiscard]] const char* to_string(Direction d);
+
+struct ClusterConfig {
+  ClusterShape shape = ClusterShape::kCable;
+  int nx = 2;  ///< nodes along X (chain/ring length, mesh width)
+  int ny = 1;  ///< mesh height
+  /// Chips per Supernode (1, 2 or 4). A mesh needs >= 2: a single Opteron
+  /// has four HT links, and four mesh directions plus the southbridge do
+  /// not fit — the very reason §IV.E introduces Supernodes.
+  int supernode_size = 1;
+  /// Parallel links on a cable cluster (§V: the Tyan board has two HT links
+  /// between the sockets "which can be aggregated to a dual link"). The
+  /// remote interval is striped across the links at address granularity —
+  /// half the remote memory routes out each port. 1..3 (the 4th port is the
+  /// southbridge).
+  int cable_links = 1;
+  std::uint64_t dram_per_chip = 256_MiB;
+  std::uint64_t global_base = 4_GiB;  ///< bottom of the contiguous global space
+  ht::LinkFreq link_freq = ht::LinkFreq::kHt800;
+  ht::LinkMedium external_medium{.length_inches = 24.0, .coax_cable = true};
+  ht::LinkMedium internal_medium{.length_inches = 6.0, .coax_cable = false};
+
+  [[nodiscard]] bool is_2d() const {
+    return shape == ClusterShape::kMesh2D || shape == ClusterShape::kTorus2D;
+  }
+  [[nodiscard]] int num_supernodes() const { return is_2d() ? nx * ny : nx; }
+  [[nodiscard]] int num_chips() const { return num_supernodes() * supernode_size; }
+};
+
+/// A (chip, port) endpoint in the cluster.
+struct PortRef {
+  int chip = -1;
+  int port = -1;
+  constexpr bool operator==(const PortRef&) const = default;
+};
+
+/// One physical link to instantiate.
+struct WireSpec {
+  PortRef a;
+  PortRef b;
+  bool tccluster = false;  ///< external (forced non-coherent) vs internal coherent
+  ht::LinkMedium medium;
+};
+
+/// One MMIO base/limit register program: interval -> egress port.
+struct MmioPlan {
+  AddrRange range;
+  int port = -1;
+};
+
+/// Everything the firmware must program into one chip.
+struct ChipPlan {
+  int chip = -1;        ///< global chip index
+  int supernode = -1;
+  int member = -1;      ///< index within the Supernode
+  int node_id = 0;      ///< coherent NodeID within the Supernode (BSP == 0)
+  bool is_bsp = false;
+  AddrRange dram;       ///< this chip's DRAM window
+
+  std::vector<MmioPlan> mmio;  ///< remote intervals, ordered, disjoint
+
+  /// DRAM ranges of the *other* members of this Supernode (programmed so a
+  /// TCCluster packet entering on any member reaches the right DIMMs).
+  struct PeerDram {
+    AddrRange range;
+    int node_id;
+  };
+  std::vector<PeerDram> peer_dram;
+
+  /// Coherent routing table: member NodeID -> egress port (kSelfRoute = us).
+  static constexpr int kSelfRoute = -1;
+  std::array<int, 8> route_to_member{kSelfRoute, kSelfRoute, kSelfRoute, kSelfRoute,
+                                     kSelfRoute, kSelfRoute, kSelfRoute, kSelfRoute};
+
+  /// Ports carrying TCCluster (external) links, as a bitmask.
+  std::uint32_t tccluster_ports = 0;
+  /// Ports carrying coherent intra-Supernode links, as a bitmask.
+  std::uint32_t coherent_ports = 0;
+  /// Port wired to the southbridge, if this chip hosts it (BSP member).
+  std::optional<int> southbridge_port;
+};
+
+struct SupernodePlan {
+  int index = -1;
+  std::vector<int> chips;  ///< global chip indices, member order
+  AddrRange range;         ///< combined DRAM of all members
+  /// External port assignment: direction -> (chip, port); unused = nullopt.
+  std::array<std::optional<PortRef>, kNumDirections> external;
+  /// Cable clusters only: the parallel aggregated links (§V), in stripe
+  /// order. external[East/West] mirrors entry 0.
+  std::vector<PortRef> cable_ports;
+};
+
+/// The full cluster plan.
+class ClusterPlan {
+ public:
+  /// Build a plan or explain why the configuration is impossible (port
+  /// budget, register-pair budget, shape constraints).
+  static Result<ClusterPlan> build(const ClusterConfig& config);
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<ChipPlan>& chips() const { return chips_; }
+  [[nodiscard]] const std::vector<SupernodePlan>& supernodes() const {
+    return supernodes_;
+  }
+  [[nodiscard]] const std::vector<WireSpec>& wires() const { return wires_; }
+
+  /// The contiguous global address space (§IV.D).
+  [[nodiscard]] AddrRange global_range() const;
+
+  /// Which Supernode is home to `addr`, or error if outside the space.
+  [[nodiscard]] Result<int> supernode_of(PhysAddr addr) const;
+
+  /// Which chip's DRAM window contains `addr`.
+  [[nodiscard]] Result<int> chip_of(PhysAddr addr) const;
+
+  /// Pure next-hop evaluation of the *planned* tables: from `chip`, where
+  /// does a request to `addr` go? Used by the property tests to prove
+  /// deadlock-free delivery without simulating. Returns the egress port, or
+  /// nullopt when the chip sinks the request locally.
+  [[nodiscard]] Result<std::optional<int>> next_hop(int chip, PhysAddr addr) const;
+
+  /// Follow next_hop() through the wire list until the packet sinks.
+  /// Returns the chips visited (including start and sink); errors out after
+  /// `max_hops` to catch routing loops.
+  [[nodiscard]] Result<std::vector<int>> trace_route(int chip, PhysAddr addr,
+                                                     int max_hops = 256) const;
+
+  /// Hop distance between two supernodes along planned routes (external
+  /// links only), for the multi-hop latency bench.
+  [[nodiscard]] Result<int> external_hops(int from_supernode, int to_supernode) const;
+
+ private:
+  ClusterPlan() = default;
+
+  ClusterConfig config_;
+  std::vector<ChipPlan> chips_;
+  std::vector<SupernodePlan> supernodes_;
+  std::vector<WireSpec> wires_;
+};
+
+}  // namespace tcc::topology

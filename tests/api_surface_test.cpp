@@ -1,0 +1,185 @@
+// Coverage of remaining public-API surface: endpoint polling and statistics,
+// memory-controller counters, diagnostics on exotic machines, and link
+// report details for aggregated cables.
+#include <gtest/gtest.h>
+
+#include "tccluster/diag.hpp"
+
+namespace tcc::cluster {
+namespace {
+
+std::unique_ptr<TcCluster> cable(int links = 1) {
+  TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kCable;
+  o.topology.dram_per_chip = 32_MiB;
+  o.topology.cable_links = links;
+  o.boot.model_code_fetch = false;
+  auto c = TcCluster::create(o);
+  c.expect("create");
+  c.value()->boot().expect("boot");
+  return std::move(c).value();
+}
+
+TEST(Poll, ReportsReadinessWithoutConsuming) {
+  auto cl = cable();
+  auto* tx = cl->msg(0).connect(1).value();
+  auto* rx = cl->msg(1).connect(0).value();
+  bool before = true, after = false, still = false;
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    before = co_await rx->poll();  // nothing sent yet
+    std::uint8_t p[4] = {1, 2, 3, 4};
+    (co_await tx->send(p)).expect("send");
+    co_await cl->engine().delay(us(2));  // let it land
+    after = co_await rx->poll();
+    still = co_await rx->poll();  // poll must not consume
+    (co_await rx->recv_discard()).expect("recv");
+    const bool empty_again = co_await rx->poll();
+    EXPECT_FALSE(empty_again);
+  });
+  cl->engine().run();
+  EXPECT_FALSE(before);
+  EXPECT_TRUE(after);
+  EXPECT_TRUE(still);
+}
+
+TEST(Stats, EndpointCountersTrackTraffic) {
+  auto cl = cable();
+  auto* tx = cl->msg(0).connect(1).value();
+  auto* rx = cl->msg(1).connect(0).value();
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    std::vector<std::uint8_t> p(100, 9);
+    for (int i = 0; i < 3; ++i) (co_await tx->send(p)).expect("send");
+  });
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) (co_await rx->recv()).expect("recv");
+  });
+  cl->engine().run();
+  EXPECT_EQ(tx->stats().messages_sent, 3u);
+  EXPECT_EQ(tx->stats().bytes_sent, 300u);
+  EXPECT_EQ(rx->stats().messages_received, 3u);
+  EXPECT_EQ(rx->stats().bytes_received, 300u);
+  EXPECT_EQ(tx->peer(), 1);
+  EXPECT_EQ(rx->peer(), 0);
+}
+
+TEST(Stats, MemoryControllerCountsWritesAndReads) {
+  auto cl = cable();
+  auto& mc1 = cl->machine().chip(1).mc();
+  const auto writes_before = mc1.writes();
+  const auto bytes_before = mc1.bytes_written();
+  auto* tx = cl->msg(0).connect(1).value();
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    std::vector<std::uint8_t> p(64, 1);
+    (co_await tx->send(p)).expect("send");  // 2 slots = 2 line writes
+  });
+  cl->engine().run();
+  EXPECT_EQ(mc1.writes(), writes_before + 2);
+  EXPECT_EQ(mc1.bytes_written(), bytes_before + 128);
+}
+
+TEST(Stats, NorthbridgeSunkAndForwardedCounters) {
+  auto cl = cable();
+  auto* tx = cl->msg(0).connect(1).value();
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    std::uint8_t p[8] = {};
+    (co_await tx->send(p)).expect("send");
+  });
+  cl->engine().run();
+  // Point-to-point cable: the remote NB sinks, nobody forwards.
+  EXPECT_GE(cl->machine().chip(1).nb().requests_sunk(), 1u);
+  EXPECT_EQ(cl->machine().chip(1).nb().requests_forwarded(), 0u);
+}
+
+TEST(Diag, DualCableReportShowsBothTcclusterLinks) {
+  auto cl = cable(2);
+  const std::string links = link_report(*cl);
+  // Two TCCLUSTER rows.
+  std::size_t count = 0, pos = 0;
+  while ((pos = links.find("TCCLUSTER", pos)) != std::string::npos) {
+    ++count;
+    pos += 9;
+  }
+  EXPECT_EQ(count, 2u);
+  // Address map shows the two posted-only stripes per chip.
+  const std::string maps = address_map_report(*cl);
+  std::size_t stripes = 0;
+  pos = 0;
+  while ((pos = maps.find("[posted-only]", pos)) != std::string::npos) {
+    ++stripes;
+    pos += 10;
+  }
+  EXPECT_EQ(stripes, 4u);  // two per chip
+}
+
+TEST(Diag, TorusReportCoversAllChips) {
+  TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kTorus2D;
+  o.topology.nx = 2;
+  o.topology.ny = 2;
+  o.topology.supernode_size = 2;
+  o.topology.dram_per_chip = 8_MiB;
+  o.boot.model_code_fetch = false;
+  auto c = TcCluster::create(o);
+  c.expect("create");
+  c.value()->boot().expect("boot");
+  const std::string maps = address_map_report(*c.value());
+  for (int chip = 0; chip < 8; ++chip) {
+    EXPECT_NE(maps.find("chip " + std::to_string(chip)), std::string::npos) << chip;
+  }
+  const std::string mtrrs = mtrr_report(*c.value());
+  EXPECT_NE(mtrrs.find("default=UC"), std::string::npos);
+}
+
+TEST(WireCounters, EndpointByteAccountingMatchesPacketSizes) {
+  auto cl = cable();
+  auto* tx = cl->msg(0).connect(1).value();
+  auto& ep = cl->machine().tccluster_links()[0]->side_a();
+  const auto pkts_before = ep.packets_sent();
+  const auto bytes_before = ep.bytes_sent();
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    std::uint8_t p[4] = {};
+    (co_await tx->send(p)).expect("send");  // one 64 B slot
+  });
+  cl->engine().run();
+  EXPECT_EQ(ep.packets_sent(), pkts_before + 1);
+  // 8 B command + 64 B payload + 1 B CRC charge.
+  EXPECT_EQ(ep.bytes_sent(), bytes_before + 73);
+}
+
+TEST(SharedBytes, OptionControlsTheRendezvousRegion) {
+  TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kCable;
+  o.topology.dram_per_chip = 32_MiB;
+  o.shared_bytes = 8_MiB;
+  o.boot.model_code_fetch = false;
+  auto c = TcCluster::create(o);
+  c.expect("create");
+  c.value()->boot().expect("boot");
+  EXPECT_EQ(c.value()->driver(0).shared_bytes(), 8_MiB);
+  EXPECT_EQ(c.value()->driver(0).shared_region(1).size, 8_MiB);
+  // Region sits right after the rings.
+  EXPECT_EQ(c.value()->driver(0).shared_region(0).base.value(),
+            c.value()->driver(0).ring_region(0).end().value());
+}
+
+TEST(DriverLayout, RingAddressesAreDisjointAcrossChannelsAndPeers) {
+  auto cl = cable();
+  TcDriver& d = cl->driver(0);
+  std::vector<AddrRange> rings;
+  for (int owner = 0; owner < 2; ++owner) {
+    for (int sender = 0; sender < 2; ++sender) {
+      for (int ch = 0; ch < kNumChannels; ++ch) {
+        rings.push_back(d.ring(owner, sender, static_cast<RingChannel>(ch)));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < rings.size(); ++i) {
+    EXPECT_EQ(rings[i].size, kRingBytes);
+    for (std::size_t j = i + 1; j < rings.size(); ++j) {
+      EXPECT_FALSE(rings[i].overlaps(rings[j])) << i << " vs " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcc::cluster

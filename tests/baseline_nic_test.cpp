@@ -1,0 +1,132 @@
+// Tests of the baseline NIC models: the ConnectX calibration must land on
+// the published numbers the paper compares against (§VI and refs [3][10]).
+#include <gtest/gtest.h>
+
+#include "baseline/nic.hpp"
+
+namespace tcc::baseline {
+namespace {
+
+/// Measure streaming bandwidth: post `count` messages of `bytes`, time until
+/// the last completion.
+double stream_mbps(const NicParams& params, std::uint32_t bytes, int count) {
+  sim::Engine engine;
+  NicChannel chan(engine, params);
+  Picoseconds done;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      co_await chan.post_send(bytes);
+    }
+  });
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      (void)co_await chan.poll_recv();
+    }
+    done = engine.now();
+  });
+  engine.run();
+  const double total = static_cast<double>(bytes) * count;
+  return total / done.seconds() / 1e6;
+}
+
+/// Ping-pong half-round-trip latency.
+double pingpong_ns(const NicParams& params, std::uint32_t bytes, int iters) {
+  sim::Engine engine;
+  NicPair pair(engine, params);
+  Picoseconds total;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    const Picoseconds t0 = engine.now();
+    for (int i = 0; i < iters; ++i) {
+      co_await pair.a_to_b().post_send(bytes);
+      (void)co_await pair.b_to_a().poll_recv();
+    }
+    total = engine.now() - t0;
+  });
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < iters; ++i) {
+      (void)co_await pair.a_to_b().poll_recv();
+      co_await pair.b_to_a().post_send(bytes);
+    }
+  });
+  engine.run();
+  return total.nanoseconds() / (2.0 * iters);
+}
+
+TEST(ConnectX, BandwidthCurveMatchesPublishedNumbers) {
+  const NicParams p = NicParams::connectx();
+  // §VI: "200 MB/s for cacheline sized messages" ...
+  const double bw64 = stream_mbps(p, 64, 2000);
+  EXPECT_GT(bw64, 150.0);
+  EXPECT_LT(bw64, 260.0);
+  // ... "1500 MB/s for 1K messages" ...
+  const double bw1k = stream_mbps(p, 1024, 2000);
+  EXPECT_GT(bw1k, 1300.0);
+  EXPECT_LT(bw1k, 1700.0);
+  // ... "2500 MB/s for 1 MB messages".
+  const double bw1m = stream_mbps(p, 1u << 20, 64);
+  EXPECT_GT(bw1m, 2300.0);
+  EXPECT_LT(bw1m, 2700.0);
+}
+
+TEST(ConnectX, SmallMessageLatencyAboutOneMicrosecond) {
+  // §II/§VI: "a latency as low as 1.4 us" / "around 1 us for minimal sized
+  // packets".
+  const double lat = pingpong_ns(NicParams::connectx(), 64, 200);
+  EXPECT_GT(lat, 900.0);
+  EXPECT_LT(lat, 1500.0);
+}
+
+TEST(ConnectX, BandwidthIsMonotoneInMessageSize) {
+  const NicParams p = NicParams::connectx();
+  double prev = 0.0;
+  for (std::uint32_t bytes : {64u, 256u, 1024u, 4096u, 65536u}) {
+    const double bw = stream_mbps(p, bytes, 500);
+    EXPECT_GT(bw, prev) << bytes;
+    prev = bw;
+  }
+}
+
+TEST(GigE, IsFarSlowerThanIb) {
+  const NicParams ib = NicParams::connectx();
+  const NicParams ge = NicParams::gige();
+  EXPECT_GT(pingpong_ns(ge, 64, 50), 10.0 * pingpong_ns(ib, 64, 50));
+  EXPECT_LT(stream_mbps(ge, 65536, 100), 130.0);
+}
+
+TEST(NicChannel, SendQueueBackpressuresTheHost) {
+  // With a tiny queue the host cannot run ahead of the NIC.
+  NicParams p = NicParams::connectx();
+  p.send_queue_depth = 2;
+  sim::Engine engine;
+  NicChannel chan(engine, p);
+  Picoseconds post_done;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 100; ++i) co_await chan.post_send(64);
+    post_done = engine.now();
+  });
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 100; ++i) (void)co_await chan.poll_recv();
+  });
+  engine.run();
+  // Posting 100 messages must take roughly 100x the per-message NIC cost.
+  EXPECT_GT(post_done.nanoseconds(), 90.0 * p.nic_per_msg.nanoseconds());
+}
+
+TEST(NicChannel, CompletionsArriveInOrder) {
+  sim::Engine engine;
+  NicChannel chan(engine, NicParams::connectx());
+  std::vector<std::uint64_t> seqs;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 50; ++i) co_await chan.post_send(64 + 8u * i);
+  });
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 50; ++i) {
+      seqs.push_back((co_await chan.poll_recv()).seq);
+    }
+  });
+  engine.run();
+  for (std::size_t i = 1; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], seqs[i - 1] + 1);
+}
+
+}  // namespace
+}  // namespace tcc::baseline

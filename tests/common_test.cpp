@@ -1,0 +1,215 @@
+// Unit tests for the common substrate: units, error handling, RNG,
+// statistics and string formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/units.hpp"
+
+namespace tcc {
+namespace {
+
+// ---------------------------------------------------------------- units --
+
+TEST(Picoseconds, ArithmeticAndConversions) {
+  EXPECT_EQ((ns(3) + ns(4)).count(), 7000);
+  EXPECT_EQ((us(1) - ns(1)).count(), 999'000);
+  EXPECT_EQ((ns(5) * 3).count(), 15'000);
+  EXPECT_DOUBLE_EQ(ns(1500).nanoseconds(), 1500.0);
+  EXPECT_DOUBLE_EQ(us(2).microseconds(), 2.0);
+  EXPECT_EQ(Picoseconds::from_ns(227.0).count(), 227'000);
+  EXPECT_EQ(Picoseconds::from_us(1.4).count(), 1'400'000);
+  EXPECT_LT(Picoseconds::zero(), ns(1));
+}
+
+TEST(PhysAddr, AlignmentHelpers) {
+  PhysAddr a{0x12345};
+  EXPECT_EQ(a.align_down(0x1000).value(), 0x12000u);
+  EXPECT_FALSE(a.is_aligned(64));
+  EXPECT_TRUE(PhysAddr{0x4000}.is_aligned(0x1000));
+  EXPECT_EQ((a + 0x10).value(), 0x12355u);
+  EXPECT_EQ(PhysAddr{0x200} - PhysAddr{0x100}, 0x100u);
+}
+
+TEST(AddrRange, ContainsAndOverlaps) {
+  const AddrRange r{PhysAddr{0x1000}, 0x1000};
+  EXPECT_TRUE(r.contains(PhysAddr{0x1000}));
+  EXPECT_TRUE(r.contains(PhysAddr{0x1fff}));
+  EXPECT_FALSE(r.contains(PhysAddr{0x2000}));  // half-open
+  EXPECT_FALSE(r.contains(PhysAddr{0xfff}));
+
+  EXPECT_TRUE(r.overlaps(AddrRange{PhysAddr{0x1800}, 0x1000}));
+  EXPECT_FALSE(r.overlaps(AddrRange{PhysAddr{0x2000}, 0x1000}));  // adjacent
+  EXPECT_TRUE(r.contains(AddrRange{PhysAddr{0x1100}, 0x200}));
+  EXPECT_FALSE(r.contains(AddrRange{PhysAddr{0x1f00}, 0x200}));
+  EXPECT_TRUE(AddrRange{}.empty());
+}
+
+TEST(DataRate, WireTimeRoundsUp) {
+  const DataRate r = DataRate::from_gbytes_per_s(3.2);
+  // 73 bytes at 3.2 GB/s = 22.8125 ns -> 22813 ps (rounded up).
+  EXPECT_EQ(r.time_for(73).count(), 22'813);
+  EXPECT_EQ(r.time_for(0).count(), 0);
+  const DataRate lane = DataRate::from_lanes(1.6, 16);
+  EXPECT_DOUBLE_EQ(lane.bytes_per_second(), 3.2e9);
+}
+
+TEST(ByteLiterals, Values) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648u);
+}
+
+// ---------------------------------------------------------------- error --
+
+TEST(Result, ValueAndErrorPaths) {
+  Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.value_or(-1), 42);
+
+  Result<int> bad = make_error(ErrorCode::kNotFound, "nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(bad.error().code, ErrorCode::kNotFound);
+  EXPECT_THROW((void)bad.value(), BadResultAccess);
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status e = make_error(ErrorCode::kResourceExhausted, "full");
+  EXPECT_FALSE(e.ok());
+  EXPECT_NE(e.error().to_string().find("full"), std::string::npos);
+}
+
+TEST(ErrorCode, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kFailedPrecondition); ++c) {
+    EXPECT_STRNE(to_string(static_cast<ErrorCode>(c)), "unknown error");
+  }
+}
+
+// ------------------------------------------------------------------ rng --
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(123);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const auto v = r.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughUniformity) {
+  Rng r(99);
+  int counts[8] = {};
+  constexpr int kDraws = 80'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 8 - 800);
+    EXPECT_LT(c, kDraws / 8 + 800);
+  }
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Summary, WelfordMatchesClosedForm) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Samples, ExactPercentiles) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 100.0, 10);
+  h.add(-5);          // underflow
+  h.add(0);           // bucket 0
+  h.add(9.999);       // bucket 0
+  h.add(55);          // bucket 5
+  h.add(100);         // overflow (half-open)
+  h.add(250);         // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 50.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+// -------------------------------------------------------------- strings --
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(64), "64 B");
+  EXPECT_EQ(format_bytes(4096), "4 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(1_MiB), "1 MiB");
+  EXPECT_EQ(format_bytes(3_GiB), "3.00 GiB");
+}
+
+TEST(Strings, FormatTime) {
+  EXPECT_EQ(format_time_ps(500), "500 ps");
+  EXPECT_EQ(format_time_ps(227'000), "227 ns");
+  EXPECT_EQ(format_time_ps(1'400'000), "1.40 us");
+  EXPECT_EQ(format_time_ps(2'500'000'000LL), "2.50 ms");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("x=%d y=%s", 3, "q"), "x=3 y=q");
+  // Long output must not truncate.
+  const std::string big = strprintf("%0512d", 7);
+  EXPECT_EQ(big.size(), 512u);
+}
+
+}  // namespace
+}  // namespace tcc

@@ -1,0 +1,192 @@
+// Boot-sequence tests: the §V stage list against simulated machines, the
+// register state each stage must leave behind, and the failure modes the
+// paper's firmware patches exist to avoid.
+#include <gtest/gtest.h>
+
+#include "firmware/boot.hpp"
+
+namespace tcc::firmware {
+namespace {
+
+topology::ClusterConfig cable() {
+  topology::ClusterConfig c;
+  c.shape = topology::ClusterShape::kCable;
+  c.nx = 2;
+  c.dram_per_chip = 64_MiB;
+  return c;
+}
+
+TEST(FirmwareImage, SerializeParseRoundTrip) {
+  const FirmwareImage img = FirmwareImage::make_default(32 * 1024);
+  auto rom = img.serialize();
+  auto parsed = FirmwareImage::parse(rom);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().os_payload_bytes(), 32u * 1024u);
+  EXPECT_EQ(parsed.value().total_bytes(), img.total_bytes());
+}
+
+TEST(FirmwareImage, ParseRejectsCorruptHeader) {
+  auto rom = FirmwareImage::make_default().serialize();
+  rom[6] ^= 0x40;  // flip a bit inside a stage-size field
+  EXPECT_FALSE(FirmwareImage::parse(rom).ok());
+  rom[6] ^= 0x40;
+  rom[0] = 0;  // break the magic
+  EXPECT_FALSE(FirmwareImage::parse(rom).ok());
+}
+
+TEST(FirmwareImage, ParseRejectsTruncatedRom) {
+  EXPECT_FALSE(FirmwareImage::parse(std::vector<std::uint8_t>(8, 0)).ok());
+}
+
+TEST(Boot, CablePrototypeBootsAndLeavesTcclusterState) {
+  sim::Engine engine;
+  auto plan = topology::ClusterPlan::build(cable());
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootSequencer boot(machine);
+  Status st = boot.run();
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+  EXPECT_TRUE(boot.booted());
+
+  // All 11 stages recorded, in order, with monotone timestamps.
+  ASSERT_EQ(boot.trace().size(), static_cast<std::size_t>(kNumBootStages));
+  for (std::size_t i = 0; i < boot.trace().size(); ++i) {
+    EXPECT_EQ(boot.trace()[i].stage, static_cast<BootStage>(i));
+    EXPECT_GE(boot.trace()[i].end, boot.trace()[i].start);
+    if (i > 0) {
+      EXPECT_GE(boot.trace()[i].start, boot.trace()[i - 1].end);
+    }
+  }
+
+  // Post-boot register state (§IV.B–§IV.D): link non-coherent at HT800,
+  // every node NodeID 0, remote memory mapped MMIO, write-only.
+  for (ht::HtLink* l : machine.tccluster_links()) {
+    EXPECT_EQ(l->side_a().regs().kind, ht::LinkKind::kNonCoherent);
+    EXPECT_EQ(l->side_a().regs().freq, ht::LinkFreq::kHt800);
+  }
+  for (int c = 0; c < machine.num_chips(); ++c) {
+    const auto& regs = machine.chip(c).nb().regs();
+    EXPECT_EQ(regs.node_id, 0);
+    EXPECT_TRUE(regs.tccluster_mode);
+    const auto& cp = machine.plan().chips()[static_cast<std::size_t>(c)];
+    EXPECT_EQ(regs.tccluster_links, cp.tccluster_ports);
+    // The remote aperture must be mapped and non-posted-disabled.
+    const auto* mmio = regs.mmio_lookup(cp.mmio[0].range.base);
+    ASSERT_NE(mmio, nullptr);
+    EXPECT_FALSE(mmio->non_posted_allowed);
+    // MTR: remote is write-combining, local write-back.
+    EXPECT_EQ(machine.chip(c).core(0).mtrr().type_of(cp.mmio[0].range.base),
+              opteron::MemType::kWriteCombining);
+    EXPECT_EQ(machine.chip(c).core(0).mtrr().type_of(cp.dram.base),
+              opteron::MemType::kWriteBack);
+  }
+
+  // The ROM was actually fetched through the fabric.
+  EXPECT_GT(machine.southbridge(0).rom_reads(), 100u);
+}
+
+TEST(Boot, ExitCarMakesLaterStagesFaster) {
+  sim::Engine engine;
+  auto plan = topology::ClusterPlan::build(cable());
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootSequencer boot(machine);
+  ASSERT_TRUE(boot.run().ok());
+
+  auto stage_time = [&](BootStage s) {
+    for (const auto& r : boot.trace()) {
+      if (r.stage == s) return (r.end - r.start).nanoseconds();
+    }
+    return -1.0;
+  };
+  // Same code volume (8 KiB): non-coherent enumeration runs from DRAM,
+  // coherent enumeration ran from ROM — the DRAM one must be much faster.
+  const double pre_car = stage_time(BootStage::kCoherentEnumeration);
+  const double post_car = stage_time(BootStage::kNonCoherentEnumeration);
+  EXPECT_GT(pre_car, 5.0 * post_car);
+}
+
+TEST(Boot, StockFirmwareEscapesTheSupernodeDuringCoherentEnumeration) {
+  sim::Engine engine;
+  auto plan = topology::ClusterPlan::build(cable());
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootSequencer boot(machine, BootOptions{.stock_firmware = true});
+  Status st = boot.run();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, ErrorCode::kConfigConflict);
+  EXPECT_NE(st.error().message.find("escaped the Supernode"), std::string::npos);
+}
+
+TEST(Boot, UnsynchronizedWarmResetFailsLinkTraining) {
+  sim::Engine engine;
+  auto plan = topology::ClusterPlan::build(cable());
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootSequencer boot(machine, BootOptions{.synchronized_reset = false});
+  Status st = boot.run();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, ErrorCode::kFailedPrecondition);
+  for (ht::HtLink* l : machine.tccluster_links()) {
+    EXPECT_FALSE(l->side_a().regs().connected);
+  }
+}
+
+TEST(Boot, CableSignalIntegrityCapsRequestedFrequency) {
+  // Ask for HT2600 over the cable: the link trains, but only at the cable's
+  // HT800 ceiling — the exact compromise of §VI.
+  sim::Engine engine;
+  auto plan = topology::ClusterPlan::build(cable());
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootSequencer boot(machine, BootOptions{.tccluster_freq = ht::LinkFreq::kHt2600});
+  ASSERT_TRUE(boot.run().ok());
+  for (ht::HtLink* l : machine.tccluster_links()) {
+    EXPECT_EQ(l->side_a().regs().freq, ht::LinkFreq::kHt800);
+  }
+}
+
+TEST(Boot, SupernodePairBootsWithCoherentInternalFabric) {
+  sim::Engine engine;
+  topology::ClusterConfig c = cable();
+  c.supernode_size = 2;
+  auto plan = topology::ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootSequencer boot(machine);
+  Status st = boot.run();
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+
+  // Member NodeIDs 0/1 within each Supernode; internal links coherent at
+  // full speed; external link non-coherent.
+  for (int chip = 0; chip < machine.num_chips(); ++chip) {
+    const auto& cp = machine.plan().chips()[static_cast<std::size_t>(chip)];
+    EXPECT_EQ(machine.chip(chip).nb().regs().node_id, cp.member);
+  }
+  for (int i = 0; i < machine.num_links(); ++i) {
+    const bool tcc = machine.plan().wires()[static_cast<std::size_t>(i)].tccluster;
+    EXPECT_EQ(machine.link(i).side_a().regs().kind,
+              tcc ? ht::LinkKind::kNonCoherent : ht::LinkKind::kCoherent);
+    if (!tcc) {
+      EXPECT_EQ(machine.link(i).side_a().regs().freq, ht::LinkFreq::kHt2600);
+    }
+  }
+}
+
+TEST(Boot, RingOfFourBoots) {
+  sim::Engine engine;
+  topology::ClusterConfig c;
+  c.shape = topology::ClusterShape::kRing;
+  c.nx = 4;
+  c.dram_per_chip = 16_MiB;
+  auto plan = topology::ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootSequencer boot(machine);
+  Status st = boot.run();
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+  EXPECT_TRUE(boot.booted());
+}
+
+}  // namespace
+}  // namespace tcc::firmware

@@ -1,0 +1,313 @@
+// Unit tests for the HyperTransport packet and link models: training,
+// negotiation, serialization timing, credits, in-order delivery, CRC/retry.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ht/crc.hpp"
+#include "ht/link.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::ht {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) { return {v}; }
+
+struct LinkFixture : ::testing::Test {
+  sim::Engine engine;
+  HtEndpoint a{engine, "a", EndpointDevice::kProcessor};
+  HtEndpoint b{engine, "b", EndpointDevice::kProcessor};
+  HtLink link{engine, a, b};
+};
+
+TEST_F(LinkFixture, TrainingNegotiatesCoherentProcessorLink) {
+  a.regs().requested_freq = LinkFreq::kHt800;
+  b.regs().requested_freq = LinkFreq::kHt800;
+  const TrainingResult r = link.train();
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.kind, LinkKind::kCoherent);
+  EXPECT_EQ(r.width, LinkWidth::k16);
+  EXPECT_EQ(r.freq, LinkFreq::kHt800);
+  EXPECT_TRUE(a.regs().init_complete);
+  EXPECT_TRUE(b.regs().init_complete);
+}
+
+TEST_F(LinkFixture, ForceNoncoherentFlipsIdentification) {
+  a.regs().force_noncoherent = true;
+  const TrainingResult r = link.train();
+  EXPECT_EQ(r.kind, LinkKind::kNonCoherent);
+}
+
+TEST_F(LinkFixture, IoDeviceAlwaysTrainsNonCoherent) {
+  sim::Engine e2;
+  HtEndpoint cpu{e2, "cpu", EndpointDevice::kProcessor};
+  HtEndpoint sb{e2, "southbridge", EndpointDevice::kIoDevice};
+  HtLink l2{e2, cpu, sb};
+  EXPECT_EQ(l2.train().kind, LinkKind::kNonCoherent);
+}
+
+TEST_F(LinkFixture, FrequencyNegotiationTakesMinimumOfRequests) {
+  a.regs().requested_freq = LinkFreq::kHt2600;
+  b.regs().requested_freq = LinkFreq::kHt1000;
+  EXPECT_EQ(link.train().freq, LinkFreq::kHt1000);
+}
+
+TEST_F(LinkFixture, MediumCapsFrequencyLikeThePaperCable) {
+  // The paper's HTX cable: processors support 5.2 Gbit/s per lane but the
+  // cable only sustains HT800 (§VI).
+  link.medium().coax_cable = true;
+  link.medium().length_inches = 24.0;
+  a.regs().requested_freq = LinkFreq::kHt2600;
+  b.regs().requested_freq = LinkFreq::kHt2600;
+  EXPECT_EQ(link.train().freq, LinkFreq::kHt800);
+}
+
+TEST_F(LinkFixture, SendBeforeTrainingFails) {
+  Packet p = Packet::posted_write(PhysAddr{0x1000}, bytes({1, 2, 3}));
+  EXPECT_FALSE(a.send(std::move(p)).ok());
+}
+
+TEST_F(LinkFixture, PacketDeliveredWithSerializationAndPhyLatency) {
+  a.regs().requested_freq = LinkFreq::kHt800;
+  b.regs().requested_freq = LinkFreq::kHt800;
+  link.train();
+  std::vector<std::uint8_t> payload(64, 0xab);
+  Packet p = Packet::posted_write(PhysAddr{0x2000}, payload);
+  const std::uint64_t wire_bytes = p.wire_bytes();
+  EXPECT_EQ(wire_bytes, 8u + 64u + 1u);
+
+  Picoseconds arrival;
+  Packet got;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    got = co_await b.receive();
+    arrival = engine.now();
+  });
+  ASSERT_TRUE(a.send(std::move(p)).ok());
+  engine.run();
+
+  // HT800 x16 = 3.2 GB/s; 73 bytes = 22.82 ns; + 12 ns PHY.
+  const Picoseconds expected =
+      link_rate(LinkWidth::k16, LinkFreq::kHt800).time_for(wire_bytes) + kPhyLatency;
+  EXPECT_EQ(arrival, expected);
+  EXPECT_EQ(got.address.value(), 0x2000u);
+  EXPECT_EQ(got.data, payload);
+}
+
+TEST_F(LinkFixture, PerVcDeliveryIsInOrder) {
+  link.train();
+  std::vector<std::uint64_t> seqs;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 64; ++i) {
+      Packet p = co_await b.receive();
+      if (p.vc() == VirtualChannel::kPosted) seqs.push_back(p.wire_seq);
+    }
+  });
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000 + 64u * i},
+                                            bytes({static_cast<std::uint8_t>(i)})))
+                    .ok());
+  }
+  engine.run();
+  ASSERT_EQ(seqs.size(), 64u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+}
+
+TEST_F(LinkFixture, CreditExhaustionStallsSenderUntilReceiverConsumes) {
+  link.train();
+  // Fill the receiver's posted buffer (depth 8) without consuming.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1, 2, 3, 4}))).ok());
+  }
+  engine.run();
+  // All credits consumed: exactly 8 packets delivered, the rest are queued.
+  EXPECT_EQ(a.credits(VirtualChannel::kPosted), 0);
+  EXPECT_EQ(b.rx_depth(), 8u);
+
+  // Consuming packets returns credits and unblocks the remainder.
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 20; ++i) (void)co_await b.receive();
+  });
+  engine.run();
+  EXPECT_EQ(b.rx_depth(), 0u);
+  EXPECT_EQ(a.packets_sent(), 20u);
+}
+
+TEST_F(LinkFixture, VirtualChannelsDoNotBlockEachOther) {
+  link.train();
+  // Saturate the posted VC credits; a response packet must still go through.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
+  }
+  bool response_seen = false;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (;;) {
+      Packet p = co_await b.receive();
+      if (p.is_response()) {
+        response_seen = true;
+        co_return;
+      }
+      // Do not consume posted packets: keep their credits pinned. (We hold
+      // them by never receiving again — but receive() pops FIFO, so consume
+      // and discard posted ones; credits return, which is fine: the point is
+      // the response was not stuck behind them at the transmitter.)
+    }
+  });
+  ASSERT_TRUE(a.send(Packet::target_done(SourceTag{0, 0, 1})).ok());
+  engine.run();
+  EXPECT_TRUE(response_seen);
+}
+
+TEST_F(LinkFixture, FaultInjectionCountsCrcErrorsAndRetries) {
+  link.medium().fault_rate = 0.5;
+  link.train();
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 200; ++i) (void)co_await b.receive();
+  });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({9}))).ok());
+  }
+  engine.run();
+  // With 50% fault rate we expect roughly one retry per packet; all packets
+  // still arrive (retry makes the link lossless).
+  EXPECT_GT(link.retries(), 100u);
+  EXPECT_EQ(b.packets_received(), 200u);
+  EXPECT_EQ(b.regs().crc_errors, link.retries());
+}
+
+TEST_F(LinkFixture, RetriesAddLatency) {
+  link.train();
+  // Measure a clean send...
+  Picoseconds clean_arrival;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    (void)co_await b.receive();
+    clean_arrival = engine.now();
+  });
+  ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
+  engine.run();
+
+  // ...then a faulty one; with fault_rate 1.0 the retry loop would never
+  // terminate, so use a high-but-not-certain rate and check mean latency grows.
+  sim::Engine e2;
+  HtEndpoint c{e2, "c", EndpointDevice::kProcessor};
+  HtEndpoint d{e2, "d", EndpointDevice::kProcessor};
+  HtLink l2{e2, c, d, LinkMedium{.fault_rate = 0.9}};
+  l2.train();
+  Picoseconds faulty_total;
+  e2.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 50; ++i) (void)co_await d.receive();
+    faulty_total = e2.now();
+  });
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(c.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
+  }
+  e2.run();
+  EXPECT_GT(faulty_total.count() / 50, clean_arrival.count());
+}
+
+TEST_F(LinkFixture, TracerRecordsEveryPacketWithTimestamps) {
+  link.train();
+  LinkTracer tracer;
+  link.set_tracer(&tracer);
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 5; ++i) (void)co_await b.receive();
+  });
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000 + 64u * i},
+                                            std::vector<std::uint8_t>(16, 1)))
+                    .ok());
+  }
+  engine.run();
+  ASSERT_EQ(tracer.records().size(), 5u);
+  EXPECT_EQ(tracer.count(Command::kSizedWritePosted), 5u);
+  EXPECT_EQ(tracer.payload_bytes(), 80u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const PacketTrace& r = tracer.records()[i];
+    EXPECT_EQ(r.from, "a");
+    EXPECT_EQ(r.to, "b");
+    EXPECT_GT(r.arrived, r.departed);
+    EXPECT_EQ(r.wire_seq, i);
+    if (i > 0) {
+      EXPECT_GE(r.departed, tracer.records()[i - 1].departed);
+    }
+  }
+  EXPECT_FALSE(tracer.dump().empty());
+  EXPECT_NE(tracer.dump().find("WrSized(posted)"), std::string::npos);
+
+  tracer.clear();
+  link.set_tracer(nullptr);  // detaching stops recording
+  engine.spawn_fn([&]() -> sim::Task<void> { (void)co_await b.receive(); });
+  ASSERT_TRUE(
+      a.send(Packet::posted_write(PhysAddr{0x1000}, std::vector<std::uint8_t>(8, 1)))
+          .ok());
+  engine.run();
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST_F(LinkFixture, TracerCapsRecordsAndCountsDrops) {
+  link.train();
+  LinkTracer tracer;
+  tracer.set_max_records(3);
+  link.set_tracer(&tracer);
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 10; ++i) (void)co_await b.receive();
+  });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        a.send(Packet::posted_write(PhysAddr{0x1000}, std::vector<std::uint8_t>(8, 1)))
+            .ok());
+  }
+  engine.run();
+  EXPECT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+}
+
+TEST(Crc, KnownVectorAndSensitivity) {
+  // CRC-32C of "123456789" is the classic check value 0xE3069283.
+  const char* s = "123456789";
+  std::span<const std::uint8_t> in(reinterpret_cast<const std::uint8_t*>(s), 9);
+  EXPECT_EQ(crc32c(in), 0xE3069283u);
+
+  std::vector<std::uint8_t> v(in.begin(), in.end());
+  v[3] ^= 1;  // single bit flip changes the CRC
+  EXPECT_NE(crc32c(v), 0xE3069283u);
+}
+
+TEST(Crc, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  std::uint32_t st = 0xffffffffu;
+  st = crc32c_update(st, std::span(data).subspan(0, 37));
+  st = crc32c_update(st, std::span(data).subspan(37));
+  EXPECT_EQ(st ^ 0xffffffffu, crc32c(data));
+}
+
+TEST(Packet, WireBytesAccountsCommandAndCrc) {
+  Packet w = Packet::posted_write(PhysAddr{0}, std::vector<std::uint8_t>(64, 0));
+  EXPECT_EQ(w.wire_bytes(), 73u);
+  Packet r = Packet::sized_read(PhysAddr{0}, 64, SourceTag{});
+  EXPECT_EQ(r.wire_bytes(), 9u);  // read requests carry no payload
+  Packet t = Packet::target_done(SourceTag{});
+  EXPECT_EQ(t.wire_bytes(), 9u);
+}
+
+TEST(Packet, CommandToVcMapping) {
+  EXPECT_EQ(vc_of(Command::kSizedWritePosted), VirtualChannel::kPosted);
+  EXPECT_EQ(vc_of(Command::kBroadcast), VirtualChannel::kPosted);
+  EXPECT_EQ(vc_of(Command::kSizedRead), VirtualChannel::kNonPosted);
+  EXPECT_EQ(vc_of(Command::kFlush), VirtualChannel::kNonPosted);
+  EXPECT_EQ(vc_of(Command::kRdResponse), VirtualChannel::kResponse);
+  EXPECT_EQ(vc_of(Command::kTargetDone), VirtualChannel::kResponse);
+}
+
+TEST(LinkRate, Ht800x16Is3p2GBps) {
+  const DataRate r = link_rate(LinkWidth::k16, LinkFreq::kHt800);
+  EXPECT_DOUBLE_EQ(r.bytes_per_second(), 3.2e9);
+  // 12.8 GB/s headline figure of §III: HT2600 referenced as 16-bit @ 3.2 GHz
+  // double-pumped; our table peaks at HT2600 x16 = 10.4 GB/s per direction.
+  EXPECT_DOUBLE_EQ(link_rate(LinkWidth::k16, LinkFreq::kHt2600).bytes_per_second(),
+                   10.4e9);
+}
+
+}  // namespace
+}  // namespace tcc::ht

@@ -1,0 +1,253 @@
+// Unit tests for the discrete-event engine, coroutine tasks, triggers and
+// channels — the determinism guarantees everything else depends on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/bounded.hpp"
+#include "sim/engine.hpp"
+
+namespace tcc::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now().count(), 0);
+}
+
+TEST(Engine, CallbacksFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(ns(30), [&] { order.push_back(3); });
+  e.schedule(ns(10), [&] { order.push_back(1); });
+  e.schedule(ns(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), ns(30));
+}
+
+TEST(Engine, SimultaneousEventsFireInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(ns(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesTime) {
+  Engine e;
+  Picoseconds inner_time;
+  e.schedule(ns(10), [&] {
+    e.schedule(ns(5), [&] { inner_time = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(inner_time, ns(15));
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  bool late_fired = false;
+  e.schedule(ns(10), [] {});
+  e.schedule(ns(100), [&] { late_fired = true; });
+  e.run_until(ns(50));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(e.now(), ns(10));
+  e.run();
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Process, DelaySuspendsForSimulatedTime) {
+  Engine e;
+  Picoseconds mid, end;
+  auto proc = [&]() -> Task<void> {
+    co_await e.delay(ns(100));
+    mid = e.now();
+    co_await e.delay(ns(50));
+    end = e.now();
+  };
+  e.spawn(proc());
+  e.run();
+  EXPECT_EQ(mid, ns(100));
+  EXPECT_EQ(end, ns(150));
+  EXPECT_TRUE(e.all_processes_done());
+}
+
+TEST(Process, SubTaskCompositionReturnsValues) {
+  Engine e;
+  int result = 0;
+  auto child = [&](int x) -> Task<int> {
+    co_await e.delay(ns(10));
+    co_return x * 2;
+  };
+  auto parent = [&]() -> Task<void> {
+    const int a = co_await child(21);
+    const int b = co_await child(a);
+    result = b;
+  };
+  e.spawn(parent());
+  e.run();
+  EXPECT_EQ(result, 84);
+  EXPECT_EQ(e.now(), ns(20));
+}
+
+TEST(Process, DeepCompositionDoesNotOverflow) {
+  Engine e;
+  // 10k-deep recursive co_await chain: symmetric transfer keeps this O(1) stack.
+  struct Rec {
+    static Task<int> down(Engine& eng, int n) {
+      if (n == 0) co_return 0;
+      co_await eng.delay(Picoseconds{1});
+      co_return 1 + co_await down(eng, n - 1);
+    }
+  };
+  int result = -1;
+  auto proc = [&]() -> Task<void> { result = co_await Rec::down(e, 10000); };
+  e.spawn(proc());
+  e.run();
+  EXPECT_EQ(result, 10000);
+}
+
+TEST(Process, ExceptionPropagatesOutOfRun) {
+  Engine e;
+  auto proc = []() -> Task<void> {
+    co_await std::suspend_never{};
+    throw std::runtime_error("boom");
+  };
+  e.spawn(proc());
+  EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Trigger, NotifyWakesAllCurrentWaiters) {
+  Engine e;
+  Trigger t(e);
+  int woken = 0;
+  auto waiter = [&]() -> Task<void> {
+    co_await t.wait();
+    ++woken;
+  };
+  e.spawn(waiter());
+  e.spawn(waiter());
+  e.schedule(ns(10), [&] { t.notify(); });
+  e.run();
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(Trigger, LateWaiterNeedsNextNotify) {
+  Engine e;
+  Trigger t(e);
+  bool woken = false;
+  e.schedule(ns(5), [&] { t.notify(); });  // fires before anyone waits...
+  e.schedule(ns(10), [&] {
+    e.spawn_fn([&]() -> Task<void> {
+      co_await t.wait();
+      woken = true;
+    });
+  });
+  e.run();
+  EXPECT_FALSE(woken);  // ...so the late waiter stays suspended
+}
+
+TEST(Channel, PopBlocksUntilPush) {
+  Engine e;
+  Channel<int> ch(e);
+  int got = 0;
+  Picoseconds when;
+  e.spawn_fn([&]() -> Task<void> {
+    got = co_await ch.pop();
+    when = e.now();
+  });
+  e.schedule(ns(42), [&] { ch.push(7); });
+  e.run();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(when, ns(42));
+}
+
+TEST(Channel, ManyValuesFifoToManyPoppers) {
+  Engine e;
+  Channel<int> ch(e);
+  std::vector<int> got;
+  for (int i = 0; i < 4; ++i) {
+    e.spawn_fn([&]() -> Task<void> { got.push_back(co_await ch.pop()); });
+  }
+  e.schedule(ns(1), [&] {
+    for (int v = 0; v < 4; ++v) ch.push(v);
+  });
+  e.run();
+  ASSERT_EQ(got.size(), 4u);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BoundedChannel, PushBlocksWhenFull) {
+  Engine e;
+  BoundedChannel<int> ch(e, 2);
+  std::vector<Picoseconds> push_times;
+  e.spawn_fn([&]() -> Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      co_await ch.push(i);
+      push_times.push_back(e.now());
+    }
+  });
+  // Drain one item every 100 ns starting at t=100.
+  e.spawn_fn([&]() -> Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      co_await e.delay(ns(100));
+      (void)co_await ch.pop();
+    }
+  });
+  e.run();
+  ASSERT_EQ(push_times.size(), 4u);
+  EXPECT_EQ(push_times[0], ns(0));    // room available
+  EXPECT_EQ(push_times[1], ns(0));    // fills to capacity
+  EXPECT_EQ(push_times[2], ns(100));  // blocked until first pop
+  EXPECT_EQ(push_times[3], ns(200));  // blocked until second pop
+}
+
+TEST(BoundedChannel, WaitEmptyResumesAfterDrain) {
+  Engine e;
+  BoundedChannel<int> ch(e, 8);
+  Picoseconds drained;
+  e.spawn_fn([&]() -> Task<void> {
+    co_await ch.push(1);
+    co_await ch.push(2);
+    co_await ch.wait_empty();
+    drained = e.now();
+  });
+  e.spawn_fn([&]() -> Task<void> {
+    co_await e.delay(ns(10));
+    (void)co_await ch.pop();
+    co_await e.delay(ns(10));
+    (void)co_await ch.pop();
+  });
+  e.run();
+  EXPECT_EQ(drained, ns(20));
+}
+
+TEST(Determinism, TwoIdenticalRunsProduceIdenticalTimelines) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<std::int64_t> trace;
+    Channel<int> ch(e);
+    e.spawn_fn([&]() -> Task<void> {
+      for (int i = 0; i < 50; ++i) {
+        co_await e.delay(ns(3));
+        ch.push(i);
+      }
+    });
+    e.spawn_fn([&]() -> Task<void> {
+      for (int i = 0; i < 50; ++i) {
+        int v = co_await ch.pop();
+        trace.push_back(e.now().count() * 100 + v);
+        co_await e.delay(ns(5));
+      }
+    });
+    e.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace tcc::sim

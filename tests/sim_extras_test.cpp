@@ -1,0 +1,198 @@
+// Tests for the simulation support primitives: Mutex, Joiner, Barrier, and
+// Task lifecycle details the rest of the stack leans on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/join.hpp"
+#include "sim/mutex.hpp"
+
+namespace tcc::sim {
+namespace {
+
+TEST(Mutex, SerializesCriticalSections) {
+  Engine e;
+  Mutex m(e);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn_fn([&, i]() -> Task<void> {
+      co_await m.lock();
+      order.push_back(i);           // enter
+      co_await e.delay(ns(100));    // hold across a suspension
+      order.push_back(i + 10);      // exit
+      m.unlock();
+    });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 6u);
+  // Entries and exits must alternate per holder: i, i+10 adjacent.
+  for (std::size_t k = 0; k < order.size(); k += 2) {
+    EXPECT_EQ(order[k] + 10, order[k + 1]);
+  }
+}
+
+TEST(Mutex, ScopedGuardReleasesAtScopeEnd) {
+  Engine e;
+  Mutex m(e);
+  bool second_ran = false;
+  e.spawn_fn([&]() -> Task<void> {
+    {
+      auto guard = co_await m.scoped();
+      EXPECT_TRUE(m.held());
+      co_await e.delay(ns(50));
+    }
+    EXPECT_FALSE(m.held());
+  });
+  e.spawn_fn([&]() -> Task<void> {
+    co_await e.delay(ns(10));  // arrive while held
+    auto guard = co_await m.scoped();
+    second_ran = true;
+  });
+  e.run();
+  EXPECT_TRUE(second_ran);
+  EXPECT_FALSE(m.held());
+}
+
+TEST(Joiner, WaitsForAllLaunchedTasks) {
+  Engine e;
+  Joiner j(e);
+  int done = 0;
+  for (int i = 1; i <= 4; ++i) {
+    j.launch_fn([&, i]() -> Task<void> {
+      co_await e.delay(ns(i * 100));
+      ++done;
+    });
+  }
+  Picoseconds when;
+  e.spawn_fn([&]() -> Task<void> {
+    co_await j.wait_all();
+    when = e.now();
+  });
+  e.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(when, ns(400));  // the slowest task
+  EXPECT_EQ(j.remaining(), 0);
+}
+
+TEST(Joiner, TasksRunConcurrentlyNotSequentially) {
+  Engine e;
+  Joiner j(e);
+  for (int i = 0; i < 8; ++i) {
+    j.launch_fn([&]() -> Task<void> { co_await e.delay(ns(100)); });
+  }
+  Picoseconds when;
+  e.spawn_fn([&]() -> Task<void> {
+    co_await j.wait_all();
+    when = e.now();
+  });
+  e.run();
+  EXPECT_EQ(when, ns(100));  // 8 x 100ns in parallel, not 800ns
+}
+
+TEST(Barrier, AllPartiesBlockUntilLastArrives) {
+  Engine e;
+  Barrier b(e, 3);
+  std::vector<Picoseconds> release;
+  for (int i = 0; i < 3; ++i) {
+    e.spawn_fn([&, i]() -> Task<void> {
+      co_await e.delay(ns(100 * (i + 1)));  // staggered arrivals
+      co_await b.arrive_and_wait();
+      release.push_back(e.now());
+    });
+  }
+  e.run();
+  ASSERT_EQ(release.size(), 3u);
+  for (const auto& t : release) EXPECT_EQ(t, ns(300));  // last arrival gates all
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Engine e;
+  Barrier b(e, 2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    e.spawn_fn([&, i]() -> Task<void> {
+      for (int round = 0; round < 5; ++round) {
+        co_await e.delay(ns(10 * (i + 1)));
+        co_await b.arrive_and_wait();
+      }
+      ++rounds_done;
+    });
+  }
+  e.run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  Engine e;
+  auto make = [&]() -> Task<int> { co_return 5; };
+  Task<int> t1 = make();
+  Task<int> t2 = std::move(t1);
+  EXPECT_FALSE(t1.valid());
+  EXPECT_TRUE(t2.valid());
+  int got = 0;
+  e.spawn_fn([&, t = std::move(t2)]() mutable -> Task<void> {
+    got = co_await std::move(t);
+  });
+  e.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Task, MoveOnlyResultTypesWork) {
+  // Task<unique_ptr> requires emplace-based return plumbing.
+  Engine e;
+  auto make = [&]() -> Task<std::unique_ptr<int>> {
+    co_await e.delay(ns(1));
+    co_return std::make_unique<int>(9);
+  };
+  int got = 0;
+  e.spawn_fn([&]() -> Task<void> {
+    auto p = co_await make();
+    got = *p;
+  });
+  e.run();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(Engine, SpawnFnKeepsLambdaCapturesAlive) {
+  // The whole reason spawn_fn exists: the callable is moved into a wrapper
+  // frame, so a capturing lambda's state survives suspension.
+  Engine e;
+  int result = 0;
+  {
+    int local = 41;
+    e.spawn_fn([&result, local]() -> Task<void> {
+      // `local` is captured by value INTO the lambda, which spawn_fn owns.
+      result = local + 1;
+      co_return;
+    });
+  }
+  e.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Engine, RunUntilThenResumeContinuesProcesses) {
+  Engine e;
+  std::vector<int> marks;
+  e.spawn_fn([&]() -> Task<void> {
+    marks.push_back(1);
+    co_await e.delay(us(10));
+    marks.push_back(2);
+  });
+  e.run_until(us(5));
+  EXPECT_EQ(marks, (std::vector<int>{1}));
+  EXPECT_FALSE(e.all_processes_done());
+  e.run();
+  EXPECT_EQ(marks, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(e.all_processes_done());
+}
+
+TEST(Engine, EventCountAdvances) {
+  Engine e;
+  const auto before = e.events_processed();
+  for (int i = 0; i < 10; ++i) e.schedule(ns(i), [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), before + 10);
+}
+
+}  // namespace
+}  // namespace tcc::sim

@@ -1,0 +1,298 @@
+// Tests for the cluster planner: shape validation, port budgets, address-map
+// contiguity, and — as parameterized property sweeps — all-pairs deadlock-free
+// delivery over the planned interval-routing tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/plan.hpp"
+
+namespace tcc::topology {
+namespace {
+
+ClusterConfig cable_config() {
+  ClusterConfig c;
+  c.shape = ClusterShape::kCable;
+  c.nx = 2;
+  return c;
+}
+
+TEST(ClusterPlanValidate, RejectsBadSupernodeSize) {
+  ClusterConfig c = cable_config();
+  c.supernode_size = 3;
+  EXPECT_FALSE(ClusterPlan::build(c).ok());
+}
+
+TEST(ClusterPlanValidate, RejectsSingleSupernode) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kChain;
+  c.nx = 1;
+  EXPECT_FALSE(ClusterPlan::build(c).ok());
+}
+
+TEST(ClusterPlanValidate, MeshRequiresSupernodes) {
+  // One Opteron has 4 HT links: 4 mesh directions + southbridge do not fit.
+  ClusterConfig c;
+  c.shape = ClusterShape::kMesh2D;
+  c.nx = 3;
+  c.ny = 3;
+  c.supernode_size = 1;
+  auto r = ClusterPlan::build(c);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kConfigConflict);
+
+  c.supernode_size = 2;
+  EXPECT_TRUE(ClusterPlan::build(c).ok());
+}
+
+TEST(ClusterPlanValidate, RejectsUnalignedDram) {
+  ClusterConfig c = cable_config();
+  c.dram_per_chip = 1_MiB + 17;
+  EXPECT_FALSE(ClusterPlan::build(c).ok());
+}
+
+TEST(ClusterPlan, CableMatchesThePaperPrototype) {
+  auto plan = ClusterPlan::build(cable_config());
+  ASSERT_TRUE(plan.ok());
+  const auto& p = plan.value();
+  EXPECT_EQ(p.chips().size(), 2u);
+  ASSERT_EQ(p.wires().size(), 1u);
+  EXPECT_TRUE(p.wires()[0].tccluster);
+
+  // Each node sees exactly one remote MMIO interval = the other node's DRAM.
+  for (int i = 0; i < 2; ++i) {
+    const ChipPlan& cp = p.chips()[static_cast<std::size_t>(i)];
+    ASSERT_EQ(cp.mmio.size(), 1u);
+    EXPECT_EQ(cp.mmio[0].range, p.chips()[static_cast<std::size_t>(1 - i)].dram);
+    EXPECT_TRUE(cp.is_bsp);  // each board boots itself (§V, second prototype)
+    EXPECT_TRUE(cp.southbridge_port.has_value());
+  }
+}
+
+TEST(ClusterPlan, GlobalAddressSpaceIsContiguous) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kChain;
+  c.nx = 5;
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  const auto& chips = plan.value().chips();
+  for (std::size_t i = 1; i < chips.size(); ++i) {
+    EXPECT_EQ(chips[i].dram.base.value(), chips[i - 1].dram.end().value())
+        << "hole in the global space before chip " << i;
+  }
+  // §IV.D: "a contiguous global address space" — also check each chip's view
+  // (local DRAM + MMIO intervals) tiles the whole space with no overlap.
+  const AddrRange global = plan.value().global_range();
+  for (const ChipPlan& cp : chips) {
+    std::uint64_t covered = cp.dram.size;
+    for (const auto& m : cp.mmio) covered += m.range.size;
+    EXPECT_EQ(covered, global.size) << "chip " << cp.chip;
+    for (const auto& m : cp.mmio) {
+      EXPECT_FALSE(m.range.overlaps(cp.dram));
+      for (const auto& m2 : cp.mmio) {
+        if (&m != &m2) {
+          EXPECT_FALSE(m.range.overlaps(m2.range));
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusterPlan, MmioIntervalBudgetHolds) {
+  // Even a large ring fits the 8 base/limit register pairs.
+  ClusterConfig c;
+  c.shape = ClusterShape::kRing;
+  c.nx = 64;
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  for (const ChipPlan& cp : plan.value().chips()) {
+    EXPECT_LE(cp.mmio.size(), 8u);
+  }
+}
+
+TEST(ClusterPlan, SupernodeInternalFabricIsCoherent) {
+  ClusterConfig c = cable_config();
+  c.supernode_size = 4;
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  const auto& p = plan.value();
+  int internal = 0, external = 0;
+  for (const WireSpec& w : p.wires()) {
+    w.tccluster ? ++external : ++internal;
+  }
+  EXPECT_EQ(internal, 8);  // two Supernodes, ring of four each
+  EXPECT_EQ(external, 1);
+  // Every member can route to every other member.
+  for (const ChipPlan& cp : p.chips()) {
+    for (int m = 0; m < 4; ++m) {
+      if (m == cp.member) continue;
+      EXPECT_GE(cp.route_to_member[static_cast<std::size_t>(m)], 0)
+          << "chip " << cp.chip << " cannot reach member " << m;
+    }
+  }
+}
+
+TEST(ClusterPlan, DualCableStripesTheRemoteInterval) {
+  ClusterConfig c = cable_config();
+  c.cable_links = 2;
+  c.dram_per_chip = 64_MiB;
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  const auto& p = plan.value();
+  // Two parallel TCCluster wires.
+  int tcc_wires = 0;
+  for (const auto& w : p.wires()) tcc_wires += w.tccluster ? 1 : 0;
+  EXPECT_EQ(tcc_wires, 2);
+  // Each node has two remote MMIO stripes through different ports.
+  for (const ChipPlan& cp : p.chips()) {
+    ASSERT_EQ(cp.mmio.size(), 2u);
+    EXPECT_NE(cp.mmio[0].port, cp.mmio[1].port);
+    EXPECT_EQ(cp.mmio[0].range.end().value(), cp.mmio[1].range.base.value());
+    EXPECT_EQ(cp.mmio[0].range.size + cp.mmio[1].range.size, 64_MiB);
+  }
+  // Routing still delivers to both halves.
+  const PhysAddr low = p.chips()[1].dram.base + 1_MiB;
+  const PhysAddr high = p.chips()[1].dram.base + 48_MiB;
+  EXPECT_EQ(p.trace_route(0, low).value().back(), 1);
+  EXPECT_EQ(p.trace_route(0, high).value().back(), 1);
+}
+
+TEST(ClusterPlan, CableLinksValidation) {
+  ClusterConfig c = cable_config();
+  c.cable_links = 4;  // only 3 ports remain next to the southbridge
+  EXPECT_FALSE(ClusterPlan::build(c).ok());
+  c.cable_links = 0;
+  EXPECT_FALSE(ClusterPlan::build(c).ok());
+  c.cable_links = 2;
+  c.shape = ClusterShape::kRing;
+  c.nx = 4;
+  EXPECT_FALSE(ClusterPlan::build(c).ok());  // aggregation is cable-only
+  c.shape = ClusterShape::kCable;
+  c.nx = 2;
+  EXPECT_TRUE(ClusterPlan::build(c).ok());
+  c.cable_links = 3;
+  EXPECT_TRUE(ClusterPlan::build(c).ok());
+}
+
+TEST(ClusterPlan, TorusWraparoundShortensRoutes) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kTorus2D;
+  c.nx = 4;
+  c.ny = 4;
+  c.supernode_size = 2;
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  // Corner to corner: (0,0) -> (3,3) is 2 hops on a torus (wrap both ways),
+  // 6 on a mesh.
+  EXPECT_EQ(plan.value().external_hops(0, 15).value(), 2);
+  // (0,0) -> (2,2) has no wrap advantage: 2+2 = 4 hops.
+  EXPECT_EQ(plan.value().external_hops(0, 10).value(), 4);
+
+  // Interval budget: even interior torus nodes fit 8 registers minus the
+  // BSP ROM window.
+  for (const ChipPlan& cp : plan.value().chips()) {
+    EXPECT_LE(cp.mmio.size(), 7u);
+  }
+}
+
+TEST(ClusterPlan, ExternalHopsMatchShape) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kChain;
+  c.nx = 8;
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().external_hops(0, 7).value(), 7);
+  EXPECT_EQ(plan.value().external_hops(3, 4).value(), 1);
+
+  ClusterConfig r;
+  r.shape = ClusterShape::kRing;
+  r.nx = 8;
+  auto rp = ClusterPlan::build(r);
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(rp.value().external_hops(0, 7).value(), 1);  // wraps the short way
+  EXPECT_EQ(rp.value().external_hops(0, 4).value(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: for every shape/size in the matrix, every chip can reach
+// every address in the global space along the planned tables, with no loops
+// and within the topology diameter (in chip hops).
+// ---------------------------------------------------------------------------
+
+struct PlanCase {
+  ClusterShape shape;
+  int nx, ny, k;
+};
+
+class RoutingProperty : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(RoutingProperty, AllPairsDeliverWithoutLoops) {
+  const PlanCase& pc = GetParam();
+  ClusterConfig c;
+  c.shape = pc.shape;
+  c.nx = pc.nx;
+  c.ny = pc.ny;
+  c.supernode_size = pc.k;
+  c.dram_per_chip = 1_MiB;  // keep address arithmetic small
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  const ClusterPlan& p = plan.value();
+
+  const int nchips = c.num_chips();
+  // Upper bound on legitimate path length in chip hops.
+  const int diameter_sn = pc.shape == ClusterShape::kRing      ? pc.nx / 2
+                          : pc.shape == ClusterShape::kMesh2D  ? (pc.nx - 1) + (pc.ny - 1)
+                          : pc.shape == ClusterShape::kTorus2D ? pc.nx / 2 + pc.ny / 2
+                                                               : pc.nx - 1;
+  const int max_chip_hops = (diameter_sn + 2) * (pc.k + 1) + 2;
+
+  for (int src = 0; src < nchips; ++src) {
+    for (int dst = 0; dst < nchips; ++dst) {
+      // Probe the middle of the destination chip's DRAM.
+      const PhysAddr target = p.chips()[static_cast<std::size_t>(dst)].dram.base +
+                              c.dram_per_chip / 2;
+      auto route = p.trace_route(src, target);
+      ASSERT_TRUE(route.ok()) << "src=" << src << " dst=" << dst << ": "
+                              << route.error().to_string();
+      EXPECT_EQ(route.value().back(), dst) << "src=" << src;
+      EXPECT_LE(static_cast<int>(route.value().size()) - 1, max_chip_hops)
+          << "src=" << src << " dst=" << dst;
+      // No chip visited twice => loop-free.
+      std::set<int> seen(route.value().begin(), route.value().end());
+      EXPECT_EQ(seen.size(), route.value().size()) << "src=" << src << " dst=" << dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RoutingProperty,
+    ::testing::Values(PlanCase{ClusterShape::kCable, 2, 1, 1},
+                      PlanCase{ClusterShape::kCable, 2, 1, 2},
+                      PlanCase{ClusterShape::kCable, 2, 1, 4},
+                      PlanCase{ClusterShape::kChain, 2, 1, 1},
+                      PlanCase{ClusterShape::kChain, 7, 1, 1},
+                      PlanCase{ClusterShape::kChain, 16, 1, 2},
+                      PlanCase{ClusterShape::kRing, 3, 1, 1},
+                      PlanCase{ClusterShape::kRing, 4, 1, 1},
+                      PlanCase{ClusterShape::kRing, 9, 1, 1},
+                      PlanCase{ClusterShape::kRing, 16, 1, 1},
+                      PlanCase{ClusterShape::kRing, 6, 1, 2},
+                      PlanCase{ClusterShape::kMesh2D, 4, 1, 1},
+                      PlanCase{ClusterShape::kMesh2D, 2, 2, 2},
+                      PlanCase{ClusterShape::kMesh2D, 3, 3, 2},
+                      PlanCase{ClusterShape::kMesh2D, 4, 4, 2},
+                      PlanCase{ClusterShape::kMesh2D, 5, 3, 4},
+                      PlanCase{ClusterShape::kMesh2D, 8, 8, 2},
+                      PlanCase{ClusterShape::kTorus2D, 3, 3, 2},
+                      PlanCase{ClusterShape::kTorus2D, 4, 4, 2},
+                      PlanCase{ClusterShape::kTorus2D, 5, 4, 2},
+                      PlanCase{ClusterShape::kTorus2D, 6, 6, 2},
+                      PlanCase{ClusterShape::kTorus2D, 2, 2, 2}),
+    [](const ::testing::TestParamInfo<PlanCase>& info) {
+      const PlanCase& pc = info.param;
+      return std::string(to_string(pc.shape)) + "_" + std::to_string(pc.nx) + "x" +
+             std::to_string(pc.ny) + "_k" + std::to_string(pc.k);
+    });
+
+}  // namespace
+}  // namespace tcc::topology
