@@ -8,7 +8,7 @@
 #include "bench_util.hpp"
 #include "coherence/probe_domain.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -20,6 +20,9 @@ int main() {
   // ping-pong round trip on the booted cable prototype).
   auto cl = make_cable();
   const double tcc_msg_ns = pingpong_ns(*cl, 0, 1, 48, 200);
+
+  BenchReport report("ablation_coherency", "coherent_store_latency", "ns");
+  report.config("tcc_msg_ns", tcc_msg_ns);
 
   std::printf("%7s %15s %15s %16s %16s %14s\n", "nodes", "bcast lat ns",
               "filter lat ns", "sim lat ns", "probe B/store", "tcc msg ns");
@@ -35,6 +38,15 @@ int main() {
     std::printf("%7d %15.0f %15.0f %16.0f %16llu %14.0f\n", n,
                 c.store_latency.nanoseconds(), cf.store_latency.nanoseconds(), sim_ns,
                 static_cast<unsigned long long>(c.fabric_bytes_per_store), tcc_msg_ns);
+    report.add_sample(c.store_latency.nanoseconds());
+    report.add_row(
+        {BenchReport::num("nodes", n),
+         BenchReport::num("broadcast_ns", c.store_latency.nanoseconds()),
+         BenchReport::num("probe_filter_ns", cf.store_latency.nanoseconds()),
+         BenchReport::num("simulated_ns", sim_ns),
+         BenchReport::num("probe_bytes_per_store",
+                          static_cast<double>(c.fabric_bytes_per_store)),
+         BenchReport::num("tcc_msg_ns", tcc_msg_ns)});
   }
 
   std::printf("\n-- effective per-node store bandwidth under write sharing --\n");
@@ -49,7 +61,12 @@ int main() {
     p.nodes = n;
     const auto c = coherence::ProbeDomain(p).store_cost(/*offered=*/50e6);
     std::printf("%7d %22.0f %22.0f\n", n, c.effective_store_bandwidth / 1e6, tcc_bw);
+    report.add_row({BenchReport::str("kind", "store_bandwidth"),
+                    BenchReport::num("nodes", n),
+                    BenchReport::num("coherent_mbps", c.effective_store_bandwidth / 1e6),
+                    BenchReport::num("tccluster_mbps", tcc_bw)});
   }
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   std::printf(
       "\npaper check: coherent latency and probe traffic grow with node count\n"

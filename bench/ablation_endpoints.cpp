@@ -8,13 +8,15 @@
 #include "bench_util.hpp"
 #include "tccluster/driver.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
   print_header("ablation_endpoints — per-endpoint ring cost and scaling",
                "§IV.A: 4 KiB ring per endpoint; 'sufficient to support "
                "hundreds of endpoints'");
+
+  BenchReport report("ablation_endpoints", "many_to_one_rate", "msgs/s");
 
   std::printf("-- receive-ring footprint per node (3 channels x 4 KiB each) --\n");
   std::printf("%10s %16s %18s\n", "endpoints", "ring bytes", "of 8 GiB node");
@@ -23,6 +25,9 @@ int main() {
         static_cast<std::uint64_t>(n) * cluster::kNumChannels * cluster::kRingBytes;
     std::printf("%10d %16s %17.4f%%\n", n, format_bytes(bytes).c_str(),
                 100.0 * static_cast<double>(bytes) / static_cast<double>(8_GiB));
+    report.add_row({BenchReport::str("kind", "footprint"),
+                    BenchReport::num("endpoints", n),
+                    BenchReport::num("ring_bytes", static_cast<double>(bytes))});
   }
 
   std::printf("\n-- many-to-one on a booted ring: all peers send to node 0 --\n");
@@ -68,9 +73,15 @@ int main() {
       done = cl.engine().now();
     });
     cl.engine().run();
-    std::printf("%8d %18d %20.0f\n", n, expected,
-                static_cast<double>(expected) / done.seconds());
+    const double rate = static_cast<double>(expected) / done.seconds();
+    std::printf("%8d %18d %20.0f\n", n, expected, rate);
+    report.add_sample(rate);
+    report.add_row({BenchReport::str("kind", "many_to_one"),
+                    BenchReport::num("nodes", n),
+                    BenchReport::num("messages", expected),
+                    BenchReport::num("rate_msgs_per_s", rate)});
   }
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   std::printf(
       "\npaper check: footprint stays trivial into the hundreds of endpoints\n"

@@ -25,7 +25,7 @@ std::unique_ptr<tcc::cluster::TcCluster> make_backplane_cable(tcc::ht::LinkFreq 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -35,6 +35,9 @@ int main() {
 
   std::printf("%8s %14s %16s %18s\n", "freq", "raw GB/s", "stream MB/s",
               "half-RTT ns (64B)");
+  BenchReport report("ablation_linkspeed", "stream_bandwidth", "MB/s");
+  report.config("medium", "backplane FR4, 12 inches");
+  report.config("message_bytes", 16384);
   for (ht::LinkFreq f :
        {ht::LinkFreq::kHt200, ht::LinkFreq::kHt400, ht::LinkFreq::kHt800,
         ht::LinkFreq::kHt1200, ht::LinkFreq::kHt1600, ht::LinkFreq::kHt2000,
@@ -47,6 +50,13 @@ int main() {
     std::printf("%8s %14.1f %16.0f %18.0f%s\n", to_string(f),
                 ht::link_rate(ht::LinkWidth::k16, f).bytes_per_second() / 1e9, bw, lat,
                 f == ht::LinkFreq::kHt800 ? "   <- the paper's prototype point" : "");
+    report.add_sample(bw);
+    report.add_row(
+        {BenchReport::str("freq", to_string(f)),
+         BenchReport::num("raw_gbps",
+                          ht::link_rate(ht::LinkWidth::k16, f).bytes_per_second() / 1e9),
+         BenchReport::num("stream_mbps", bw),
+         BenchReport::num("half_rtt_ns", lat)});
   }
 
   // Link aggregation (§V: the Tyan board's two inter-socket links "can be
@@ -84,9 +94,14 @@ int main() {
       elapsed = cl.engine().now() - t0;
     });
     cl.engine().run();
+    const double agg = 3.0 * static_cast<double>(kBytes) / elapsed.seconds() / 1e6;
     std::printf("  %d link%s: %7.0f MB/s aggregate\n", links, links > 1 ? "s" : " ",
-                3.0 * static_cast<double>(kBytes) / elapsed.seconds() / 1e6);
+                agg);
+    report.add_row({BenchReport::str("kind", "aggregation"),
+                    BenchReport::num("cable_links", links),
+                    BenchReport::num("aggregate_mbps", agg)});
   }
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   // The cable medium itself: what the prototype could train.
   std::printf("\n-- medium signal-integrity ceiling (§IV.F) --\n");

@@ -5,7 +5,7 @@
 // out as a single packet.").
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -15,6 +15,8 @@ int main() {
 
   std::printf("%10s %16s %16s %12s\n", "msg size", "WC on MB/s", "WC off MB/s",
               "speedup");
+  BenchReport report("ablation_writecombine", "wc_speedup", "x");
+  report.config("mode", "weakly-ordered");
   for (std::uint64_t size : {256ull, 4096ull, 65536ull}) {
     auto on_cl = make_cable();
     const double on =
@@ -26,7 +28,13 @@ int main() {
         stream_put_mbps(*off_cl, size, 256_KiB, cluster::OrderingMode::kWeaklyOrdered);
     std::printf("%10s %16.0f %16.0f %11.1fx\n", format_bytes(size).c_str(), on, off,
                 on / off);
+    report.add_sample(on / off);
+    report.add_row({BenchReport::num("message_bytes", static_cast<double>(size)),
+                    BenchReport::num("wc_on_mbps", on),
+                    BenchReport::num("wc_off_mbps", off),
+                    BenchReport::num("speedup", on / off)});
   }
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   // Packet accounting: stream 64 KiB once in each mode and count packets.
   {

@@ -6,16 +6,131 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "middleware/mpi.hpp"
 #include "tccluster/cluster.hpp"
+#include "telemetry/json.hpp"
 
 namespace tcc::bench {
+
+/// Value of a `--name=value` flag in argv, or `fallback` when absent.
+/// `prefix` includes the equals sign, e.g. "--bench-out=".
+inline std::string flag_value(int argc, char** argv, const std::string& prefix,
+                              std::string fallback = {}) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+/// Structured result file for a paper-figure bench: BENCH_<name>.json next
+/// to the printed table, so plots and CI regressions never scrape stdout.
+///
+/// Schema (schema_version 1, documented in docs/OBSERVABILITY.md):
+///   {
+///     "schema_version": 1,
+///     "bench":  "<binary name>",
+///     "metric": "<what summary/samples measure>", "unit": "<its unit>",
+///     "config":  { free-form key -> string/number },
+///     "summary": { "count", "mean", "p50", "p99", "min", "max" },
+///     "series":  [ { per-row fields } ]
+///   }
+/// Percentiles are exact (tcc::Samples nearest-rank), not estimates.
+class BenchReport {
+ public:
+  /// Key -> pre-serialized JSON fragment (build with num()/str()).
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::pair<std::string, std::string> num(std::string k, double v) {
+    return {std::move(k), telemetry::json_number(v)};
+  }
+  static std::pair<std::string, std::string> str(std::string k, const std::string& v) {
+    return {std::move(k), "\"" + telemetry::json_escape(v) + "\""};
+  }
+
+  BenchReport(std::string bench, std::string metric, std::string unit)
+      : bench_(std::move(bench)), metric_(std::move(metric)), unit_(std::move(unit)) {}
+
+  void config(std::string key, const std::string& v) {
+    config_.push_back(str(std::move(key), v));
+  }
+  void config(std::string key, double v) { config_.push_back(num(std::move(key), v)); }
+
+  /// Feed the summary pool. Add every primary-metric observation (per
+  /// iteration where available, else per table row).
+  void add_sample(double v) { samples_.add(v); }
+
+  /// One table row of the printed output, as structured fields.
+  void add_row(Fields fields) { series_.push_back(std::move(fields)); }
+
+  /// Exact-percentile summary fields of a sample pool, for embedding a
+  /// per-row distribution into add_row().
+  static Fields summary_fields(Samples& s) {
+    return {num("count", static_cast<double>(s.count())), num("mean", s.mean()),
+            num("p50", s.percentile(50.0)),               num("p99", s.percentile(99.0)),
+            num("min", s.percentile(0.0)),                num("max", s.percentile(100.0))};
+  }
+
+  [[nodiscard]] std::string json() {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("schema_version");
+    w.value(std::int64_t{1});
+    w.key("bench");
+    w.value(bench_);
+    w.key("metric");
+    w.value(metric_);
+    w.key("unit");
+    w.value(unit_);
+    w.key("config");
+    write_fields(w, config_);
+    w.key("summary");
+    write_fields(w, summary_fields(samples_));
+    w.key("series");
+    w.begin_array();
+    for (const auto& row : series_) write_fields(w, row);
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+  /// Write to `path`, or to BENCH_<bench>.json when `path` is empty (pass
+  /// the --bench-out= flag value straight through). Prints the destination.
+  void write(const std::string& path = {}) {
+    const std::string dest = path.empty() ? "BENCH_" + bench_ + ".json" : path;
+    std::ofstream out(dest, std::ios::binary | std::ios::trunc);
+    out << json() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "warning: could not write %s\n", dest.c_str());
+      return;
+    }
+    std::printf("\nresults: %s\n", dest.c_str());
+  }
+
+ private:
+  static void write_fields(telemetry::JsonWriter& w, const Fields& fields) {
+    w.begin_object();
+    for (const auto& [k, v] : fields) {
+      w.key(k);
+      w.raw(v);
+    }
+    w.end_object();
+  }
+
+  std::string bench_, metric_, unit_;
+  Fields config_;
+  Samples samples_;
+  std::vector<Fields> series_;
+};
 
 /// A booted two-node cable cluster — the paper's prototype (§V, Fig. 5).
 inline std::unique_ptr<cluster::TcCluster> make_cable(
@@ -82,9 +197,11 @@ inline double stream_put_mbps(cluster::TcCluster& cl, std::uint64_t message_byte
 
 /// tcmsg ping-pong half-round-trip latency in nanoseconds (Fig. 7 kernel:
 /// "the receive node polls a specific memory location and sends back a
-/// response as soon as the first message arrives").
+/// response as soon as the first message arrives"). When `per_iter` is
+/// given, each iteration's half-RTT lands there too, for exact percentiles.
 inline double pingpong_ns(cluster::TcCluster& cl, int node_a, int node_b,
-                          std::uint32_t payload_bytes, int iters) {
+                          std::uint32_t payload_bytes, int iters,
+                          Samples* per_iter = nullptr) {
   auto* ea = cl.msg(node_a).connect(node_b).value();
   auto* eb = cl.msg(node_b).connect(node_a).value();
   std::vector<std::uint8_t> payload(payload_bytes, 0xa5);
@@ -102,7 +219,9 @@ inline double pingpong_ns(cluster::TcCluster& cl, int node_a, int node_b,
       const Picoseconds t0 = cl.engine().now();
       (co_await ea->send(payload)).expect("send");
       (co_await ea->recv_discard()).expect("pong");
-      sum += cl.engine().now() - t0;
+      const Picoseconds rtt = cl.engine().now() - t0;
+      if (per_iter != nullptr) per_iter->add(rtt.nanoseconds() / 2.0);
+      sum += rtt;
     }
     elapsed = sum;
   });

@@ -9,8 +9,10 @@
 
 namespace {
 
-void boot_and_report(const char* label, tcc::topology::ClusterConfig cfg) {
+void boot_and_report(const char* label, tcc::topology::ClusterConfig cfg,
+                     tcc::bench::BenchReport& report) {
   using namespace tcc;
+  using bench::BenchReport;
   sim::Engine engine;
   auto plan = topology::ClusterPlan::build(cfg);
   plan.expect("plan");
@@ -20,32 +22,45 @@ void boot_and_report(const char* label, tcc::topology::ClusterConfig cfg) {
   std::printf("\n-- %s: %s --\n", label, st.ok() ? "BOOTED" : st.error().to_string().c_str());
   std::printf("%-28s %14s %14s\n", "stage", "start (us)", "duration (us)");
   for (const auto& rec : boot.trace()) {
+    const double dur_us = (rec.end - rec.start).microseconds();
     std::printf("%-28s %14.1f %14.1f\n", firmware::to_string(rec.stage),
-                rec.start.microseconds(), (rec.end - rec.start).microseconds());
+                rec.start.microseconds(), dur_us);
+    report.add_sample(dur_us);
+    report.add_row({BenchReport::str("machine", label),
+                    BenchReport::str("stage", firmware::to_string(rec.stage)),
+                    BenchReport::num("start_us", rec.start.microseconds()),
+                    BenchReport::num("duration_us", dur_us)});
   }
-  std::printf("%-28s %14.1f\n", "total",
-              boot.trace().empty() ? 0.0 : boot.trace().back().end.microseconds());
+  const double total_us =
+      boot.trace().empty() ? 0.0 : boot.trace().back().end.microseconds();
+  std::printf("%-28s %14.1f\n", "total", total_us);
+  report.add_row({BenchReport::str("machine", label),
+                  BenchReport::str("stage", "total"),
+                  BenchReport::num("duration_us", total_us)});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
   print_header("boot_sequence — §V firmware bring-up, per-stage timing",
                "§V stage list (cold reset ... loading operating system)");
 
+  BenchReport report("boot_sequence", "stage_duration", "us");
+  report.config("model_code_fetch", "true");
+
   topology::ClusterConfig cable;
   cable.shape = topology::ClusterShape::kCable;
   cable.dram_per_chip = 64_MiB;
-  boot_and_report("two-board cable prototype (Fig. 5)", cable);
+  boot_and_report("two-board cable prototype (Fig. 5)", cable, report);
 
   topology::ClusterConfig ring;
   ring.shape = topology::ClusterShape::kRing;
   ring.nx = 4;
   ring.dram_per_chip = 32_MiB;
-  boot_and_report("4-node ring", ring);
+  boot_and_report("4-node ring", ring, report);
 
   topology::ClusterConfig mesh;
   mesh.shape = topology::ClusterShape::kMesh2D;
@@ -53,7 +68,8 @@ int main() {
   mesh.ny = 2;
   mesh.supernode_size = 2;
   mesh.dram_per_chip = 32_MiB;
-  boot_and_report("2x2 mesh of 2-chip Supernodes (Fig. 4)", mesh);
+  boot_and_report("2x2 mesh of 2-chip Supernodes (Fig. 4)", mesh, report);
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   // Failure modes (§IV.E / §V): what happens without the paper's patches.
   {

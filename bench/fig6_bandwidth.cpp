@@ -34,7 +34,7 @@ double ib_stream_mbps(std::uint32_t bytes, std::uint64_t total) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -46,6 +46,10 @@ int main() {
               "issue-timed MB/s", "connectx MB/s");
 
   const std::uint64_t kTotal = 2_MiB;  // per measurement point
+  BenchReport report("fig6_bandwidth", "stream_bandwidth_weak", "MB/s");
+  report.config("total_bytes_per_point", static_cast<double>(kTotal));
+  report.config("link_freq", to_string(ht::LinkFreq::kHt800));
+  report.config("topology", "cable");
   for (std::uint64_t size = 64; size <= 4_MiB; size *= 4) {
     auto strict_cl = make_cable();
     const double strict =
@@ -67,7 +71,17 @@ int main() {
     std::printf("%12s %14.0f %14.0f %16.0f %14.0f%s\n", format_bytes(size).c_str(),
                 strict, weak, artifact, ib,
                 size == 256_KiB ? "   <- paper's 5300 MB/s artifact point" : "");
+
+    report.add_sample(weak);
+    report.add_row({
+        BenchReport::num("message_bytes", static_cast<double>(size)),
+        BenchReport::num("strict_mbps", strict),
+        BenchReport::num("weak_mbps", weak),
+        BenchReport::num("issue_timed_mbps", artifact),
+        BenchReport::num("connectx_mbps", ib),
+    });
   }
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   std::printf(
       "\npaper check: strict plateau ~2000 MB/s, weak plateau ~2700 MB/s,\n"

@@ -33,7 +33,7 @@ double ib_pingpong_ns(std::uint32_t bytes, int iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -46,16 +46,34 @@ int main() {
               "speedup");
 
   constexpr int kIters = 200;
+  BenchReport report("fig7_latency", "half_rtt", "ns");
+  report.config("iters", kIters);
+  report.config("link_freq", to_string(ht::LinkFreq::kHt800));
+  report.config("topology", "cable");
   // Payload sizes: a one-slot message carries 48 bytes next to its header —
   // the paper's "64 byte packets" are one cache line on the wire.
   for (std::uint32_t payload : {48u, 112u, 240u, 496u, 1008u, 2032u, 3520u}) {
     auto cl = make_cable();
-    const double tcc_ns = pingpong_ns(*cl, 0, 1, payload, kIters);
+    Samples per_iter;
+    const double tcc_ns = pingpong_ns(*cl, 0, 1, payload, kIters, &per_iter);
     const double ib_ns = ib_pingpong_ns(payload + 16, kIters);
     std::printf("%12s %16.0f %16.0f %9.1fx%s\n",
                 format_bytes(payload + 16).c_str(), tcc_ns, ib_ns, ib_ns / tcc_ns,
                 payload == 48u ? "   <- paper: 227 ns" : "");
+
+    report.add_sample(tcc_ns);
+    BenchReport::Fields row = {
+        BenchReport::num("payload_bytes", payload),
+        BenchReport::num("wire_bytes", payload + 16),
+        BenchReport::num("tccluster_ns", tcc_ns),
+        BenchReport::num("connectx_ns", ib_ns),
+    };
+    for (auto& f : BenchReport::summary_fields(per_iter)) {
+      row.push_back({"tccluster_" + f.first, std::move(f.second)});
+    }
+    report.add_row(std::move(row));
   }
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   std::printf(
       "\npaper check: ~227 ns at one cache line, <1000 ns at 1 KiB, and a\n"

@@ -60,7 +60,7 @@ double nic_pingpong_ns(const tcc::baseline::NicParams& params, std::uint32_t byt
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -71,6 +71,10 @@ int main() {
   const auto ib = baseline::NicParams::connectx();
   const auto velo = baseline::NicParams::htx_velo();
   const auto eth = baseline::NicParams::gige();
+
+  BenchReport report("ib_comparison", "tccluster_vs_connectx_bandwidth_ratio", "x");
+  report.config("topology", "cable");
+  report.config("link_freq", to_string(ht::LinkFreq::kHt800));
 
   std::printf("-- streaming bandwidth (weakly ordered, MB/s) --\n");
   std::printf("%10s %12s %12s %12s %12s %14s\n", "size", "tccluster", "connectx",
@@ -84,6 +88,13 @@ int main() {
     const double eth_bw = nic_stream_mbps(eth, static_cast<std::uint32_t>(size), 256_KiB);
     std::printf("%10s %12.0f %12.0f %12.0f %12.0f %13.1fx\n", format_bytes(size).c_str(),
                 tcc_bw, ib_bw, velo_bw, eth_bw, tcc_bw / ib_bw);
+    report.add_sample(tcc_bw / ib_bw);
+    report.add_row({BenchReport::str("kind", "bandwidth"),
+                    BenchReport::num("message_bytes", static_cast<double>(size)),
+                    BenchReport::num("tccluster_mbps", tcc_bw),
+                    BenchReport::num("connectx_mbps", ib_bw),
+                    BenchReport::num("htx_velo_mbps", velo_bw),
+                    BenchReport::num("gige_mbps", eth_bw)});
   }
 
   std::printf("\n-- ping-pong half-round-trip latency (ns) --\n");
@@ -98,7 +109,14 @@ int main() {
     std::printf("%10s %12.0f %12.0f %12.0f %12.0f %13.1fx\n",
                 format_bytes(payload + 16).c_str(), tcc_lat, ib_lat, velo_lat, eth_lat,
                 ib_lat / tcc_lat);
+    report.add_row({BenchReport::str("kind", "latency"),
+                    BenchReport::num("payload_bytes", payload),
+                    BenchReport::num("tccluster_ns", tcc_lat),
+                    BenchReport::num("connectx_ns", ib_lat),
+                    BenchReport::num("htx_velo_ns", velo_lat),
+                    BenchReport::num("gige_ns", eth_lat)});
   }
+  report.write(flag_value(argc, argv, "--bench-out="));
   std::printf(
       "\n(htx-velo models the VELO/InfiniPath class of §II: an HT-attached\n"
       "NIC is ~2x faster than a PCIe NIC at small messages, yet TCCluster\n"

@@ -1,6 +1,10 @@
 // Host-side microbenchmarks (google-benchmark): how fast the simulator
 // itself runs. These guard the event-loop and coroutine hot paths so the
 // figure benches stay cheap to iterate on.
+//
+// Structured output comes from google-benchmark itself (the figure benches
+// use BenchReport instead): run with --benchmark_format=json or
+// --benchmark_out=FILE --benchmark_out_format=json.
 #include <benchmark/benchmark.h>
 
 #include "ht/crc.hpp"

@@ -1,6 +1,10 @@
 // Host-side microbenchmarks of the full message path: how much wall-clock
 // time the simulator spends per simulated boot / message / put. Guards the
 // cost of iterating on the figure benches.
+//
+// Structured output comes from google-benchmark itself (the figure benches
+// use BenchReport instead): run with --benchmark_format=json or
+// --benchmark_out=FILE --benchmark_out_format=json.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"

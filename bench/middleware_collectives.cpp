@@ -54,7 +54,7 @@ double collective_us(cluster::TcCluster& cl, int iters, OpFn op) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -64,6 +64,7 @@ int main() {
 
   std::printf("%7s %14s %16s %14s %16s\n", "nodes", "barrier us", "allreduce us",
               "bcast-1K us", "alltoall-256B us");
+  BenchReport report("middleware_collectives", "barrier_latency", "us");
   for (int n : {2, 4, 8}) {
     auto cl = make_ring(n);
     const double barrier = collective_us(*cl, 20, [](middleware::Communicator& c, int)
@@ -93,6 +94,11 @@ int main() {
         });
     std::printf("%7d %14.2f %16.2f %14.2f %16.2f\n", n, barrier, allreduce, bcast,
                 alltoall);
+    report.add_sample(barrier);
+    report.add_row({BenchReport::num("nodes", n), BenchReport::num("barrier_us", barrier),
+                    BenchReport::num("allreduce_us", allreduce),
+                    BenchReport::num("bcast_1k_us", bcast),
+                    BenchReport::num("alltoall_256b_us", alltoall)});
   }
 
   // PGAS op costs on a 4-node ring.
@@ -134,6 +140,11 @@ int main() {
       });
     }
     cl->engine().run();
+    report.add_row({BenchReport::str("kind", "pgas"),
+                    BenchReport::num("local_get_us", local_get_us),
+                    BenchReport::num("remote_get_us", remote_get_us),
+                    BenchReport::num("fetch_add_us", fadd_us),
+                    BenchReport::num("remote_put_us", put_us)});
     std::printf("  local get:  %8.3f us (uncacheable DRAM read)\n", local_get_us);
     std::printf("  remote get: %8.3f us (active-message round trip — a write-only\n"
                 "                        network cannot route read responses, §IV.A)\n",
@@ -141,6 +152,8 @@ int main() {
     std::printf("  fetch_add:  %8.3f us (served atomically by the owner)\n", fadd_us);
     std::printf("  remote put: %8.3f us (one-sided store, fire-and-forget)\n", put_us);
   }
+
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   std::printf(
       "\npaper check: collectives complete in a few microseconds on rings of\n"

@@ -7,7 +7,7 @@
 // increment; a ring shows the shortest-path effect.
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tcc;
   using namespace tcc::bench;
 
@@ -25,11 +25,18 @@ int main() {
 
   std::printf("%6s %16s %14s\n", "hops", "half-RTT ns", "delta ns/hop");
   constexpr int kIters = 100;
+  BenchReport report("multihop_latency", "half_rtt", "ns");
+  report.config("iters", kIters);
+  report.config("payload_bytes", 48);
+  report.config("chain_nodes", 8);
   double prev = 0.0;
   for (int k = 1; k <= 7; ++k) {
     const double lat = pingpong_ns(*chain.value(), 0, k, 48, kIters);
     std::printf("%6d %16.0f %14.0f%s\n", k, lat, k == 1 ? 0.0 : lat - prev,
                 k > 1 && (lat - prev) < 50.0 ? "   (<50 ns: ok)" : "");
+    report.add_sample(lat);
+    report.add_row({BenchReport::num("hops", k), BenchReport::num("half_rtt_ns", lat),
+                    BenchReport::num("delta_ns_per_hop", k == 1 ? 0.0 : lat - prev)});
     prev = lat;
   }
 
@@ -46,6 +53,11 @@ int main() {
   const double four = pingpong_ns(*ring.value(), 0, 4, 48, kIters);
   std::printf("\nring check: 0->7 (1 hop via wraparound) = %.0f ns, "
               "0->4 (4 hops) = %.0f ns\n", wrap, four);
+  report.add_row({BenchReport::str("note", "ring wraparound 0->7"),
+                  BenchReport::num("hops", 1), BenchReport::num("half_rtt_ns", wrap)});
+  report.add_row({BenchReport::str("note", "ring 0->4"), BenchReport::num("hops", 4),
+                  BenchReport::num("half_rtt_ns", four)});
+  report.write(flag_value(argc, argv, "--bench-out="));
 
   std::printf("\npaper check: per-hop increment below 50 ns — low enough that\n"
               "'networks consisting of many nodes can still communicate with\n"

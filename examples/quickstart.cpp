@@ -1,21 +1,44 @@
 // Quickstart: boot the paper's two-board prototype and exchange messages.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace-out=trace.json --metrics-out=metrics.json
 //
 // Walks through the whole stack: plan the topology, run the modified-BIOS
 // boot sequence (§V), load the driver, open tcmsg endpoints, and do a
 // ping-pong plus a one-sided put — narrating each step.
+//
+// --trace-out= writes a Chrome trace-event file of every packet on every
+// link plus the boot stages (open it at https://ui.perfetto.dev);
+// --metrics-out= dumps the telemetry metrics registry as JSON (see
+// docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "tccluster/cluster.hpp"
+#include "tccluster/trace_export.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace tcc;
 
-int main() {
+namespace {
+
+std::string flag_value(int argc, char** argv, const std::string& prefix) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   Log::set_level(LogLevel::kWarn);
+  const std::string trace_out = flag_value(argc, argv, "--trace-out=");
+  const std::string metrics_out = flag_value(argc, argv, "--metrics-out=");
   std::printf("== TCCluster quickstart: two Tyan boards, one HTX cable (Fig. 5) ==\n\n");
 
   // 1. Describe the machine: two single-socket nodes, one TCCluster cable.
@@ -26,6 +49,9 @@ int main() {
   auto created = cluster::TcCluster::create(options);
   created.expect("create cluster");
   cluster::TcCluster& cl = *created.value();
+  // Attach protocol analyzers before boot so the trace file shows the
+  // firmware bring-up traffic too.
+  if (!trace_out.empty()) cl.enable_tracing();
 
   std::printf("planned: %d nodes, global address space %s at 0x%llx\n",
               cl.num_nodes(), format_bytes(cl.plan().global_range().size).c_str(),
@@ -90,6 +116,17 @@ int main() {
                 format_rate(64.0 * 1024.0 / secs).c_str());
   });
   cl.engine().run();
+
+  if (!trace_out.empty()) {
+    cluster::write_chrome_trace(cl, trace_out).expect("write trace");
+    std::printf("\nwrote %s — load it at https://ui.perfetto.dev\n",
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    telemetry::MetricsRegistry::global().write_json(metrics_out).expect("write metrics");
+    std::printf("wrote %s (telemetry %s)\n", metrics_out.c_str(),
+                TCC_TELEMETRY_ENABLED ? "enabled" : "compiled out");
+  }
 
   std::printf("\nquickstart complete. Next: examples/mpi_stencil, "
               "examples/pgas_histogram, examples/supernode_mesh.\n");

@@ -4,8 +4,47 @@
 
 #include "common/log.hpp"
 #include "ht/crc.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tcc::ht {
+
+#if TCC_TELEMETRY_ENABLED
+namespace {
+
+/// Cumulative wire counters across every link in the process, split by
+/// virtual channel (see docs/OBSERVABILITY.md for the catalogue).
+struct LinkMetrics {
+  telemetry::Counter* packets[kNumVirtualChannels];
+  telemetry::Counter* bytes[kNumVirtualChannels];
+  telemetry::Counter& credit_stalls;
+  telemetry::Counter& crc_retries;
+  telemetry::Counter& trace_drops;
+
+  LinkMetrics()
+      : credit_stalls(
+            telemetry::MetricsRegistry::global().counter("ht.link.credit_stalls")),
+        crc_retries(
+            telemetry::MetricsRegistry::global().counter("ht.link.crc_retries")),
+        trace_drops(
+            telemetry::MetricsRegistry::global().counter("ht.link.trace_drops")) {
+    static constexpr const char* kVcName[kNumVirtualChannels] = {"posted", "nonposted",
+                                                                 "response"};
+    for (int vc = 0; vc < kNumVirtualChannels; ++vc) {
+      packets[vc] = &telemetry::MetricsRegistry::global().counter(
+          std::string("ht.link.packets_sent.") + kVcName[vc]);
+      bytes[vc] = &telemetry::MetricsRegistry::global().counter(
+          std::string("ht.link.bytes_sent.") + kVcName[vc]);
+    }
+  }
+};
+
+LinkMetrics& link_metrics() {
+  static LinkMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif  // TCC_TELEMETRY_ENABLED
 
 const char* to_string(VirtualChannel vc) {
   switch (vc) {
@@ -264,6 +303,7 @@ sim::Task<void> HtLink::pump(HtEndpoint* from, HtEndpoint* to) {
         co_return;
       }
       // Blocked on credits: wait for a credit return.
+      TCC_METRIC(link_metrics().credit_stalls.inc());
       co_await from->tx_trigger_.wait();
       continue;
     }
@@ -275,6 +315,8 @@ sim::Task<void> HtLink::pump(HtEndpoint* from, HtEndpoint* to) {
     --from->credits_[chosen];
     ++from->packets_sent_;
     from->bytes_sent_ += packet.wire_bytes();
+    TCC_METRIC(link_metrics().packets[chosen]->inc());
+    TCC_METRIC(link_metrics().bytes[chosen]->inc(packet.wire_bytes()));
     const Picoseconds departed = engine_.now();
 
     // Serialize onto the wire at the negotiated rate; the wire is busy for
@@ -290,6 +332,7 @@ sim::Task<void> HtLink::pump(HtEndpoint* from, HtEndpoint* to) {
       ++to->regs_.crc_errors;
       ++retries_;
       ++packet_retries;
+      TCC_METRIC(link_metrics().crc_retries.inc());
       co_await engine_.delay(wire_time + 2 * kPhyLatency);
     }
 

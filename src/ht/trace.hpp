@@ -9,6 +9,7 @@
 
 #include "common/units.hpp"
 #include "ht/packet.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tcc::ht {
 
@@ -32,7 +33,12 @@ class LinkTracer {
     if (records_.size() < max_records_) {
       records_.push_back(std::move(trace));
     } else {
+      // Past capacity the tracer silently sheds records; dropped() must be
+      // surfaced by every consumer (diag::link_report, the Chrome-trace
+      // export metadata) or a truncated trace reads as a quiet wire.
       ++dropped_;
+      TCC_METRIC(
+          telemetry::MetricsRegistry::global().counter("ht.link.trace_drops").inc());
     }
   }
 

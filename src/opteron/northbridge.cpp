@@ -3,8 +3,37 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tcc::opteron {
+
+#if TCC_TELEMETRY_ENABLED
+namespace {
+
+/// Cumulative address-map counters across every northbridge in the process
+/// (see docs/OBSERVABILITY.md for the catalogue).
+struct NbMetrics {
+  telemetry::Counter& route_lookups = telemetry::MetricsRegistry::global().counter(
+      "opteron.nb.route_lookups");
+  telemetry::Counter& dram_hits =
+      telemetry::MetricsRegistry::global().counter("opteron.nb.dram_hits");
+  telemetry::Counter& mmio_hits =
+      telemetry::MetricsRegistry::global().counter("opteron.nb.mmio_hits");
+  telemetry::Counter& master_aborts = telemetry::MetricsRegistry::global().counter(
+      "opteron.nb.master_aborts");
+  telemetry::Counter& forwarded = telemetry::MetricsRegistry::global().counter(
+      "opteron.nb.requests_forwarded");
+  telemetry::Counter& sunk =
+      telemetry::MetricsRegistry::global().counter("opteron.nb.requests_sunk");
+};
+
+NbMetrics& nb_metrics() {
+  static NbMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif  // TCC_TELEMETRY_ENABLED
 
 Northbridge::Northbridge(sim::Engine& engine, std::string name, MemoryController& mc,
                          int outbound_depth)
@@ -33,8 +62,10 @@ void Northbridge::attach_link(int index, ht::HtEndpoint& endpoint) {
 }
 
 Northbridge::Route Northbridge::route_request(PhysAddr addr) const {
+  TCC_METRIC(nb_metrics().route_lookups.inc());
   // Stage 1: DRAM base/limit -> home NodeID (§IV.C).
   if (const DramRangeReg* d = regs_.dram_lookup(addr)) {
+    TCC_METRIC(nb_metrics().dram_hits.inc());
     if (d->dst_node == regs_.node_id) {
       return Route{Route::Kind::kLocalMemory, -1, true};
     }
@@ -46,6 +77,7 @@ Northbridge::Route Northbridge::route_request(PhysAddr addr) const {
   }
   // Stage 2: MMIO base/limit -> egress link directly.
   if (const MmioRangeReg* m = regs_.mmio_lookup(addr)) {
+    TCC_METRIC(nb_metrics().mmio_hits.inc());
     return Route{Route::Kind::kLink, m->dst_link, m->non_posted_allowed};
   }
   return Route{Route::Kind::kMasterAbort, -1, false};
@@ -86,6 +118,7 @@ sim::Task<Status> Northbridge::dispatch(Route route, ht::Packet packet, Ingress 
       TCC_ASSERT(packet.command == ht::Command::kSizedWritePosted,
                  "dispatch(kLocalMemory) only handles posted writes here");
       ++sunk_;
+      TCC_METRIC(nb_metrics().sunk.inc());
       if (from.kind == Ingress::Kind::kLink &&
           links_[static_cast<std::size_t>(from.link)]->regs().kind ==
               ht::LinkKind::kNonCoherent) {
@@ -105,12 +138,14 @@ sim::Task<Status> Northbridge::dispatch(Route route, ht::Packet packet, Ingress 
     case Route::Kind::kLink: {
       if (from.kind == Ingress::Kind::kLink && route.link == from.link) {
         ++regs_.master_aborts;
+        TCC_METRIC(nb_metrics().master_aborts.inc());
         co_return make_error(ErrorCode::kConfigConflict,
                              name_ + ": routing loop, egress == ingress link");
       }
       ht::HtEndpoint* ep = links_[static_cast<std::size_t>(route.link)];
       if (ep == nullptr) {
         ++regs_.master_aborts;
+        TCC_METRIC(nb_metrics().master_aborts.inc());
         co_return make_error(ErrorCode::kConfigConflict,
                              name_ + ": route names an unattached link");
       }
@@ -119,13 +154,17 @@ sim::Task<Status> Northbridge::dispatch(Route route, ht::Packet packet, Ingress 
         ++regs_.io_bridge_conversions;  // the IO bridge reframes the packet
         packet.coherent = egress_coherent;
       }
-      if (from.kind == Ingress::Kind::kLink) ++forwarded_;
+      if (from.kind == Ingress::Kind::kLink) {
+        ++forwarded_;
+        TCC_METRIC(nb_metrics().forwarded.inc());
+      }
       co_await outbound_[static_cast<std::size_t>(route.link)]->push(std::move(packet));
       co_return Status{};
     }
     case Route::Kind::kMasterAbort:
     default:
       ++regs_.master_aborts;
+      TCC_METRIC(nb_metrics().master_aborts.inc());
       co_return make_error(ErrorCode::kOutOfRange,
                            name_ + ": address matches no DRAM or MMIO range");
   }
@@ -171,6 +210,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> Northbridge::core_read(PhysAddr add
     case Route::Kind::kMasterAbort:
     default:
       ++regs_.master_aborts;
+      TCC_METRIC(nb_metrics().master_aborts.inc());
       co_return make_error(ErrorCode::kOutOfRange,
                            name_ + ": read matches no DRAM or MMIO range");
   }
@@ -207,9 +247,11 @@ sim::Task<void> Northbridge::handle_ingress(int link_index, ht::Packet packet) {
     if (r.response_link == RouteReg::kSelf ||
         links_[static_cast<std::size_t>(r.response_link)] == nullptr) {
       ++regs_.master_aborts;  // unroutable response — the §IV.A failure
+      TCC_METRIC(nb_metrics().master_aborts.inc());
       co_return;
     }
     ++forwarded_;
+    TCC_METRIC(nb_metrics().forwarded.inc());
     co_await outbound_[static_cast<std::size_t>(r.response_link)]->push(std::move(packet));
     co_return;
   }
@@ -252,6 +294,8 @@ sim::Task<void> Northbridge::handle_ingress(int link_index, ht::Packet packet) {
         if (packet.command == ht::Command::kSizedWriteNonPosted) {
           mc_.post_write(packet.address, packet.data);
           ++sunk_;
+          TCC_METRIC(nb_metrics().sunk.inc());
+      TCC_METRIC(nb_metrics().sunk.inc());
         }
         ht::Packet resp = ht::Packet::target_done(packet.src);
         resp.coherent = back.regs().kind == ht::LinkKind::kCoherent;

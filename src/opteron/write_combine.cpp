@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/metrics.hpp"
+
 namespace tcc::opteron {
+
+#if TCC_TELEMETRY_ENABLED
+namespace {
+
+/// Flush-cause accounting across every WC unit in the process: which of the
+/// three dispatch triggers (full line, capacity eviction, fence drain) fired
+/// (see docs/OBSERVABILITY.md for the catalogue).
+struct WcMetrics {
+  telemetry::Counter& flush_full_line = telemetry::MetricsRegistry::global().counter(
+      "opteron.wc.flush_full_line");
+  telemetry::Counter& flush_eviction = telemetry::MetricsRegistry::global().counter(
+      "opteron.wc.flush_eviction");
+  telemetry::Counter& flush_fence =
+      telemetry::MetricsRegistry::global().counter("opteron.wc.flush_fence");
+  telemetry::Counter& packets_emitted = telemetry::MetricsRegistry::global().counter(
+      "opteron.wc.packets_emitted");
+  telemetry::Counter& bypass_stores = telemetry::MetricsRegistry::global().counter(
+      "opteron.wc.bypass_stores");
+};
+
+WcMetrics& wc_metrics() {
+  static WcMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif  // TCC_TELEMETRY_ENABLED
 
 int WriteCombiningUnit::open_buffers() const {
   return static_cast<int>(
@@ -21,6 +50,8 @@ sim::Task<Status> WriteCombiningUnit::store(PhysAddr addr,
     // Ablation mode: no combining, one packet per store.
     ht::Packet p = ht::Packet::posted_write(addr, bytes);
     ++packets_emitted_;
+    TCC_METRIC(wc_metrics().bypass_stores.inc());
+    TCC_METRIC(wc_metrics().packets_emitted.inc());
     co_await engine_.delay(kWcDispatch);
     co_return co_await nb_.core_posted_write(std::move(p));
   }
@@ -49,6 +80,7 @@ sim::Task<Status> WriteCombiningUnit::store(PhysAddr addr,
                                  return a.alloc_seq < b.alloc_seq;
                                });
       ++evictions_;
+      TCC_METRIC(wc_metrics().flush_eviction.inc());
       Status s = co_await dispatch(*buf);
       if (!s.ok()) co_return s;
     }
@@ -66,6 +98,7 @@ sim::Task<Status> WriteCombiningUnit::store(PhysAddr addr,
 
   if (buf->mask.all()) {
     ++full_line_packets_;
+    TCC_METRIC(wc_metrics().flush_full_line.inc());
     co_return co_await dispatch(*buf);
   }
   co_return Status{};
@@ -81,6 +114,7 @@ sim::Task<Status> WriteCombiningUnit::flush_all() {
       }
     }
     if (oldest == nullptr) co_return Status{};
+    TCC_METRIC(wc_metrics().flush_fence.inc());
     Status s = co_await dispatch(*oldest);
     if (!s.ok()) co_return s;
   }
@@ -102,6 +136,7 @@ sim::Task<Status> WriteCombiningUnit::dispatch(Buffer& buf) {
     ht::Packet p = ht::Packet::posted_write(
         buf.line + i, std::span<const std::uint8_t>(buf.data.data() + i, j - i));
     ++packets_emitted_;
+    TCC_METRIC(wc_metrics().packets_emitted.inc());
     co_await engine_.delay(kWcDispatch);
     Status s = co_await nb_.core_posted_write(std::move(p));
     if (!s.ok()) co_return s;

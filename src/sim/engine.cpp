@@ -1,10 +1,40 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tcc::sim {
+
+#if TCC_TELEMETRY_ENABLED
+namespace {
+
+/// Handle cache for the engine's metrics (see docs/OBSERVABILITY.md). One
+/// registry lookup per process, then plain pointer increments.
+struct EngineMetrics {
+  telemetry::Counter& events = telemetry::MetricsRegistry::global().counter(
+      "sim.engine.events_processed");
+  telemetry::Counter& spawns = telemetry::MetricsRegistry::global().counter(
+      "sim.engine.processes_spawned");
+  telemetry::Counter& runs =
+      telemetry::MetricsRegistry::global().counter("sim.engine.run_calls");
+  telemetry::Gauge& wall_seconds = telemetry::MetricsRegistry::global().gauge(
+      "sim.engine.wall_seconds");
+  telemetry::Gauge& sim_seconds = telemetry::MetricsRegistry::global().gauge(
+      "sim.engine.sim_seconds");
+  telemetry::Histogram& queue_depth = telemetry::MetricsRegistry::global().histogram(
+      "sim.engine.queue_depth");
+};
+
+EngineMetrics& engine_metrics() {
+  static EngineMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif  // TCC_TELEMETRY_ENABLED
 
 void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
   engine_.schedule_resume(duration_, h);
@@ -29,6 +59,7 @@ void Engine::spawn(Task<void> task) {
   auto handle = task.release();
   TCC_ASSERT(handle != nullptr, "spawn of an empty task");
   processes_.push_back(handle);
+  TCC_METRIC(engine_metrics().spawns.inc());
   // Start the process as an event so that spawning inside a running process
   // keeps deterministic ordering.
   schedule(Picoseconds::zero(), [handle] { handle.resume(); });
@@ -37,6 +68,11 @@ void Engine::spawn(Task<void> task) {
 Picoseconds Engine::run() { return run_until(Picoseconds::max()); }
 
 Picoseconds Engine::run_until(Picoseconds deadline) {
+#if TCC_TELEMETRY_ENABLED
+  const std::uint64_t events_at_entry = events_processed_;
+  const Picoseconds sim_at_entry = now_;
+  const auto wall_start = std::chrono::steady_clock::now();
+#endif
   while (!queue_.empty()) {
     const Event& top = queue_.top();
     if (top.at > deadline) break;
@@ -47,9 +83,23 @@ Picoseconds Engine::run_until(Picoseconds deadline) {
     now_ = ev.at;
     ++events_processed_;
     ev.fn();
-    if (events_processed_ % 4096 == 0) reap_finished();
+    if (events_processed_ % 4096 == 0) {
+      TCC_METRIC(engine_metrics().queue_depth.add(queue_.size()));
+      reap_finished();
+    }
   }
   reap_finished();
+#if TCC_TELEMETRY_ENABLED
+  // Telemetry is recorded once per run, off the per-event hot path: event
+  // throughput, plus the cumulative wall/sim clocks whose ratio is the
+  // simulator's slowdown factor (wall time per simulated second).
+  engine_metrics().runs.inc();
+  engine_metrics().events.inc(events_processed_ - events_at_entry);
+  engine_metrics().sim_seconds.add((now_ - sim_at_entry).seconds());
+  engine_metrics().wall_seconds.add(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count());
+#endif
   return now_;
 }
 

@@ -18,6 +18,17 @@ TcCluster::TcCluster(Options options, topology::ClusterPlan plan)
   boot_ = std::make_unique<firmware::BootSequencer>(*machine_, options_.boot);
 }
 
+void TcCluster::enable_tracing(std::size_t max_records) {
+  if (!tracers_.empty()) return;
+  tracers_.reserve(static_cast<std::size_t>(machine_->num_links()));
+  for (int i = 0; i < machine_->num_links(); ++i) {
+    auto tracer = std::make_unique<ht::LinkTracer>();
+    tracer->set_max_records(max_records);
+    machine_->link(i).set_tracer(tracer.get());
+    tracers_.push_back(std::move(tracer));
+  }
+}
+
 Status TcCluster::boot() {
   if (booted_) {
     return make_error(ErrorCode::kFailedPrecondition, "cluster already booted");

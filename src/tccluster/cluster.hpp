@@ -18,6 +18,7 @@
 
 #include "firmware/boot.hpp"
 #include "firmware/machine.hpp"
+#include "ht/trace.hpp"
 #include "tccluster/driver.hpp"
 #include "tccluster/msg.hpp"
 
@@ -62,6 +63,19 @@ class TcCluster {
     return *libraries_.at(static_cast<std::size_t>(chip));
   }
 
+  /// Attach an owned protocol analyzer to every plan wire. Call before
+  /// boot() to capture link-training and enumeration traffic too.
+  /// Idempotent; `max_records` is a per-link cap — past it a tracer sheds
+  /// records and counts them in dropped().
+  void enable_tracing(std::size_t max_records = 65536);
+
+  [[nodiscard]] bool tracing_enabled() const { return !tracers_.empty(); }
+  /// The tracer on plan wire `link`, or nullptr when tracing is off.
+  [[nodiscard]] ht::LinkTracer* tracer(int link) {
+    if (tracers_.empty()) return nullptr;
+    return tracers_.at(static_cast<std::size_t>(link)).get();
+  }
+
  private:
   TcCluster(Options options, topology::ClusterPlan plan);
 
@@ -71,6 +85,7 @@ class TcCluster {
   std::unique_ptr<firmware::BootSequencer> boot_;
   std::vector<std::unique_ptr<TcDriver>> drivers_;
   std::vector<std::unique_ptr<MsgLibrary>> libraries_;
+  std::vector<std::unique_ptr<ht::LinkTracer>> tracers_;  // one per plan wire
   bool booted_ = false;
 };
 

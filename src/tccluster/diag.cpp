@@ -25,6 +25,12 @@ std::string link_report(TcCluster& cluster) {
         static_cast<unsigned long long>(link.side_a().packets_sent()),
         static_cast<unsigned long long>(link.side_b().packets_sent()),
         link.retries());
+    if (const ht::LinkTracer* tracer = link.tracer(); tracer != nullptr) {
+      out += strprintf("      tracer: %llu recorded, %llu dropped%s\n",
+                       static_cast<unsigned long long>(tracer->records().size()),
+                       static_cast<unsigned long long>(tracer->dropped()),
+                       tracer->dropped() > 0 ? "  ** TRUNCATED **" : "");
+    }
   }
   for (std::size_t s = 0; s < cluster.plan().supernodes().size(); ++s) {
     ht::HtLink& sb = m.southbridge_link(static_cast<int>(s));

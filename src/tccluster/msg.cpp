@@ -4,8 +4,42 @@
 
 #include "ht/crc.hpp"
 #include "opteron/timing.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tcc::cluster {
+
+#if TCC_TELEMETRY_ENABLED
+namespace {
+
+/// Message-layer accounting aggregated across every endpoint in the process
+/// (per-endpoint numbers stay in MsgEndpoint::stats()). ring_occupancy is
+/// sampled in slots at each send, after credits are acquired.
+struct MsgMetrics {
+  telemetry::Counter& sends =
+      telemetry::MetricsRegistry::global().counter("tccluster.msg.sends");
+  telemetry::Counter& recvs =
+      telemetry::MetricsRegistry::global().counter("tccluster.msg.recvs");
+  telemetry::Counter& bytes_sent = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.bytes_sent");
+  telemetry::Counter& bytes_received = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.bytes_received");
+  telemetry::Counter& credit_stalls = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.credit_stalls");
+  telemetry::Counter& acks_sent = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.acks_sent");
+  telemetry::Counter& polls =
+      telemetry::MetricsRegistry::global().counter("tccluster.msg.polls");
+  telemetry::Histogram& ring_occupancy = telemetry::MetricsRegistry::global().histogram(
+      "tccluster.msg.ring_occupancy");
+};
+
+MsgMetrics& msg_metrics() {
+  static MsgMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif  // TCC_TELEMETRY_ENABLED
 
 namespace {
 
@@ -78,6 +112,7 @@ sim::Task<Status> MsgEndpoint::acquire_credits(std::uint64_t slots) {
     if (!stalled) {
       stalled = true;
       ++stats_.credit_stalls;
+      TCC_METRIC(msg_metrics().credit_stalls.inc());
     }
     co_await core_.compute(opteron::kPollLoopOverhead);
   }
@@ -94,6 +129,8 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
   const std::uint64_t slots = slots_for(len);
   Status s = co_await acquire_credits(slots);
   if (!s.ok()) co_return s;
+  TCC_METRIC(
+      msg_metrics().ring_occupancy.add(send_slots_ + slots - acked_slots_cache_));
 
   const std::uint64_t head = send_slots_;
   const std::uint32_t crc = ht::crc32c(payload);
@@ -129,6 +166,8 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
   send_slots_ += slots;
   ++stats_.messages_sent;
   stats_.bytes_sent += len;
+  TCC_METRIC(msg_metrics().sends.inc());
+  TCC_METRIC(msg_metrics().bytes_sent.inc(len));
   co_return Status{};
 }
 
@@ -216,6 +255,8 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(std::vector<std::uint8_t
   recv_slots_ += slots;
   ++stats_.messages_received;
   stats_.bytes_received += len;
+  TCC_METRIC(msg_metrics().recvs.inc());
+  TCC_METRIC(msg_metrics().bytes_received.inc(len));
 
   // Periodic pointer exchange for flow control (§IV.A).
   if (recv_slots_ - acked_out_ >= kAckThreshold) {
@@ -236,6 +277,7 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_discard() {
 }
 
 sim::Task<bool> MsgEndpoint::poll() {
+  TCC_METRIC(msg_metrics().polls.inc());
   auto marker = co_await core_.load_u64(rx_slot_addr(recv_slots_));
   co_return marker.ok() && marker.value() == recv_seq_;
 }
@@ -248,6 +290,7 @@ sim::Task<Status> MsgEndpoint::flush_acks() {
   if (!s.ok()) co_return s;
   acked_out_ = recv_slots_;
   ++stats_.acks_sent;
+  TCC_METRIC(msg_metrics().acks_sent.inc());
   co_return Status{};
 }
 

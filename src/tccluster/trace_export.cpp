@@ -1,0 +1,99 @@
+#include "tccluster/trace_export.hpp"
+
+#include "common/strings.hpp"
+#include "firmware/image.hpp"
+#include "telemetry/chrome_trace.hpp"
+
+namespace tcc::cluster {
+
+namespace {
+
+// Track layout: pid 0 is the firmware boot sequence, pid 1+i is plan wire i.
+// Within a link, tid 0 carries side-A-transmitted packets and tid 1 side-B's,
+// so the two directions render as separate rows of one process group.
+constexpr int kBootPid = 0;
+
+void export_boot(TcCluster& cluster, telemetry::ChromeTraceWriter& w) {
+  w.set_process_name(kBootPid, "firmware boot");
+  w.set_thread_name(kBootPid, 0, "stages");
+  for (const auto& rec : cluster.boot_sequencer().trace()) {
+    telemetry::ChromeTraceWriter::Args args;
+    if (!rec.note.empty()) {
+      args.push_back(telemetry::ChromeTraceWriter::arg_str("note", rec.note));
+    }
+    w.begin(kBootPid, 0, rec.start.count(), firmware::to_string(rec.stage), "boot",
+            std::move(args));
+    w.end(kBootPid, 0, rec.end.count());
+  }
+}
+
+void export_link(TcCluster& cluster, int link_index,
+                 telemetry::ChromeTraceWriter& w) {
+  ht::LinkTracer* tracer = cluster.tracer(link_index);
+  if (tracer == nullptr) return;
+  ht::HtLink& link = cluster.machine().link(link_index);
+  const int pid = 1 + link_index;
+  const std::string side_a = link.side_a().name();
+
+  w.set_process_name(pid, strprintf("link %d: %s <-> %s", link_index,
+                                    side_a.c_str(), link.side_b().name().c_str()));
+  w.set_thread_name(pid, 0, "tx " + side_a);
+  w.set_thread_name(pid, 1, "tx " + link.side_b().name());
+
+  for (const auto& r : tracer->records()) {
+    telemetry::ChromeTraceWriter::Args args;
+    args.push_back(telemetry::ChromeTraceWriter::arg_str("vc", ht::to_string(r.vc)));
+    args.push_back(telemetry::ChromeTraceWriter::arg_num(
+        "size", static_cast<std::uint64_t>(r.size)));
+    args.push_back(telemetry::ChromeTraceWriter::arg_str(
+        "address", strprintf("0x%llx",
+                             static_cast<unsigned long long>(r.address.value()))));
+    args.push_back(telemetry::ChromeTraceWriter::arg_num("wire_seq", r.wire_seq));
+    if (r.retries > 0) {
+      args.push_back(telemetry::ChromeTraceWriter::arg_num(
+          "crc_retries", static_cast<std::uint64_t>(r.retries)));
+    }
+    const int tid = r.from == side_a ? 0 : 1;
+    w.complete(pid, tid, r.departed.count(), (r.arrived - r.departed).count(),
+               ht::to_string(r.command), r.coherent ? "cHT" : "ncHT",
+               std::move(args));
+  }
+
+  if (tracer->dropped() > 0) {
+    // Mark saturation at the end of the recorded window so the viewer shows
+    // where the record stops being complete.
+    const Picoseconds at =
+        tracer->records().empty() ? Picoseconds::zero()
+                                  : tracer->records().back().arrived;
+    w.instant(pid, 0, at.count(), "tracer saturated", "meta",
+              {telemetry::ChromeTraceWriter::arg_num("dropped", tracer->dropped()),
+               telemetry::ChromeTraceWriter::arg_num(
+                   "recorded",
+                   static_cast<std::uint64_t>(tracer->records().size()))});
+  }
+}
+
+telemetry::ChromeTraceWriter build_trace(TcCluster& cluster) {
+  telemetry::ChromeTraceWriter w;
+  export_boot(cluster, w);
+  for (int i = 0; i < cluster.machine().num_links(); ++i) {
+    export_link(cluster, i, w);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(TcCluster& cluster) {
+  return build_trace(cluster).json();
+}
+
+Status write_chrome_trace(TcCluster& cluster, const std::string& path) {
+  if (!cluster.tracing_enabled()) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "tracing was never enabled; call enable_tracing() before boot");
+  }
+  return build_trace(cluster).write(path);
+}
+
+}  // namespace tcc::cluster

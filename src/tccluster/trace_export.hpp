@@ -1,0 +1,26 @@
+// Chrome trace-event export of a TcCluster run: every packet recorded by the
+// attached LinkTracers becomes an "X" (complete) slice on that link's track,
+// and the firmware boot stages become "B"/"E" spans on a dedicated boot
+// track. Load the result in https://ui.perfetto.dev or chrome://tracing.
+//
+// Requires TcCluster::enable_tracing() to have been called (before boot, if
+// boot traffic should appear). Tracer saturation is surfaced as an instant
+// event per affected link plus a "dropped" arg — a truncated trace must not
+// read as a quiet wire.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "tccluster/cluster.hpp"
+
+namespace tcc::cluster {
+
+/// The trace document: a Chrome trace-event JSON array.
+[[nodiscard]] std::string chrome_trace_json(TcCluster& cluster);
+
+/// chrome_trace_json() straight to a file. Fails if tracing was never
+/// enabled (the trace would be empty) or the file cannot be written.
+Status write_chrome_trace(TcCluster& cluster, const std::string& path);
+
+}  // namespace tcc::cluster

@@ -1,0 +1,70 @@
+// Chrome trace-event (chrome://tracing / Perfetto) writer.
+//
+// Produces the JSON Array Format of the Trace Event specification: a plain
+// JSON array of event objects. Perfetto and chrome://tracing both load it
+// directly. Timestamps enter in simulated picoseconds and are emitted in
+// microseconds (the unit the format requires), keeping nanosecond precision
+// as fractions.
+//
+// The generic writer lives here so it has no dependency on the machine
+// model; the TCCluster-specific conversion (LinkTracer records, boot-stage
+// spans) lives in tccluster/trace_export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tcc::telemetry {
+
+class ChromeTraceWriter {
+ public:
+  /// Key/value pairs rendered into an event's "args" object. Values given
+  /// as pre-serialized JSON fragments (use arg_str/arg_num to build them).
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  static std::pair<std::string, std::string> arg_str(std::string k, const std::string& v);
+  static std::pair<std::string, std::string> arg_num(std::string k, double v);
+  static std::pair<std::string, std::string> arg_num(std::string k, std::uint64_t v);
+
+  /// "M" metadata events naming the track (Perfetto's left-hand labels).
+  void set_process_name(int pid, const std::string& name);
+  void set_thread_name(int pid, int tid, const std::string& name);
+
+  /// "X" complete event: one slice with an explicit duration.
+  void complete(int pid, int tid, std::int64_t ts_ps, std::int64_t dur_ps,
+                const std::string& name, const std::string& cat, Args args = {});
+
+  /// "B"/"E" duration pair (must nest properly per pid/tid).
+  void begin(int pid, int tid, std::int64_t ts_ps, const std::string& name,
+             const std::string& cat, Args args = {});
+  void end(int pid, int tid, std::int64_t ts_ps);
+
+  /// "I" instant event (scope: process).
+  void instant(int pid, int tid, std::int64_t ts_ps, const std::string& name,
+               const std::string& cat, Args args = {});
+
+  /// "C" counter event (Perfetto renders a track of stacked values).
+  void counter(int pid, std::int64_t ts_ps, const std::string& name,
+               const std::string& series, double value);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  /// The finished document: a valid JSON array of event objects.
+  [[nodiscard]] std::string json() const;
+
+  /// json() straight to a file.
+  Status write(const std::string& path) const;
+
+ private:
+  void push_event(char ph, int pid, int tid, std::int64_t ts_ps,
+                  const std::string& name, const std::string& cat, const Args& args,
+                  std::int64_t dur_ps = -1, const char* scope = nullptr);
+
+  std::vector<std::string> events_;  // each a serialized JSON object
+};
+
+}  // namespace tcc::telemetry

@@ -1,0 +1,184 @@
+#include "telemetry/metrics.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "telemetry/json.hpp"
+
+namespace tcc::telemetry {
+
+void Histogram::add(std::uint64_t v) {
+  ++buckets_[static_cast<std::size_t>(std::bit_width(v))];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t Histogram::percentile_bound(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+      // Upper bound of bucket i: values with bit_width i are <= 2^i - 1.
+      if (i == 0) return 0;
+      if (i >= 64) return ~0ull;
+      return (1ull << i) - 1;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(const std::string& name, Kind kind) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(name); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(name); break;
+      case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(name); break;
+    }
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  TCC_ASSERT(it->second.kind == kind,
+             "metric re-registered with a different instrument kind");
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return *get_or_create(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return *get_or_create(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return *get_or_create(name, Kind::kHistogram).histogram;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->reset(); break;
+      case Kind::kGauge: entry.gauge->reset(); break;
+      case Kind::kHistogram: entry.histogram->reset(); break;
+    }
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version");
+  w.value(std::uint64_t{1});
+  w.key("telemetry_enabled");
+  w.value(TCC_TELEMETRY_ENABLED != 0);
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kCounter) continue;
+    w.key(name);
+    w.value(entry.counter->value());
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kGauge) continue;
+    w.key(name);
+    w.value(entry.gauge->value());
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.kind != Kind::kHistogram) continue;
+    const Histogram& h = *entry.histogram;
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count());
+    w.key("sum");
+    w.value(h.sum());
+    w.key("min");
+    w.value(h.min());
+    w.key("max");
+    w.value(h.max());
+    w.key("mean");
+    w.value(h.mean());
+    w.key("p50_bound");
+    w.value(h.percentile_bound(50.0));
+    w.key("p99_bound");
+    w.value(h.percentile_bound(99.0));
+    w.key("log2_buckets");
+    w.begin_array();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) == 0) continue;
+      w.begin_array();
+      w.value(static_cast<std::uint64_t>(i));
+      w.value(h.bucket(i));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+Status MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return make_error(ErrorCode::kNotFound, "cannot open " + path + " for writing");
+  }
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (!ok) return make_error(ErrorCode::kResourceExhausted, "short write to " + path);
+  return {};
+}
+
+}  // namespace tcc::telemetry

@@ -1,0 +1,219 @@
+// Telemetry layer unit tests: registry semantics, histogram math and merge,
+// and the JSON writer/parser round trip everything else builds on.
+#include <gtest/gtest.h>
+
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tcc::telemetry {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g("test.gauge");
+  g.set(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, Log2Buckets) {
+  Histogram h("test.hist");
+  h.add(0);  // bucket 0
+  h.add(1);  // bucket 1
+  h.add(2);  // bucket 2
+  h.add(3);  // bucket 2
+  h.add(1024);  // bucket 11
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 2 + 3 + 1024) / 5.0);
+}
+
+TEST(Histogram, PercentileBound) {
+  Histogram h("test.hist");
+  for (int i = 0; i < 99; ++i) h.add(4);  // bucket 3, bound 7
+  h.add(1'000'000);
+  // p50 falls well inside the bucket holding the 4s.
+  EXPECT_EQ(h.percentile_bound(50.0), 7u);
+  // p100 must cover the outlier's bucket.
+  EXPECT_GE(h.percentile_bound(100.0), 1'000'000u);
+  // Empty histogram reports zero.
+  Histogram empty("test.empty");
+  EXPECT_EQ(empty.percentile_bound(50.0), 0u);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a("a");
+  Histogram b("b");
+  a.add(1);
+  a.add(100);
+  b.add(7);
+  b.add(200'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 200'000u);
+  EXPECT_DOUBLE_EQ(a.sum(), 1 + 100 + 7 + 200'000.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry r;
+  Counter& c1 = r.counter("x.count");
+  Counter& c2 = r.counter("x.count");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc();
+  EXPECT_EQ(c2.value(), 1u);
+  r.gauge("x.gauge");
+  r.histogram("x.hist");
+  EXPECT_EQ(r.size(), 3u);
+  const auto names = r.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry r;
+  r.counter("a").inc(5);
+  r.gauge("b").set(2.0);
+  r.histogram("c").add(9);
+  r.reset_values();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.counter("a").value(), 0u);
+  EXPECT_DOUBLE_EQ(r.gauge("b").value(), 0.0);
+  EXPECT_EQ(r.histogram("c").count(), 0u);
+}
+
+TEST(MetricsRegistry, JsonRoundTrip) {
+  MetricsRegistry r;
+  r.counter("events").inc(7);
+  r.gauge("ratio").set(0.25);
+  Histogram& h = r.histogram("depth");
+  h.add(3);
+  h.add(300);
+
+  auto doc = json_parse(r.to_json());
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  const JsonValue& v = doc.value();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("schema_version")->number, 1.0);
+  EXPECT_EQ(v.find("counters")->find("events")->number, 7.0);
+  EXPECT_DOUBLE_EQ(v.find("gauges")->find("ratio")->number, 0.25);
+  const JsonValue* hist = v.find("histograms")->find("depth");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->number, 2.0);
+  EXPECT_EQ(hist->find("min")->number, 3.0);
+  EXPECT_EQ(hist->find("max")->number, 300.0);
+  ASSERT_TRUE(hist->find("log2_buckets")->is_array());
+}
+
+TEST(Json, EscapeAndNumberEdgeCases) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(json_number(1.0 / 0.0), "null");  // JSON has no inf
+  EXPECT_EQ(json_number(0.0 / 0.0), "null");  // or nan
+  auto doc = json_parse("\"tab\\tand \\u0041 unicode\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().str, "tab\tand A unicode");
+}
+
+TEST(Json, WriterParserRoundTrip) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name");
+  w.value("tc\"cluster");
+  w.key("nested");
+  w.begin_object();
+  w.key("pi");
+  w.value(3.5);
+  w.key("neg");
+  w.value(std::int64_t{-12});
+  w.end_object();
+  w.key("list");
+  w.begin_array();
+  w.value(true);
+  w.null();
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.end_array();
+  w.end_object();
+
+  auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  const JsonValue& v = doc.value();
+  EXPECT_EQ(v.find("name")->str, "tc\"cluster");
+  EXPECT_DOUBLE_EQ(v.find("nested")->find("pi")->number, 3.5);
+  EXPECT_EQ(v.find("nested")->find("neg")->number, -12.0);
+  ASSERT_EQ(v.find("list")->array.size(), 3u);
+  EXPECT_TRUE(v.find("list")->array[0].boolean);
+  EXPECT_EQ(v.find("list")->array[1].kind, JsonValue::Kind::kNull);
+}
+
+TEST(Json, StrictParserRejectsGarbage) {
+  EXPECT_FALSE(json_parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(json_parse("{\"a\": }").ok());
+  EXPECT_FALSE(json_parse("[1, 2,]").ok());
+  EXPECT_FALSE(json_parse("").ok());
+  EXPECT_FALSE(json_parse("{\"a\" 1}").ok());
+}
+
+TEST(ChromeTrace, EmitsValidEventArray) {
+  ChromeTraceWriter w;
+  w.set_process_name(1, "link 0");
+  w.set_thread_name(1, 0, "tx a");
+  w.complete(1, 0, 1'000'000, 2'000'000, "WrSized", "ncHT",
+             {ChromeTraceWriter::arg_str("vc", "posted"),
+              ChromeTraceWriter::arg_num("size", std::uint64_t{64})});
+  w.begin(0, 0, 0, "COLD RESET", "boot");
+  w.end(0, 0, 5'000'000);
+  w.instant(1, 0, 3'000'000, "tracer saturated", "meta");
+  w.counter(1, 0, "queue", "depth", 4.0);
+
+  auto doc = json_parse(w.json());
+  ASSERT_TRUE(doc.ok()) << doc.error().to_string();
+  ASSERT_TRUE(doc.value().is_array());
+  EXPECT_EQ(doc.value().array.size(), w.event_count());
+  bool saw_x = false;
+  for (const JsonValue& ev : doc.value().array) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string ph = ev.find("ph")->str;
+    if (ph == "X") {
+      saw_x = true;
+      // ts/dur are microseconds: 1e6 ps = 1 us.
+      EXPECT_DOUBLE_EQ(ev.find("ts")->number, 1.0);
+      EXPECT_DOUBLE_EQ(ev.find("dur")->number, 2.0);
+      EXPECT_EQ(ev.find("args")->find("vc")->str, "posted");
+    }
+  }
+  EXPECT_TRUE(saw_x);
+}
+
+#if TCC_TELEMETRY_ENABLED
+TEST(Macro, CompiledInExecutesStatement) {
+  int hits = 0;
+  TCC_METRIC(++hits);
+  EXPECT_EQ(hits, 1);
+}
+#else
+TEST(Macro, CompiledOutElidesStatement) {
+  int hits = 0;
+  TCC_METRIC(++hits);
+  EXPECT_EQ(hits, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace tcc::telemetry

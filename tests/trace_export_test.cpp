@@ -1,0 +1,187 @@
+// End-to-end observability tests: the Chrome-trace export of a real booted
+// two-board ping-pong, tracer-saturation surfacing, and the docs contract —
+// every metric name the registry knows must appear in the
+// docs/OBSERVABILITY.md catalogue and vice versa.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "tccluster/cluster.hpp"
+#include "tccluster/diag.hpp"
+#include "tccluster/trace_export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tcc {
+namespace {
+
+/// Boot a two-board cable cluster and run `rounds` ping-pongs, touching
+/// every instrumented subsystem (engine, links, northbridge, WC, tcmsg).
+/// With code-fetch modeling off, boot itself puts nothing on the wire and a
+/// 32 B message is a single combined posted write — one packet per
+/// direction per round.
+std::unique_ptr<cluster::TcCluster> pingpong_cluster(std::size_t max_trace_records,
+                                                    int rounds = 1) {
+  cluster::TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kCable;
+  o.topology.nx = 2;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.model_code_fetch = false;
+  auto created = cluster::TcCluster::create(o);
+  created.expect("create");
+  auto cl = std::move(created).value();
+  cl->enable_tracing(max_trace_records);
+  cl->boot().expect("boot");
+
+  auto* ep0 = cl->msg(0).connect(1).expect("connect 0->1");
+  auto* ep1 = cl->msg(1).connect(0).expect("connect 1->0");
+  cl->engine().spawn_fn([ep0, rounds]() -> sim::Task<void> {
+    for (int i = 0; i < rounds; ++i) {
+      std::uint8_t msg[32] = {1, 2, 3};
+      (co_await ep0->send(msg)).expect("send");
+      (co_await ep0->recv_discard()).expect("pong");
+    }
+  });
+  cl->engine().spawn_fn([ep1, rounds]() -> sim::Task<void> {
+    (void)co_await ep1->poll();
+    for (int i = 0; i < rounds; ++i) {
+      (co_await ep1->recv_discard()).expect("ping");
+      std::uint8_t msg[32] = {4, 5, 6};
+      (co_await ep1->send(msg)).expect("reply");
+    }
+  });
+  cl->engine().run();
+  return cl;
+}
+
+TEST(TraceExport, PingPongProducesValidChromeTrace) {
+  auto cl = pingpong_cluster(65536);
+  const std::string doc = cluster::chrome_trace_json(*cl);
+
+  auto parsed = telemetry::json_parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_TRUE(parsed.value().is_array());
+  ASSERT_FALSE(parsed.value().array.empty());
+
+  std::set<std::string> phases;
+  bool x_fields_ok = false;
+  for (const auto& ev : parsed.value().array) {
+    ASSERT_TRUE(ev.is_object());
+    ASSERT_NE(ev.find("ph"), nullptr);
+    phases.insert(ev.find("ph")->str);
+    if (ev.find("ph")->str == "X" && !x_fields_ok) {
+      EXPECT_NE(ev.find("pid"), nullptr);
+      EXPECT_NE(ev.find("tid"), nullptr);
+      EXPECT_NE(ev.find("ts"), nullptr);
+      EXPECT_NE(ev.find("dur"), nullptr);
+      EXPECT_GE(ev.find("dur")->number, 0.0);
+      x_fields_ok = true;
+    }
+  }
+  // Packets are X slices, boot stages B/E spans, track names M metadata.
+  EXPECT_TRUE(phases.count("X")) << "no packet slices";
+  EXPECT_TRUE(phases.count("B")) << "no boot-stage begin";
+  EXPECT_TRUE(phases.count("E")) << "no boot-stage end";
+  EXPECT_TRUE(phases.count("M")) << "no track metadata";
+  EXPECT_TRUE(x_fields_ok);
+
+  // Untruncated tracers: no saturation markers anywhere.
+  EXPECT_EQ(doc.find("tracer saturated"), std::string::npos);
+}
+
+TEST(TraceExport, WriteRequiresTracing) {
+  cluster::TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kCable;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.model_code_fetch = false;
+  auto cl = cluster::TcCluster::create(o);
+  cl.expect("create");
+  const Status st = cluster::write_chrome_trace(*cl.value(), "/tmp/unused.json");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TraceExport, SaturatedTracerIsSurfaced) {
+  // 16 ping-pong rounds (≥32 packets) against a 4-record cap: drops must
+  // show up in the trace and in diag::link_report, not vanish.
+  auto cl = pingpong_cluster(4, /*rounds=*/16);
+  std::uint64_t dropped = 0;
+  for (int i = 0; i < cl->machine().num_links(); ++i) {
+    dropped += cl->tracer(i)->dropped();
+  }
+  ASSERT_GT(dropped, 0u);
+
+  const std::string doc = cluster::chrome_trace_json(*cl);
+  auto parsed = telemetry::json_parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  bool saw_saturation = false;
+  for (const auto& ev : parsed.value().array) {
+    if (ev.find("name") != nullptr && ev.find("name")->str == "tracer saturated") {
+      saw_saturation = true;
+      EXPECT_EQ(ev.find("ph")->str, "I");
+      EXPECT_GT(ev.find("args")->find("dropped")->number, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_saturation);
+
+  const std::string report = cluster::link_report(*cl);
+  EXPECT_NE(report.find("dropped"), std::string::npos);
+  EXPECT_NE(report.find("TRUNCATED"), std::string::npos);
+}
+
+TEST(TraceExport, WritesLoadableFile) {
+  auto cl = pingpong_cluster(65536);
+  const std::string path = ::testing::TempDir() + "tcc_trace_test.json";
+  ASSERT_TRUE(cluster::write_chrome_trace(*cl, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = telemetry::json_parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(parsed.value().is_array());
+  EXPECT_FALSE(parsed.value().array.empty());
+}
+
+#if TCC_TELEMETRY_ENABLED
+// The docs contract: docs/OBSERVABILITY.md's catalogue tables list metric
+// names as `name` in the first column. After a workload that touches every
+// subsystem, the registry and the doc must agree exactly — a new metric
+// without documentation (or a stale doc row) fails here.
+TEST(MetricsCatalogue, MatchesObservabilityDoc) {
+  (void)pingpong_cluster(65536);  // registers every subsystem's metrics
+
+  const std::string doc_path = std::string(TCC_SOURCE_DIR) + "/docs/OBSERVABILITY.md";
+  std::ifstream in(doc_path);
+  ASSERT_TRUE(in.good()) << "cannot read " << doc_path;
+
+  std::set<std::string> documented;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Catalogue rows look like: | `sim.engine.events_processed` | counter | ...
+    const auto start = line.find("| `");
+    if (start != 0) continue;
+    const auto end = line.find('`', 3);
+    if (end == std::string::npos) continue;
+    documented.insert(line.substr(3, end - 3));
+  }
+  ASSERT_FALSE(documented.empty()) << "no catalogue rows found in " << doc_path;
+
+  std::set<std::string> registered;
+  for (const auto& name : telemetry::MetricsRegistry::global().names()) {
+    registered.insert(name);
+  }
+
+  for (const auto& name : registered) {
+    EXPECT_TRUE(documented.count(name))
+        << name << " is registered but missing from docs/OBSERVABILITY.md";
+  }
+  for (const auto& name : documented) {
+    EXPECT_TRUE(registered.count(name))
+        << name << " is documented but never registered (stale doc row?)";
+  }
+}
+#endif  // TCC_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace tcc
