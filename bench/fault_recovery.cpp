@@ -1,0 +1,177 @@
+// Fault recovery: a scripted link-down on the cable cluster, measured from
+// the application's point of view. A sender streams sequence numbers into the
+// remote rendezvous region; the cable dies at T and is allowed to retrain at
+// T + outage. Posted writes issued during the blackout are dropped at the
+// northbridge egress (TCCluster has no retransmit above HT3), so recovery is
+// "the first store issued after the link retrained lands at the receiver".
+//
+// Reported metric: recovery latency = first post-outage delivery minus the
+// scheduled end of the outage (retrain latency + pipeline restart), plus the
+// full application-visible blackout per repetition. The tail of the run
+// demonstrates the typed-timeout path (recv with a deadline returns kTimeout
+// while the peer is unreachable) and the driver keepalive verdict.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/log.hpp"
+#include "tccluster/diag.hpp"
+
+using namespace tcc;
+using namespace tcc::bench;
+using namespace tcc::cluster;
+
+int main(int argc, char** argv) {
+  print_header("fault recovery: link-down -> retrain -> traffic resumes",
+               "fault-domain scenario (HT3 retrain; not a paper figure)");
+  // The northbridge warns on every posted write it drops into a dead link;
+  // during a scripted blackout that is the expected behaviour, not news.
+  Log::set_level(LogLevel::kError);
+
+  const int reps = static_cast<int>(
+      std::strtol(flag_value(argc, argv, "--reps=", "20").c_str(), nullptr, 10));
+  const double outage_us = std::strtod(
+      flag_value(argc, argv, "--outage-us=", "20").c_str(), nullptr);
+
+  auto cl = make_cable();
+  sim::Engine& engine = cl->engine();
+
+  // The inter-node cable is the wire we cut.
+  int cable = 0;
+  for (std::size_t i = 0; i < cl->plan().wires().size(); ++i) {
+    if (cl->plan().wires()[i].tccluster) cable = static_cast<int>(i);
+  }
+
+  // Watched word: 4 KiB into node 1's rendezvous region, written remotely by
+  // node 0 and polled locally by node 1.
+  const std::uint64_t ring_sz = cl->driver(0).ring_region(1).size;
+  auto window = cl->driver(0).map_remote(1, ring_sz + 4096, 4096);
+  window.expect("map_remote");
+  const PhysAddr addr = window.value().at(0);
+
+  BenchReport report("fault_recovery", "recovery_latency", "us");
+  report.config("topology", std::string("cable"));
+  report.config("outage_us", outage_us);
+  report.config("reps", static_cast<double>(reps));
+  report.config("cable_wire", static_cast<double>(cable));
+
+  std::printf("\n%4s  %14s  %14s  %14s\n", "rep", "baseline_ns", "blackout_us",
+              "recovery_us");
+
+  bool recv_timed_out = false;
+  bool peer_declared_dead = false;
+
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    opteron::Core& tx = cl->core(0);
+    opteron::Core& rx = cl->core(1);
+    std::uint64_t seq = 0;
+    const Picoseconds poll = Picoseconds::from_ns(200);
+
+    // Store the next sequence number remotely and poll locally until it
+    // lands or `give_up` passes. Returns the store->visible latency.
+    auto deliver = [&](std::optional<Picoseconds> give_up)
+        -> sim::Task<Result<Picoseconds>> {
+      const std::uint64_t want = ++seq;
+      const Picoseconds t0 = engine.now();
+      (co_await tx.store_u64(addr, want)).expect("store");
+      (co_await tx.sfence()).expect("sfence");
+      for (;;) {
+        auto v = co_await rx.load_u64(addr);
+        v.expect("load");
+        if (v.value() == want) co_return engine.now() - t0;
+        if (give_up && engine.now() >= *give_up) {
+          co_return make_error(ErrorCode::kTimeout, "probe never arrived");
+        }
+        co_await engine.delay(poll);
+      }
+    };
+
+    Rng jitter(0xfa17);
+    for (int rep = 0; rep < reps; ++rep) {
+      // Healthy-link baseline, with phase jitter so repetitions are not
+      // clock-locked replicas of each other.
+      co_await engine.delay(
+          Picoseconds{static_cast<std::int64_t>(jitter.next_below(300'000))});
+      auto baseline = co_await deliver(std::nullopt);
+      baseline.expect("baseline delivery on a healthy link");
+
+      // Strike: cut the cable 1 us from now, retrain `outage_us` later.
+      FaultEvent ev;
+      ev.kind = FaultEvent::Kind::kLinkDown;
+      ev.at = engine.now() + Picoseconds::from_us(1.0);
+      ev.duration = Picoseconds::from_us(outage_us);
+      ev.link = cable;
+      const Picoseconds t_fault = ev.at;
+      const Picoseconds t_recover = ev.at + ev.duration;
+      cl->inject(ev).expect("inject");
+      co_await engine.delay(Picoseconds::from_us(1.5));
+
+      // A probe issued mid-blackout is dropped at the egress and never
+      // arrives — that loss is the application-visible symptom.
+      auto lost = co_await deliver(t_recover);
+      TCC_ASSERT(!lost.ok(), "a posted write crossed a dead link");
+
+      // Probe until traffic flows again. The retrain itself costs
+      // ht::kRetrainLatency after the scripted recovery point; jittered
+      // probe spacing de-phase-locks the repetitions so the percentiles
+      // reflect probe-alignment spread, not one quantized value.
+      Picoseconds recovered{};
+      for (;;) {
+        const Picoseconds spacing{
+            500'000 + static_cast<std::int64_t>(jitter.next_below(700'000))};
+        auto probe = co_await deliver(engine.now() + spacing);
+        if (probe.ok()) {
+          recovered = engine.now();
+          break;
+        }
+      }
+      const double blackout_us = (recovered - t_fault).microseconds();
+      const double recovery_us = (recovered - t_recover).microseconds();
+      report.add_sample(recovery_us);
+      report.add_row({BenchReport::num("rep", rep),
+                      BenchReport::num("baseline_ns", baseline.value().nanoseconds()),
+                      BenchReport::num("blackout_us", blackout_us),
+                      BenchReport::num("recovery_us", recovery_us)});
+      std::printf("%4d  %14.1f  %14.2f  %14.2f\n", rep,
+                  baseline.value().nanoseconds(), blackout_us, recovery_us);
+    }
+
+    // ---- typed-timeout + keepalive demonstration --------------------------
+    // Cut the cable permanently; a recv with a deadline must come back as
+    // kTimeout instead of hanging, and the keepalive must declare the peer.
+    auto* ep0 = cl->msg(0).connect(1).value();
+    auto* ep1 = cl->msg(1).connect(0).value();
+    const std::vector<std::uint8_t> payload(64, 0x5a);
+    (co_await ep0->send(payload)).expect("send on a healthy link");
+    (co_await ep1->recv_discard()).expect("recv on a healthy link");
+
+    cl->start_keepalives(Picoseconds::from_us(2.0), Picoseconds::from_us(10.0));
+    FaultEvent cut;
+    cut.kind = FaultEvent::Kind::kLinkDown;
+    cut.at = engine.now() + Picoseconds::from_us(1.0);
+    cut.link = cable;  // duration 0: permanent
+    cl->inject(cut).expect("inject permanent cut");
+    co_await engine.delay(Picoseconds::from_us(2.0));
+
+    (co_await ep0->send(payload)).expect("posted send; dropped at the egress");
+    auto r = co_await ep1->recv(engine.now() + Picoseconds::from_us(20.0));
+    recv_timed_out = !r.ok() && r.error().code == ErrorCode::kTimeout;
+    co_await engine.delay(Picoseconds::from_us(15.0));
+    peer_declared_dead = !cl->driver(0).peer_alive(1) && !cl->driver(1).peer_alive(0);
+    cl->stop_keepalives();
+  });
+  cl->engine().run();
+
+  report.config("recv_timed_out", recv_timed_out ? 1.0 : 0.0);
+  report.config("peer_declared_dead", peer_declared_dead ? 1.0 : 0.0);
+
+  std::printf("\nrecv(deadline) during the cut: %s\n",
+              recv_timed_out ? "kTimeout (typed)" : "UNEXPECTED success");
+  std::printf("keepalive verdict: peer %s\n",
+              peer_declared_dead ? "declared dead on both sides" : "NOT declared dead");
+  std::printf("\n%s", health_report(*cl).c_str());
+
+  report.write(flag_value(argc, argv, "--bench-out="));
+  return recv_timed_out && peer_declared_dead ? 0 : 1;
+}

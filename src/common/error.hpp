@@ -22,6 +22,8 @@ enum class ErrorCode {
   kResourceExhausted,   // ring buffer full, credits exhausted, ...
   kNotFound,
   kFailedPrecondition,  // e.g. machine not booted
+  kTimeout,             // deadline expired before the operation completed
+  kUnavailable,         // peer dead / link down / cluster partitioned
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);

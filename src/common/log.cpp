@@ -47,6 +47,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "resource exhausted";
     case ErrorCode::kNotFound: return "not found";
     case ErrorCode::kFailedPrecondition: return "failed precondition";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown error";
 }

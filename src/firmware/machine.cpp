@@ -55,6 +55,36 @@ ht::HtLink* Machine::link_at(topology::PortRef ref) {
   return nullptr;
 }
 
+Status Machine::apply_routing(const topology::ClusterPlan& degraded) {
+  if (degraded.chips().size() != plan_.chips().size() ||
+      degraded.wires().size() != plan_.wires().size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "degraded plan does not describe this machine");
+  }
+  const AddrRange global = plan_.global_range();
+  for (const topology::ChipPlan& cp : degraded.chips()) {
+    opteron::NorthbridgeRegs& regs = chip(cp.chip).nb().regs();
+    for (auto& m : regs.mmio) {
+      if (m.enabled && global.contains(m.range.base)) m = opteron::MmioRangeReg{};
+    }
+    for (const topology::MmioPlan& m : cp.mmio) {
+      if (Status s = regs.add_mmio_range(m.range, m.port, /*non_posted_allowed=*/false);
+          !s.ok()) {
+        return s;
+      }
+    }
+    for (int member = 0; member < opteron::kMaxCoherentNodes; ++member) {
+      const int port = cp.route_to_member[static_cast<std::size_t>(member)];
+      regs.routes[static_cast<std::size_t>(member)] =
+          opteron::RouteReg{port < 0 ? opteron::RouteReg::kSelf : port,
+                            port < 0 ? opteron::RouteReg::kSelf : port,
+                            regs.routes[static_cast<std::size_t>(member)].broadcast_links};
+    }
+  }
+  plan_ = degraded;
+  return {};
+}
+
 opteron::Core& Machine::bsp_core(int supernode) {
   const auto& sn = plan_.supernodes().at(static_cast<std::size_t>(supernode));
   return chip(sn.chips[0]).core(0);

@@ -59,6 +59,14 @@ class Machine {
   /// The link attached at a chip port (plan wires only), or nullptr.
   [[nodiscard]] ht::HtLink* link_at(topology::PortRef ref);
 
+  /// Reprogram every northbridge with the routing tables of `degraded`
+  /// (typically ClusterPlan::route_around output) and adopt it as the
+  /// current plan. Only MMIO ranges inside the global space are rewritten —
+  /// the BSP boot-ROM window lives outside it and must survive. MTRRs need
+  /// no update: degraded routing moves interval boundaries, not the address
+  /// space they cover.
+  Status apply_routing(const topology::ClusterPlan& degraded);
+
  private:
   sim::Engine& engine_;
   topology::ClusterPlan plan_;

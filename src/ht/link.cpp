@@ -19,6 +19,8 @@ struct LinkMetrics {
   telemetry::Counter& credit_stalls;
   telemetry::Counter& crc_retries;
   telemetry::Counter& trace_drops;
+  telemetry::Counter& failures;
+  telemetry::Counter& retrains;
 
   LinkMetrics()
       : credit_stalls(
@@ -26,7 +28,9 @@ struct LinkMetrics {
         crc_retries(
             telemetry::MetricsRegistry::global().counter("ht.link.crc_retries")),
         trace_drops(
-            telemetry::MetricsRegistry::global().counter("ht.link.trace_drops")) {
+            telemetry::MetricsRegistry::global().counter("ht.link.trace_drops")),
+        failures(telemetry::MetricsRegistry::global().counter("ht.link.failures")),
+        retrains(telemetry::MetricsRegistry::global().counter("ht.link.retrains")) {
     static constexpr const char* kVcName[kNumVirtualChannels] = {"posted", "nonposted",
                                                                  "response"};
     for (int vc = 0; vc < kNumVirtualChannels; ++vc) {
@@ -212,7 +216,7 @@ void HtEndpoint::deliver(Packet&& packet) {
 }
 
 HtLink::HtLink(sim::Engine& engine, HtEndpoint& a, HtEndpoint& b, LinkMedium medium)
-    : engine_(engine), a_(a), b_(b), medium_(medium), fault_rng_(0xc0ffee) {
+    : engine_(engine), a_(a), b_(b), medium_(medium), fault_rng_(medium.fault_seed) {
   TCC_ASSERT(a.link_ == nullptr && b.link_ == nullptr,
              "endpoint already attached to another link");
   a_.link_ = this;
@@ -257,6 +261,7 @@ TrainingResult HtLink::train() {
   for (HtEndpoint* e : {&a_, &b_}) {
     e->regs_.connected = true;
     e->regs_.init_complete = true;
+    e->regs_.link_failure = false;
     e->regs_.width = width;
     e->regs_.freq = freq;
     e->regs_.kind = result.kind;
@@ -264,13 +269,56 @@ TrainingResult HtLink::train() {
     e->credits_.fill(kDefaultVcBufferDepth);
     for (auto& q : e->tx_) q.clear();
     e->rx_queue_.clear();
+    // Wake send_blocking() waiters and credit-parked pumps; queued traffic
+    // they were waiting behind is gone.
+    e->tx_trigger_.notify();
   }
+  ++epoch_;  // in-flight packets from before the (re)train are lost
+  if (trained_once_) {
+    ++retrains_;
+    TCC_METRIC(link_metrics().retrains.inc());
+  }
+  trained_once_ = true;
 
   TCC_DEBUG("ht-link", "%s<->%s trained: %s, %d-bit, %s", a_.name().c_str(),
             b_.name().c_str(),
             result.kind == LinkKind::kCoherent ? "coherent" : "non-coherent",
             static_cast<int>(width), to_string(freq));
   return result;
+}
+
+void HtLink::force_down(const char* reason) {
+  for (HtEndpoint* e : {&a_, &b_}) {
+    e->regs_.link_failure = true;
+    e->regs_.init_complete = false;
+    // Wake credit-parked pumps so they observe the failure and exit.
+    e->tx_trigger_.notify();
+  }
+  ++failures_;
+  ++epoch_;
+  TCC_METRIC(link_metrics().failures.inc());
+  TCC_WARN("ht-link", "%s<->%s link down: %s", a_.name().c_str(),
+           b_.name().c_str(), reason);
+}
+
+void HtLink::schedule_retrain(Picoseconds delay) {
+  if (retrain_pending_) return;
+  retrain_pending_ = true;
+  engine_.schedule(delay, [this] {
+    retrain_pending_ = false;
+    train();
+  });
+}
+
+void HtLink::fail_link(const char* reason) {
+  force_down(reason);
+  if (auto_retrain_ && auto_retrain_left_ > 0) {
+    --auto_retrain_left_;
+    schedule_retrain();
+  } else if (auto_retrain_) {
+    TCC_WARN("ht-link", "%s<->%s retrain budget exhausted; link stays down",
+             a_.name().c_str(), b_.name().c_str());
+  }
 }
 
 void HtLink::kick(HtEndpoint* from) {
@@ -286,6 +334,11 @@ void HtLink::kick(HtEndpoint* from) {
 sim::Task<void> HtLink::pump(HtEndpoint* from, HtEndpoint* to) {
   int rr = 0;  // round-robin VC pointer
   for (;;) {
+    if (!from->regs_.init_complete || from->regs_.link_failure) {
+      // Link is down: park. A post-retrain send() restarts the pump.
+      from->pump_running_ = false;
+      co_return;
+    }
     // Pick the next sendable VC (has a packet and a credit), round-robin.
     int chosen = -1;
     for (int i = 0; i < kNumVirtualChannels; ++i) {
@@ -309,6 +362,7 @@ sim::Task<void> HtLink::pump(HtEndpoint* from, HtEndpoint* to) {
     }
     rr = (chosen + 1) % kNumVirtualChannels;
 
+    const std::uint64_t epoch = epoch_;
     Packet packet = std::move(from->tx_[chosen].front());
     from->tx_[chosen].pop_front();
     from->tx_trigger_.notify();  // wake send_blocking() waiters
@@ -323,18 +377,29 @@ sim::Task<void> HtLink::pump(HtEndpoint* from, HtEndpoint* to) {
     // the full packet duration.
     const Picoseconds wire_time = from->regs_.rate().time_for(packet.wire_bytes());
     co_await engine_.delay(wire_time);
+    if (epoch_ != epoch) continue;  // link cut mid-flight; packet lost
 
     // HT3 retry: a CRC fault is detected by the receiver, NAKed, and the
     // packet is replayed from the transmitter's retry buffer. We charge one
-    // extra round of wire time + turnaround per retry.
+    // extra round of wire time + turnaround per retry. The retry counter is
+    // bounded (HT3 §retry protocol): past the cap, the transmitter declares
+    // the link failed instead of replaying forever.
     int packet_retries = 0;
     while (medium_.fault_rate > 0.0 && fault_rng_.next_double() < medium_.fault_rate) {
       ++to->regs_.crc_errors;
       ++retries_;
       ++packet_retries;
       TCC_METRIC(link_metrics().crc_retries.inc());
+      if (packet_retries >= kMaxConsecutiveRetries) {
+        fail_link("CRC retry limit reached");
+        break;
+      }
       co_await engine_.delay(wire_time + 2 * kPhyLatency);
+      if (epoch_ != epoch) break;
     }
+    if (epoch_ != epoch) continue;  // failed or retrained under us; drop
+    // A delivered packet proves the link works: refill the escalation budget.
+    auto_retrain_left_ = auto_retrain_budget_;
 
     if (tracer_ != nullptr) {
       tracer_->record(PacketTrace{departed, engine_.now() + kPhyLatency, from->name(),

@@ -25,6 +25,7 @@
 #include "common/units.hpp"
 #include "ht/link_regs.hpp"
 #include "ht/packet.hpp"
+#include "ht/timing.hpp"
 #include "ht/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -129,6 +130,12 @@ struct LinkMedium {
   /// CRC fault probability per packet (fault injection for tests).
   double fault_rate = 0.0;
 
+  /// Seed of this link's fault stream. The planner derives a distinct value
+  /// per wire from ClusterConfig::seed + the wire identity so parallel links
+  /// never replay identical fault sequences; the default only applies to
+  /// hand-built standalone links.
+  std::uint64_t fault_seed = 0xc0ffee;
+
   /// Highest frequency the medium supports with clean signal integrity.
   [[nodiscard]] LinkFreq max_clean_freq() const;
 };
@@ -152,7 +159,32 @@ class HtLink {
   /// Low-level initialization out of cold or warm reset: detect the partner,
   /// negotiate width/frequency (clamped by the medium), and exchange
   /// coherent/non-coherent identification. Mirrors §IV.B / §V.
+  /// Also the recovery edge: clears latched link-failure bits and resets
+  /// flow control, dropping whatever was queued or in flight.
   TrainingResult train();
+
+  /// True when both sides are trained and no failure is latched.
+  [[nodiscard]] bool up() const {
+    return a_.regs_.init_complete && b_.regs_.init_complete &&
+           !a_.regs_.link_failure && !b_.regs_.link_failure;
+  }
+
+  /// Take the link down (fault injection / escalation): latches the
+  /// link_failure error bit on both sides, invalidates training, and drops
+  /// in-flight packets. Queued traffic is discarded at the next train().
+  void force_down(const char* reason);
+
+  /// Re-run training after the physical-layer recovery latency, modeling a
+  /// firmware-driven retrain. Idempotent while one is already pending.
+  void schedule_retrain(Picoseconds delay = kRetrainLatency);
+
+  /// Whether the CRC-retry-cap escalation path retrains automatically
+  /// (bounded by `budget` consecutive attempts without a delivered packet)
+  /// or latches a hard link-down for software to handle.
+  void set_auto_retrain(bool enabled, int budget = 3) {
+    auto_retrain_ = enabled;
+    auto_retrain_budget_ = auto_retrain_left_ = budget;
+  }
 
   [[nodiscard]] const LinkMedium& medium() const { return medium_; }
   [[nodiscard]] LinkMedium& medium() { return medium_; }
@@ -164,6 +196,11 @@ class HtLink {
   }
 
   [[nodiscard]] std::uint32_t retries() const { return retries_; }
+  /// Times the link transitioned to failed (retry-cap escalations and
+  /// force_down() calls).
+  [[nodiscard]] std::uint32_t failures() const { return failures_; }
+  /// Times training re-ran after the initial bring-up.
+  [[nodiscard]] std::uint32_t retrains() const { return retrains_; }
 
   /// Attach a protocol analyzer; nullptr detaches. Not owned.
   void set_tracer(LinkTracer* tracer) { tracer_ = tracer; }
@@ -176,12 +213,26 @@ class HtLink {
   sim::Task<void> pump(HtEndpoint* from, HtEndpoint* to);
   void kick(HtEndpoint* from);
 
+  /// Retry-cap escalation: latch the failure and, budget permitting,
+  /// schedule an automatic retrain.
+  void fail_link(const char* reason);
+
   sim::Engine& engine_;
   HtEndpoint& a_;
   HtEndpoint& b_;
   LinkMedium medium_;
   Rng fault_rng_;
   std::uint32_t retries_ = 0;
+  std::uint32_t failures_ = 0;
+  std::uint32_t retrains_ = 0;
+  bool trained_once_ = false;
+  bool retrain_pending_ = false;
+  bool auto_retrain_ = true;
+  int auto_retrain_budget_ = 3;
+  int auto_retrain_left_ = 3;
+  /// Bumped by train() and force_down(); a pump that suspends across an
+  /// epoch change drops its in-flight packet (the wire was cut under it).
+  std::uint64_t epoch_ = 0;
   LinkTracer* tracer_ = nullptr;
 };
 

@@ -40,6 +40,16 @@ inline constexpr Picoseconds kCreditReturnLatency = Picoseconds{8'000};  // 8 ns
 /// pattern handshake of §IV.B). Value from HT3 spec order-of-magnitude.
 inline constexpr Picoseconds kLinkTrainingTime = Picoseconds::from_us(1.0);
 
+/// HT3 retry protocol: consecutive replays of one packet before the
+/// transmitter declares the link failed (the spec's bounded retry counter —
+/// without it a stuck-at CRC fault livelocks the replay engine).
+inline constexpr int kMaxConsecutiveRetries = 8;
+
+/// Cost of recovering a failed link: error-bit latching, PHY re-sync and a
+/// fresh training handshake. Dominated by kLinkTrainingTime plus firmware
+/// reaction time.
+inline constexpr Picoseconds kRetrainLatency = Picoseconds::from_us(5.0);
+
 /// Default per-VC receive buffer depth (packets) on each link endpoint.
 inline constexpr int kDefaultVcBufferDepth = 8;
 

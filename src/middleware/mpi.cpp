@@ -44,7 +44,9 @@ sim::Task<Status> Communicator::send(int dst, std::span<const std::uint8_t> data
   if (kEnvelope + data.size() <= cluster::kMaxMessageBytes) {
     std::vector<std::uint8_t> framed(kEnvelope + data.size());
     std::memcpy(framed.data(), &tag, kEnvelope);
-    std::memcpy(framed.data() + kEnvelope, data.data(), data.size());
+    if (!data.empty()) {  // empty spans may carry a null data() (UB in memcpy)
+      std::memcpy(framed.data() + kEnvelope, data.data(), data.size());
+    }
     co_return co_await endpoint.value()->send(framed);
   }
   // Large payload: a flagged stream header (tag | kStreamFlag, u64 length),

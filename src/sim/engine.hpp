@@ -45,6 +45,12 @@ class Engine {
   /// Schedule a callback `delay` after the current time.
   void schedule(Picoseconds delay, std::function<void()> fn);
 
+  /// Schedule a callback at absolute simulated time `at` (clamped to now).
+  /// The form fault-injection scripts use: "link X dies at t = 40 µs".
+  void schedule_at(Picoseconds at, std::function<void()> fn) {
+    schedule(at > now() ? at - now() : Picoseconds{0}, std::move(fn));
+  }
+
   /// Resume a suspended coroutine `delay` after the current time.
   void schedule_resume(Picoseconds delay, std::coroutine_handle<> h);
 

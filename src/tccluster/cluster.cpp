@@ -46,7 +46,38 @@ Status TcCluster::boot() {
     drivers_.push_back(std::move(driver));
   }
   booted_ = true;
+  for (const FaultEvent& ev : options_.faults) {
+    if (Status s = inject(ev); !s.ok()) return s;
+  }
   return {};
+}
+
+Status TcCluster::inject(const FaultEvent& fault) {
+  if (!booted_) {
+    return make_error(ErrorCode::kFailedPrecondition,
+                      "fault injection needs a booted cluster");
+  }
+  if (!injector_) injector_ = std::make_unique<FaultInjector>(*this);
+  return injector_->schedule(fault);
+}
+
+Status TcCluster::reroute_around_failed_links() {
+  std::vector<std::size_t> failed;
+  for (int i = 0; i < machine_->num_links(); ++i) {
+    if (!machine_->link(i).up()) failed.push_back(static_cast<std::size_t>(i));
+  }
+  if (failed.empty()) return {};
+  auto degraded = plan().route_around(failed);
+  if (!degraded.ok()) return degraded.error();
+  return machine_->apply_routing(degraded.value());
+}
+
+void TcCluster::start_keepalives(Picoseconds interval, Picoseconds timeout) {
+  for (auto& d : drivers_) d->start_keepalive(interval, timeout);
+}
+
+void TcCluster::stop_keepalives() {
+  for (auto& d : drivers_) d->stop_keepalive();
 }
 
 }  // namespace tcc::cluster

@@ -20,6 +20,7 @@
 #include "firmware/machine.hpp"
 #include "ht/trace.hpp"
 #include "tccluster/driver.hpp"
+#include "tccluster/fault.hpp"
 #include "tccluster/msg.hpp"
 
 namespace tcc::cluster {
@@ -34,6 +35,10 @@ class TcCluster {
     int nb_outbound_depth = opteron::kNbOutboundDepth;
     /// Per-node rendezvous region (uncacheable, remotely writable).
     std::uint64_t shared_bytes = 4_MiB;
+    /// Scripted faults, armed right after boot() completes (times are
+    /// absolute, so schedule them past the boot sequence, which takes a few
+    /// microseconds of simulated time).
+    std::vector<FaultEvent> faults;
   };
 
   /// Plan + assemble the machine (powered off). Fails on impossible
@@ -76,6 +81,29 @@ class TcCluster {
     return tracers_.at(static_cast<std::size_t>(link)).get();
   }
 
+  // ---- fault domain ------------------------------------------------------
+
+  /// Arm one more fault at runtime (same validation as Options::faults).
+  Status inject(const FaultEvent& fault);
+
+  /// What the injector has armed and fired so far.
+  [[nodiscard]] std::vector<std::string> fault_log() const {
+    return injector_ ? injector_->log() : std::vector<std::string>{};
+  }
+
+  /// Recompute routing around every plan wire currently down (failed or
+  /// forced) and reprogram the northbridges — the firmware reaction to a
+  /// dead cable. No-op (success) when every wire is up. Fails with
+  /// kUnavailable when the dead wires partition the cluster.
+  Status reroute_around_failed_links();
+
+  /// Start/stop the driver keepalive on every node (peer-death detection;
+  /// see TcDriver::start_keepalive). Stop before expecting engine().run()
+  /// to drain.
+  void start_keepalives(Picoseconds interval = Picoseconds::from_us(2.0),
+                        Picoseconds timeout = Picoseconds::from_us(10.0));
+  void stop_keepalives();
+
  private:
   TcCluster(Options options, topology::ClusterPlan plan);
 
@@ -86,6 +114,7 @@ class TcCluster {
   std::vector<std::unique_ptr<TcDriver>> drivers_;
   std::vector<std::unique_ptr<MsgLibrary>> libraries_;
   std::vector<std::unique_ptr<ht::LinkTracer>> tracers_;  // one per plan wire
+  std::unique_ptr<FaultInjector> injector_;
   bool booted_ = false;
 };
 

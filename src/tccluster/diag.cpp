@@ -100,9 +100,41 @@ std::string boot_report(const TcCluster& cluster) {
   return out;
 }
 
+std::string health_report(TcCluster& cluster) {
+  std::string out = "== health ==\n";
+  firmware::Machine& m = cluster.machine();
+  for (int i = 0; i < m.num_links(); ++i) {
+    ht::HtLink& link = m.link(i);
+    if (link.up() && link.failures() == 0 && link.retries() == 0) continue;
+    out += strprintf(
+        "  wire %d %-10s <-> %-10s %-5s failures=%u retrains=%u crc_errors=%u/%u "
+        "retries=%u\n",
+        i, link.side_a().name().c_str(), link.side_b().name().c_str(),
+        link.up() ? "up" : "DOWN", link.failures(), link.retrains(),
+        link.side_a().regs().crc_errors, link.side_b().regs().crc_errors,
+        link.retries());
+  }
+  for (int c = 0; c < cluster.num_nodes(); ++c) {
+    TcDriver& d = cluster.driver(c);
+    const auto dead = d.dead_peers();
+    if (!d.hung() && dead.empty()) continue;
+    out += strprintf("  chip %d: %s", c, d.hung() ? "HUNG" : "ok");
+    if (!dead.empty()) {
+      out += "  dead peers:";
+      for (int p : dead) out += strprintf(" %d", p);
+    }
+    out += "\n";
+  }
+  for (const std::string& line : cluster.fault_log()) {
+    out += "  fault: " + line + "\n";
+  }
+  if (out == "== health ==\n") out += "  all links up, all peers alive\n";
+  return out;
+}
+
 std::string full_report(TcCluster& cluster) {
   return link_report(cluster) + address_map_report(cluster) + mtrr_report(cluster) +
-         boot_report(cluster);
+         boot_report(cluster) + health_report(cluster);
 }
 
 }  // namespace tcc::cluster

@@ -23,6 +23,10 @@ namespace tcc::cluster {
 /// The boot trace as a table.
 [[nodiscard]] std::string boot_report(const TcCluster& cluster);
 
+/// Fault-domain state: per-link failure/retrain counters and error bits,
+/// per-driver hang flags and keepalive verdicts, the fault-injection log.
+[[nodiscard]] std::string health_report(TcCluster& cluster);
+
 /// Everything above concatenated.
 [[nodiscard]] std::string full_report(TcCluster& cluster);
 

@@ -1,9 +1,30 @@
 #include "tccluster/driver.hpp"
 
+#include "common/log.hpp"
 #include "common/strings.hpp"
 #include "opteron/mtrr.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace tcc::cluster {
+
+#if TCC_TELEMETRY_ENABLED
+namespace {
+
+/// Driver-level liveness accounting across every TcDriver in the process.
+struct DriverMetrics {
+  telemetry::Counter& keepalives_sent = telemetry::MetricsRegistry::global().counter(
+      "tccluster.driver.keepalives_sent");
+  telemetry::Counter& peer_timeouts = telemetry::MetricsRegistry::global().counter(
+      "tccluster.driver.peer_timeouts");
+};
+
+DriverMetrics& driver_metrics() {
+  static DriverMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif  // TCC_TELEMETRY_ENABLED
 
 TcDriver::TcDriver(firmware::Machine& machine, int chip)
     : machine_(machine), chip_(chip) {
@@ -106,8 +127,71 @@ Status TcDriver::load() {
   }
   probe_log_.push_back("ok: ring and shared regions typed UC");
 
+  TCC_METRIC((void)driver_metrics());  // register driver metrics at load time
   loaded_ = true;
   return {};
+}
+
+void TcDriver::start_keepalive(Picoseconds interval, Picoseconds timeout) {
+  TCC_ASSERT(loaded_, "start_keepalive() needs a loaded driver");
+  if (ka_running_) return;
+  ka_running_ = true;
+  ka_stop_ = false;
+  ka_interval_ = interval;
+  ka_timeout_ = timeout;
+  peers_.assign(static_cast<std::size_t>(machine_.num_chips()),
+                PeerHealth{true, 0, machine_.engine().now()});
+  machine_.engine().spawn(keepalive_process());
+}
+
+std::vector<int> TcDriver::dead_peers() const {
+  std::vector<int> out;
+  for (std::size_t p = 0; p < peers_.size(); ++p) {
+    if (static_cast<int>(p) != chip_ && !peers_[p].alive) out.push_back(static_cast<int>(p));
+  }
+  return out;
+}
+
+sim::Task<void> TcDriver::keepalive_process() {
+  opteron::Core& core = machine_.chip(chip_).core(0);
+  while (!ka_stop_) {
+    if (!hung_) {
+      // Beat into every peer's control block. A failed/down link means the
+      // store never arrives — exactly the lost beat the peer's timeout
+      // detects; nothing to handle here.
+      ++ka_beat_;
+      for (int peer = 0; peer < machine_.num_chips(); ++peer) {
+        if (peer == chip_) continue;
+        const PhysAddr dst =
+            ring(peer, chip_, RingChannel::kApp).base + kHeartbeatOffset;
+        (void)co_await core.store_u64(dst, ka_beat_);
+      }
+      (void)co_await core.sfence();  // beats must not linger in a WC buffer
+      TCC_METRIC(driver_metrics().keepalives_sent.inc());
+    }
+    for (int peer = 0; peer < machine_.num_chips(); ++peer) {
+      if (peer == chip_) continue;
+      const PhysAddr src =
+          ring(chip_, peer, RingChannel::kApp).base + kHeartbeatOffset;
+      auto beat = co_await core.load_u64(src);
+      PeerHealth& ph = peers_[static_cast<std::size_t>(peer)];
+      if (beat.ok() && beat.value() != ph.beats_seen) {
+        if (!ph.alive) {
+          TCC_INFO("tcdriver", "chip %d: peer %d is back", chip_, peer);
+        }
+        ph.beats_seen = beat.value();
+        ph.last_progress = core.now();
+        ph.alive = true;
+      } else if (ph.alive && core.now() - ph.last_progress > ka_timeout_) {
+        ph.alive = false;
+        TCC_METRIC(driver_metrics().peer_timeouts.inc());
+        TCC_WARN("tcdriver", "chip %d: peer %d missed heartbeats for %.1f us — dead",
+                 chip_, peer, (core.now() - ph.last_progress).microseconds());
+      }
+    }
+    co_await machine_.engine().delay(ka_interval_);
+  }
+  ka_running_ = false;
 }
 
 Result<RemoteWindow> TcDriver::map_remote(int target_chip, std::uint64_t offset,

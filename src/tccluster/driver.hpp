@@ -30,6 +30,12 @@ inline constexpr std::uint64_t kSlotBytes = 64;
 /// the remaining 63 slots carry messages.
 inline constexpr int kDataSlots = 63;
 
+/// Layout of the control block (slot 0): the ack counter lives at offset 0
+/// (written by the ring's consumer), the driver keepalive beat at offset 8
+/// (written by the ring's producer). Disjoint words, so the message layer
+/// and the keepalive never race.
+inline constexpr std::uint64_t kHeartbeatOffset = 8;
+
 /// Independent ring channels per endpoint pair. Channel 0 carries
 /// application/MPI traffic; 1 and 2 carry PGAS active-message requests and
 /// responses (each ring has exactly one consumer, so the channels never
@@ -109,6 +115,38 @@ class TcDriver {
   /// Map local memory (for polling receive rings / reading rendezvous data).
   [[nodiscard]] Result<LocalWindow> map_local(std::uint64_t offset, std::uint64_t bytes);
 
+  // ---- keepalive ---------------------------------------------------------------
+
+  /// Liveness record for one peer, as this driver last judged it.
+  struct PeerHealth {
+    bool alive = true;  ///< optimistic until a timeout proves otherwise
+    std::uint64_t beats_seen = 0;
+    Picoseconds last_progress{};
+  };
+
+  /// Start the driver keepalive thread: every `interval` it remote-writes an
+  /// incrementing beat into each peer's control block and checks the beats
+  /// peers wrote here; a peer silent for longer than `timeout` is declared
+  /// dead (tcmsg alone cannot tell — it has no retransmit and polls forever).
+  /// The process runs until stop_keepalive(), so tests driving engine.run()
+  /// to completion must stop it (or use run_until).
+  void start_keepalive(Picoseconds interval, Picoseconds timeout);
+  void stop_keepalive() { ka_stop_ = true; }
+  [[nodiscard]] bool keepalive_running() const { return ka_running_; }
+
+  /// Fault injection: a hung driver stops emitting heartbeats (its peers'
+  /// keepalive declares it dead) but keeps judging others.
+  void set_hung(bool hung) { hung_ = hung; }
+  [[nodiscard]] bool hung() const { return hung_; }
+
+  /// This driver's current verdict on `peer_chip` (optimistic before the
+  /// keepalive gathered evidence).
+  [[nodiscard]] bool peer_alive(int peer_chip) const {
+    return peers_.empty() || peers_.at(static_cast<std::size_t>(peer_chip)).alive;
+  }
+  /// Peers currently considered dead, ascending.
+  [[nodiscard]] std::vector<int> dead_peers() const;
+
   // ---- diagnostics -------------------------------------------------------------
 
   /// The precondition report produced by load() (one line per check).
@@ -116,12 +154,21 @@ class TcDriver {
 
  private:
   [[nodiscard]] bool same_supernode(int other_chip) const;
+  [[nodiscard]] sim::Task<void> keepalive_process();
 
   firmware::Machine& machine_;
   int chip_;
   std::uint64_t shared_bytes_ = 4_MiB;
   bool loaded_ = false;
   std::vector<std::string> probe_log_;
+
+  bool hung_ = false;
+  bool ka_running_ = false;
+  bool ka_stop_ = false;
+  Picoseconds ka_interval_{};
+  Picoseconds ka_timeout_{};
+  std::uint64_t ka_beat_ = 0;
+  std::vector<PeerHealth> peers_;  // indexed by chip; empty until started
 };
 
 }  // namespace tcc::cluster

@@ -1,0 +1,148 @@
+#include "tccluster/fault.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "tccluster/cluster.hpp"
+
+namespace tcc::cluster {
+
+const char* to_string(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kLinkDown: return "link-down";
+    case FaultEvent::Kind::kCrcStorm: return "crc-storm";
+    case FaultEvent::Kind::kEndpointHang: return "endpoint-hang";
+    case FaultEvent::Kind::kWarmReset: return "warm-reset";
+  }
+  return "?";
+}
+
+void FaultInjector::note(std::string line) {
+  TCC_INFO("fault", "%s", line.c_str());
+  log_.push_back(std::move(line));
+}
+
+Status FaultInjector::schedule(const FaultEvent& ev) {
+  firmware::Machine& m = cluster_.machine();
+  switch (ev.kind) {
+    case FaultEvent::Kind::kLinkDown:
+    case FaultEvent::Kind::kCrcStorm:
+      if (ev.link < 0 || ev.link >= m.num_links()) {
+        return make_error(ErrorCode::kOutOfRange,
+                          strprintf("fault targets plan wire %d; machine has %d",
+                                    ev.link, m.num_links()));
+      }
+      break;
+    case FaultEvent::Kind::kEndpointHang:
+      if (ev.chip < 0 || ev.chip >= m.num_chips()) {
+        return make_error(ErrorCode::kOutOfRange,
+                          strprintf("fault targets chip %d; machine has %d", ev.chip,
+                                    m.num_chips()));
+      }
+      break;
+    case FaultEvent::Kind::kWarmReset:
+      if (ev.supernode < 0 ||
+          ev.supernode >= static_cast<int>(m.plan().supernodes().size())) {
+        return make_error(ErrorCode::kOutOfRange, "fault targets a bad Supernode");
+      }
+      if (!(ev.duration > Picoseconds{0})) {
+        return make_error(ErrorCode::kInvalidArgument,
+                          "a warm reset needs a duration (the board is down "
+                          "while it reboots)");
+      }
+      break;
+  }
+  if (ev.kind == FaultEvent::Kind::kCrcStorm &&
+      (ev.fault_rate < 0.0 || ev.fault_rate > 1.0)) {
+    return make_error(ErrorCode::kInvalidArgument, "fault_rate must be in [0, 1]");
+  }
+
+  cluster_.engine().schedule_at(ev.at, [this, ev] { fire(ev); });
+  if (ev.duration > Picoseconds{0}) {
+    cluster_.engine().schedule_at(ev.at + ev.duration, [this, ev] { recover(ev); });
+  }
+  note(strprintf("armed %s at %.1f us%s", to_string(ev.kind), ev.at.microseconds(),
+                 ev.duration > Picoseconds{0}
+                     ? strprintf(" (recovery at %.1f us)",
+                                 (ev.at + ev.duration).microseconds())
+                           .c_str()
+                     : " (permanent)"));
+  return {};
+}
+
+void FaultInjector::fire(const FaultEvent& ev) {
+  firmware::Machine& m = cluster_.machine();
+  switch (ev.kind) {
+    case FaultEvent::Kind::kLinkDown:
+      m.link(ev.link).force_down("injected link-down");
+      note(strprintf("t=%.1f us: wire %d forced down", ev.at.microseconds(), ev.link));
+      break;
+    case FaultEvent::Kind::kCrcStorm:
+      note(strprintf("t=%.1f us: wire %d CRC storm begins (rate %.2f, was %.2f)",
+                     ev.at.microseconds(), ev.link, ev.fault_rate,
+                     m.link(ev.link).medium().fault_rate));
+      m.link(ev.link).medium().fault_rate = ev.fault_rate;
+      break;
+    case FaultEvent::Kind::kEndpointHang:
+      cluster_.driver(ev.chip).set_hung(true);
+      note(strprintf("t=%.1f us: chip %d hangs", ev.at.microseconds(), ev.chip));
+      break;
+    case FaultEvent::Kind::kWarmReset: {
+      // The board drops off the fabric: its drivers stop heartbeating and
+      // every plan wire touching its chips goes down.
+      const auto& sn =
+          m.plan().supernodes()[static_cast<std::size_t>(ev.supernode)];
+      for (int chip : sn.chips) cluster_.driver(chip).set_hung(true);
+      for (int i = 0; i < m.num_links(); ++i) {
+        const topology::WireSpec& w = m.plan().wires()[static_cast<std::size_t>(i)];
+        const bool touches =
+            std::find(sn.chips.begin(), sn.chips.end(), w.a.chip) != sn.chips.end() ||
+            std::find(sn.chips.begin(), sn.chips.end(), w.b.chip) != sn.chips.end();
+        if (touches && m.link(i).up()) m.link(i).force_down("warm reset");
+      }
+      note(strprintf("t=%.1f us: Supernode %d warm reset", ev.at.microseconds(),
+                     ev.supernode));
+      break;
+    }
+  }
+}
+
+void FaultInjector::recover(const FaultEvent& ev) {
+  firmware::Machine& m = cluster_.machine();
+  switch (ev.kind) {
+    case FaultEvent::Kind::kLinkDown:
+      m.link(ev.link).schedule_retrain();
+      note(strprintf("t=%.1f us: wire %d retrain initiated",
+                     (ev.at + ev.duration).microseconds(), ev.link));
+      break;
+    case FaultEvent::Kind::kCrcStorm:
+      m.link(ev.link).medium().fault_rate =
+          m.plan().wires()[static_cast<std::size_t>(ev.link)].medium.fault_rate;
+      note(strprintf("t=%.1f us: wire %d CRC storm ends",
+                     (ev.at + ev.duration).microseconds(), ev.link));
+      break;
+    case FaultEvent::Kind::kEndpointHang:
+      cluster_.driver(ev.chip).set_hung(false);
+      note(strprintf("t=%.1f us: chip %d resumes",
+                     (ev.at + ev.duration).microseconds(), ev.chip));
+      break;
+    case FaultEvent::Kind::kWarmReset: {
+      const auto& sn =
+          m.plan().supernodes()[static_cast<std::size_t>(ev.supernode)];
+      for (int i = 0; i < m.num_links(); ++i) {
+        const topology::WireSpec& w = m.plan().wires()[static_cast<std::size_t>(i)];
+        const bool touches =
+            std::find(sn.chips.begin(), sn.chips.end(), w.a.chip) != sn.chips.end() ||
+            std::find(sn.chips.begin(), sn.chips.end(), w.b.chip) != sn.chips.end();
+        if (touches && !m.link(i).up()) m.link(i).schedule_retrain();
+      }
+      for (int chip : sn.chips) cluster_.driver(chip).set_hung(false);
+      note(strprintf("t=%.1f us: Supernode %d back up, links retraining",
+                     (ev.at + ev.duration).microseconds(), ev.supernode));
+      break;
+    }
+  }
+}
+
+}  // namespace tcc::cluster

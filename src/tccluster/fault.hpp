@@ -1,0 +1,63 @@
+// Scriptable fault injection: "link 2 dies at t = 40 µs and comes back 100 µs
+// later" as data, scheduled on the simulation clock. The injector only pulls
+// levers the model already has — HtLink::force_down()/schedule_retrain(),
+// LinkMedium::fault_rate, TcDriver::set_hung() — so every scripted scenario
+// exercises exactly the recovery machinery production code would run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace tcc::cluster {
+
+class TcCluster;
+
+/// One scripted fault. Times are absolute simulated time.
+struct FaultEvent {
+  enum class Kind {
+    kLinkDown,      ///< hard-fail plan wire `link`; retrain after `duration`
+    kCrcStorm,      ///< raise `link`'s CRC fault rate to `fault_rate` for `duration`
+    kEndpointHang,  ///< driver on `chip` stops heartbeating for `duration`
+    kWarmReset,     ///< reset `supernode`: drivers hang + links drop, then retrain
+  };
+
+  Kind kind = Kind::kLinkDown;
+  Picoseconds at{};        ///< when the fault strikes
+  Picoseconds duration{};  ///< 0 = permanent (no scripted recovery; warm reset
+                           ///< requires a duration)
+  int link = -1;           ///< plan wire index (kLinkDown, kCrcStorm)
+  int chip = -1;           ///< target chip (kEndpointHang)
+  int supernode = -1;      ///< target Supernode (kWarmReset)
+  double fault_rate = 1.0; ///< CRC fault probability during a kCrcStorm
+};
+
+[[nodiscard]] const char* to_string(FaultEvent::Kind k);
+
+/// Validates fault scripts against a booted cluster and arms them as engine
+/// events. Keeps a human-readable log of everything it did (for diag and for
+/// asserting scenarios in tests).
+class FaultInjector {
+ public:
+  explicit FaultInjector(TcCluster& cluster) : cluster_(cluster) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Validate `ev` and schedule its strike (and recovery, if duration > 0).
+  Status schedule(const FaultEvent& ev);
+
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void fire(const FaultEvent& ev);
+  void recover(const FaultEvent& ev);
+  void note(std::string line);
+
+  TcCluster& cluster_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace tcc::cluster

@@ -29,6 +29,8 @@ struct MsgMetrics {
       "tccluster.msg.acks_sent");
   telemetry::Counter& polls =
       telemetry::MetricsRegistry::global().counter("tccluster.msg.polls");
+  telemetry::Counter& timeouts =
+      telemetry::MetricsRegistry::global().counter("tccluster.msg.timeouts");
   telemetry::Histogram& ring_occupancy = telemetry::MetricsRegistry::global().histogram(
       "tccluster.msg.ring_occupancy");
 };
@@ -69,6 +71,14 @@ MsgEndpoint::MsgEndpoint(TcDriver& driver, opteron::Core& core, int peer_chip,
   rx_ack_ = tx_ring_.base;  // control block of the TX ring, written by us
 }
 
+// Logical slot -> ring address. Slot 0 is the control block, so data lives in
+// physical slots 1..kDataSlots and logical cursors (send_slots_/recv_slots_)
+// grow without bound. A message whose slots cross the kDataSlots boundary is
+// written high-addresses-first-then-wrap, which is safe because (a) credits
+// guarantee the wrapped-onto slots were consumed and marker-zeroed before the
+// sender may reuse them, and (b) the receiver's commit point is the LAST
+// logical slot's marker — under in-order posted delivery every earlier slot,
+// wrapped or not, has landed by then.
 PhysAddr MsgEndpoint::tx_slot_addr(std::uint64_t logical_slot) const {
   return tx_ring_.base + kSlotBytes * (1 + logical_slot % kDataSlots);
 }
@@ -100,7 +110,8 @@ sim::Task<Status> MsgEndpoint::ordered_store(PhysAddr addr,
   co_return Status{};
 }
 
-sim::Task<Status> MsgEndpoint::acquire_credits(std::uint64_t slots) {
+sim::Task<Status> MsgEndpoint::acquire_credits(std::uint64_t slots,
+                                               std::optional<Picoseconds> deadline) {
   TCC_ASSERT(slots <= kDataSlots, "message larger than the whole ring");
   bool stalled = false;
   while (send_slots_ + slots - acked_slots_cache_ > kDataSlots) {
@@ -109,6 +120,12 @@ sim::Task<Status> MsgEndpoint::acquire_credits(std::uint64_t slots) {
     if (!v.ok()) co_return v.error();
     acked_slots_cache_ = v.value();
     if (send_slots_ + slots - acked_slots_cache_ <= kDataSlots) break;
+    if (deadline.has_value() && core_.engine().now() >= *deadline) {
+      ++stats_.timeouts;
+      TCC_METRIC(msg_metrics().timeouts.inc());
+      co_return make_error(ErrorCode::kTimeout,
+                           "send: no ring credits before the deadline");
+    }
     if (!stalled) {
       stalled = true;
       ++stats_.credit_stalls;
@@ -120,14 +137,15 @@ sim::Task<Status> MsgEndpoint::acquire_credits(std::uint64_t slots) {
 }
 
 sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
-                                    OrderingMode mode) {
+                                    OrderingMode mode,
+                                    std::optional<Picoseconds> deadline) {
   if (payload.size() > kMaxMessageBytes) {
     co_return make_error(ErrorCode::kInvalidArgument,
                         "message exceeds kMaxMessageBytes; use send_bytes");
   }
   const auto len = static_cast<std::uint32_t>(payload.size());
   const std::uint64_t slots = slots_for(len);
-  Status s = co_await acquire_credits(slots);
+  Status s = co_await acquire_credits(slots, deadline);
   if (!s.ok()) co_return s;
   TCC_METRIC(
       msg_metrics().ring_occupancy.add(send_slots_ + slots - acked_slots_cache_));
@@ -153,7 +171,9 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
       capacity = MsgSlot::kNextPayload;
     }
     const std::size_t chunk = std::min<std::size_t>(payload.size() - off, capacity);
-    std::memcpy(slot + data_off, payload.data() + off, chunk);
+    if (chunk != 0) {  // doorbells have no payload and a possibly-null data()
+      std::memcpy(slot + data_off, payload.data() + off, chunk);
+    }
     off += chunk;
     s = co_await ordered_store(tx_slot_addr(head + i),
                                std::span<const std::uint8_t>(slot, kSlotBytes), mode);
@@ -184,7 +204,8 @@ sim::Task<Status> MsgEndpoint::send_bytes(std::span<const std::uint8_t> payload,
   co_return Status{};
 }
 
-sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(std::vector<std::uint8_t>* copy_out) {
+sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
+    std::vector<std::uint8_t>* copy_out, std::optional<Picoseconds> deadline) {
   const PhysAddr header_addr = rx_slot_addr(recv_slots_);
   // Poll the marker word in uncacheable local memory (§VI receive path).
   bool first_miss = true;
@@ -192,6 +213,12 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(std::vector<std::uint8_t
     auto marker = co_await core_.load_u64(header_addr);
     if (!marker.ok()) co_return marker.error();
     if (marker.value() == recv_seq_) break;
+    if (deadline.has_value() && core_.engine().now() >= *deadline) {
+      ++stats_.timeouts;
+      TCC_METRIC(msg_metrics().timeouts.inc());
+      co_return make_error(ErrorCode::kTimeout,
+                           "recv: no message before the deadline");
+    }
     if (first_miss) {
       // The ring is empty: the sender may be stalled on credits (a max-size
       // message needs every slot). Push any batched acks before waiting, or
@@ -221,6 +248,15 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(std::vector<std::uint8_t
       auto tail = co_await core_.load_u64(tail_addr);
       if (!tail.ok()) co_return tail.error();
       if (tail.value() == recv_seq_) break;
+      // The header landed, so the tail is normally moments away — but a link
+      // that died mid-message leaves it missing forever. recv_slots_ is
+      // untouched, so a post-recovery retry re-polls the same message.
+      if (deadline.has_value() && core_.engine().now() >= *deadline) {
+        ++stats_.timeouts;
+        TCC_METRIC(msg_metrics().timeouts.inc());
+        co_return make_error(ErrorCode::kTimeout,
+                             "recv: message tail missing at the deadline");
+      }
       co_await core_.compute(opteron::kPollLoopOverhead);
     }
   }
@@ -265,15 +301,17 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(std::vector<std::uint8_t
   co_return len;
 }
 
-sim::Task<Result<std::vector<std::uint8_t>>> MsgEndpoint::recv() {
+sim::Task<Result<std::vector<std::uint8_t>>> MsgEndpoint::recv(
+    std::optional<Picoseconds> deadline) {
   std::vector<std::uint8_t> out;
-  auto r = co_await recv_impl(&out);
+  auto r = co_await recv_impl(&out, deadline);
   if (!r.ok()) co_return r.error();
   co_return out;
 }
 
-sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_discard() {
-  co_return co_await recv_impl(nullptr);
+sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_discard(
+    std::optional<Picoseconds> deadline) {
+  co_return co_await recv_impl(nullptr, deadline);
 }
 
 sim::Task<bool> MsgEndpoint::poll() {

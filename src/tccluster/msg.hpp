@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct MsgStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t credit_stalls = 0;  ///< times send() had to wait for credits
+  std::uint64_t timeouts = 0;       ///< deadline expiries in send()/recv()
 };
 
 /// Slot wire format. EVERY slot begins with an 8-byte marker holding the
@@ -81,21 +83,30 @@ class MsgEndpoint {
   [[nodiscard]] opteron::Core& core() { return core_; }
 
   /// Send one message (<= kMaxMessageBytes). Suspends while the ring lacks
-  /// free slots (flow control).
-  [[nodiscard]] sim::Task<Status> send(std::span<const std::uint8_t> payload,
-                                       OrderingMode mode = OrderingMode::kWeaklyOrdered);
+  /// free slots (flow control). With a `deadline` (absolute simulated time),
+  /// a credit stall past it returns kTimeout instead of polling forever —
+  /// the only way a sender survives a peer that died holding the ring full.
+  [[nodiscard]] sim::Task<Status> send(
+      std::span<const std::uint8_t> payload,
+      OrderingMode mode = OrderingMode::kWeaklyOrdered,
+      std::optional<Picoseconds> deadline = std::nullopt);
 
   /// Send arbitrarily large data by segmenting into ring messages.
   [[nodiscard]] sim::Task<Status> send_bytes(std::span<const std::uint8_t> payload,
                                              OrderingMode mode = OrderingMode::kWeaklyOrdered);
 
-  /// Blocking receive with payload copy + CRC check.
-  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> recv();
+  /// Blocking receive with payload copy + CRC check. With a `deadline`
+  /// (absolute simulated time), returns kTimeout once it passes with no
+  /// complete message; the endpoint stays consistent and a later recv()
+  /// picks up exactly where this one left off.
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> recv(
+      std::optional<Picoseconds> deadline = std::nullopt);
 
   /// Blocking receive that only observes the header and releases the slots
   /// (what a zero-copy consumer or a latency benchmark does). Returns the
-  /// payload length.
-  [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_discard();
+  /// payload length. Honours `deadline` like recv().
+  [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_discard(
+      std::optional<Picoseconds> deadline = std::nullopt);
 
   /// True if a complete message is waiting (single header probe, no block).
   [[nodiscard]] sim::Task<bool> poll();
@@ -141,11 +152,13 @@ class MsgEndpoint {
                                                 std::span<const std::uint8_t> bytes,
                                                 OrderingMode mode);
 
-  /// Wait until `slots` transmit slots are free.
-  [[nodiscard]] sim::Task<Status> acquire_credits(std::uint64_t slots);
+  /// Wait until `slots` transmit slots are free (or `deadline` passes).
+  [[nodiscard]] sim::Task<Status> acquire_credits(std::uint64_t slots,
+                                                  std::optional<Picoseconds> deadline);
 
   /// Common receive path; `copy_out` nullptr = discard.
-  [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_impl(std::vector<std::uint8_t>* copy_out);
+  [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_impl(
+      std::vector<std::uint8_t>* copy_out, std::optional<Picoseconds> deadline);
 
   TcDriver& driver_;
   opteron::Core& core_;

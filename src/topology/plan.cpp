@@ -1,6 +1,7 @@
 #include "topology/plan.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 
 #include "common/strings.hpp"
@@ -51,6 +52,15 @@ std::vector<Direction> needed_directions(const ClusterConfig& cfg, int s) {
 }
 
 /// For Supernode `s`, the egress direction for traffic to Supernode `t`.
+/// SplitMix64 finalizer: spreads a structured key over the full 64-bit space
+/// so per-wire fault streams are decorrelated even for adjacent wire indices.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 Direction direction_for(const ClusterConfig& cfg, int s, int t) {
   switch (cfg.shape) {
     case ClusterShape::kCable:
@@ -352,6 +362,19 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
       break;
   }
 
+  // ---- per-wire fault seeds ------------------------------------------------
+  // Key on the wire's physical identity (endpoints), not just its index, so
+  // the stream survives unrelated wires being added to the list.
+  for (std::size_t i = 0; i < plan.wires_.size(); ++i) {
+    WireSpec& w = plan.wires_[i];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(w.a.chip)) << 40) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(w.a.port)) << 32) ^
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(w.b.chip)) << 8) ^
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(w.b.port)) ^ (i << 16);
+    w.medium.fault_seed = mix64(mix64(config.seed) ^ key);
+  }
+
   // ---- per-chip address maps ----------------------------------------------
   for (int s = 0; s < num_sn; ++s) {
     // Group remote Supernodes into contiguous runs sharing one direction.
@@ -510,6 +533,165 @@ Result<std::vector<int>> ClusterPlan::trace_route(int chip, PhysAddr addr,
     visited.push_back(cur);
   }
   return make_error(ErrorCode::kConfigConflict, "routing loop: exceeded max hops");
+}
+
+Result<ClusterPlan> ClusterPlan::route_around(
+    const std::vector<std::size_t>& failed_wires) const {
+  constexpr int kInf = 1 << 30;
+  const int n = static_cast<int>(chips_.size());
+  const int num_sn = static_cast<int>(supernodes_.size());
+  const int k = config_.supernode_size;
+
+  std::vector<bool> dead(wires_.size(), false);
+  for (std::size_t i : failed_wires) {
+    if (i >= wires_.size()) {
+      return make_error(ErrorCode::kOutOfRange,
+                        strprintf("failed wire index %zu out of range", i));
+    }
+    dead[i] = true;
+  }
+
+  // Surviving adjacency: chip x port -> peer chip. Southbridge ports carry
+  // no plan wire and stay -1.
+  struct Edge {
+    int peer = -1;
+    bool internal = false;
+  };
+  std::vector<std::array<Edge, kPortsPerChip>> adj(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    if (dead[i]) continue;
+    const WireSpec& w = wires_[i];
+    adj[static_cast<std::size_t>(w.a.chip)][static_cast<std::size_t>(w.a.port)] =
+        Edge{w.b.chip, !w.tccluster};
+    adj[static_cast<std::size_t>(w.b.chip)][static_cast<std::size_t>(w.b.port)] =
+        Edge{w.a.chip, !w.tccluster};
+  }
+
+  // Multi-source BFS distance from `targets` over surviving wires. With
+  // internal_only, only intra-Supernode coherent links participate.
+  auto bfs = [&](const std::vector<int>& targets, bool internal_only) {
+    std::vector<int> dist(static_cast<std::size_t>(n), kInf);
+    std::deque<int> q;
+    for (int t : targets) {
+      dist[static_cast<std::size_t>(t)] = 0;
+      q.push_back(t);
+    }
+    while (!q.empty()) {
+      const int c = q.front();
+      q.pop_front();
+      for (int p = 0; p < kPortsPerChip; ++p) {
+        const Edge& e = adj[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
+        if (e.peer < 0 || (internal_only && !e.internal)) continue;
+        if (dist[static_cast<std::size_t>(e.peer)] != kInf) continue;
+        dist[static_cast<std::size_t>(e.peer)] = dist[static_cast<std::size_t>(c)] + 1;
+        q.push_back(e.peer);
+      }
+    }
+    return dist;
+  };
+  // Lowest-numbered port on `c` one step closer to the BFS targets. Every
+  // chip routing strictly downhill on the same distance field is what makes
+  // the degraded tables loop-free.
+  auto downhill_port = [&](const std::vector<int>& dist, int c, bool internal_only) {
+    for (int p = 0; p < kPortsPerChip; ++p) {
+      const Edge& e = adj[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
+      if (e.peer < 0 || (internal_only && !e.internal)) continue;
+      if (dist[static_cast<std::size_t>(e.peer)] ==
+          dist[static_cast<std::size_t>(c)] - 1) {
+        return p;
+      }
+    }
+    return -1;
+  };
+
+  ClusterPlan degraded = *this;
+  std::string unreachable;
+  auto note_unreachable = [&](const std::string& what) {
+    if (!unreachable.empty()) unreachable += "; ";
+    unreachable += what;
+  };
+
+  // Intra-Supernode coherent routes (a failed internal wire on a 4-ring has
+  // a detour the other way around; on a pair it partitions the Supernode).
+  for (const SupernodePlan& sn : supernodes_) {
+    for (int m = 0; m < k; ++m) {
+      const int target = sn.chips[static_cast<std::size_t>(m)];
+      const auto dist = bfs({target}, /*internal_only=*/true);
+      for (int m2 = 0; m2 < k; ++m2) {
+        if (m2 == m) continue;
+        const int c = sn.chips[static_cast<std::size_t>(m2)];
+        ChipPlan& cp = degraded.chips_[static_cast<std::size_t>(c)];
+        if (dist[static_cast<std::size_t>(c)] == kInf) {
+          note_unreachable(strprintf("chip %d cannot reach member %d of Supernode %d",
+                                     c, m, sn.index));
+          continue;
+        }
+        cp.route_to_member[static_cast<std::size_t>(m)] =
+            downhill_port(dist, c, /*internal_only=*/true);
+      }
+    }
+  }
+
+  // Remote-Supernode egress: reach ANY chip of the target Supernode — once
+  // inside, peer-DRAM windows and the coherent routes above sink the packet.
+  std::vector<std::vector<int>> egress(
+      static_cast<std::size_t>(num_sn), std::vector<int>(static_cast<std::size_t>(n), -1));
+  for (int t = 0; t < num_sn; ++t) {
+    const auto dist = bfs(supernodes_[static_cast<std::size_t>(t)].chips,
+                          /*internal_only=*/false);
+    for (int c = 0; c < n; ++c) {
+      if (chips_[static_cast<std::size_t>(c)].supernode == t) continue;
+      if (dist[static_cast<std::size_t>(c)] == kInf) {
+        note_unreachable(
+            strprintf("chip %d cannot reach Supernode %d (partition)", c, t));
+        continue;
+      }
+      egress[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] =
+          downhill_port(dist, c, /*internal_only=*/false);
+    }
+  }
+  if (!unreachable.empty()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "failed links partition the cluster: " + unreachable);
+  }
+
+  // Rebuild each chip's MMIO intervals: contiguous Supernode runs sharing an
+  // egress port merge into one base/limit pair, exactly as in build().
+  const std::uint64_t sn_bytes =
+      static_cast<std::uint64_t>(k) * config_.dram_per_chip;
+  for (int c = 0; c < n; ++c) {
+    ChipPlan& cp = degraded.chips_[static_cast<std::size_t>(c)];
+    cp.mmio.clear();
+    struct Run {
+      int first, last, port;
+    };
+    std::vector<Run> runs;
+    for (int t = 0; t < num_sn; ++t) {
+      if (t == cp.supernode) continue;
+      const int port = egress[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+      if (!runs.empty() && runs.back().last == t - 1 && runs.back().port == port) {
+        runs.back().last = t;
+      } else {
+        runs.push_back(Run{t, t, port});
+      }
+    }
+    for (const Run& r : runs) {
+      cp.mmio.push_back(MmioPlan{
+          AddrRange{PhysAddr{config_.global_base +
+                             static_cast<std::uint64_t>(r.first) * sn_bytes},
+                    static_cast<std::uint64_t>(r.last - r.first + 1) * sn_bytes},
+          r.port});
+    }
+    const int budget = kMmioRegisterBudget - (cp.is_bsp ? 1 : 0);
+    if (static_cast<int>(cp.mmio.size()) > budget) {
+      return make_error(
+          ErrorCode::kResourceExhausted,
+          strprintf("degraded routing on chip %d needs %d MMIO intervals but only "
+                    "%d register pairs are available",
+                    c, static_cast<int>(cp.mmio.size()), budget));
+    }
+  }
+  return degraded;
 }
 
 Result<int> ClusterPlan::external_hops(int from_supernode, int to_supernode) const {

@@ -57,6 +57,10 @@ struct ClusterConfig {
   int cable_links = 1;
   std::uint64_t dram_per_chip = 256_MiB;
   std::uint64_t global_base = 4_GiB;  ///< bottom of the contiguous global space
+  /// Master seed for the cluster's randomness. build() derives a distinct
+  /// fault-stream seed per wire from it, so two links never replay the same
+  /// CRC fault sequence, while the whole cluster stays reproducible.
+  std::uint64_t seed = 0x7cc;
   ht::LinkFreq link_freq = ht::LinkFreq::kHt800;
   ht::LinkMedium external_medium{.length_inches = 24.0, .coax_cable = true};
   ht::LinkMedium internal_medium{.length_inches = 6.0, .coax_cable = false};
@@ -170,6 +174,16 @@ class ClusterPlan {
   /// Hop distance between two supernodes along planned routes (external
   /// links only), for the multi-hop latency bench.
   [[nodiscard]] Result<int> external_hops(int from_supernode, int to_supernode) const;
+
+  /// Recompute routing with the given wires (indices into wires()) treated
+  /// as dead. Returns a degraded plan whose route_to_member tables and MMIO
+  /// intervals steer every chip around the failures along shortest surviving
+  /// paths — the physical wire list is left intact. Fails with kUnavailable
+  /// when the failures partition the cluster (naming the unreachable chips)
+  /// and kResourceExhausted when a detour needs more MMIO base/limit pairs
+  /// than the 8-register budget.
+  [[nodiscard]] Result<ClusterPlan> route_around(
+      const std::vector<std::size_t>& failed_wires) const;
 
  private:
   ClusterPlan() = default;

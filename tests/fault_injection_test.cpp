@@ -1,0 +1,366 @@
+// Cluster-level fault-domain tests: the scriptable injector, bounded-retry
+// escalation seen through the driver stack, tcmsg deadlines, the keepalive,
+// warm reset, and routing around dead links.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/log.hpp"
+#include "tccluster/cluster.hpp"
+#include "tccluster/diag.hpp"
+
+namespace tcc::cluster {
+namespace {
+
+std::unique_ptr<TcCluster> make_cluster(topology::ClusterShape shape, int nx,
+                                        std::vector<FaultEvent> faults = {}) {
+  TcCluster::Options o;
+  o.topology.shape = shape;
+  o.topology.nx = nx;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.model_code_fetch = false;
+  o.faults = std::move(faults);
+  auto c = TcCluster::create(o);
+  c.value()->boot().expect("boot");
+  return std::move(c).value();
+}
+
+/// The first external (TCCluster) wire connecting supernodes `sa` and `sb`.
+int wire_between(TcCluster& cl, int sa, int sb) {
+  const auto& chips = cl.plan().chips();
+  for (std::size_t i = 0; i < cl.plan().wires().size(); ++i) {
+    const auto& w = cl.plan().wires()[i];
+    if (!w.tccluster) continue;
+    const int wa = chips[static_cast<std::size_t>(w.a.chip)].supernode;
+    const int wb = chips[static_cast<std::size_t>(w.b.chip)].supernode;
+    if ((wa == sa && wb == sb) || (wa == sb && wb == sa)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Address of a probe word in `target`'s rendezvous region, plus mapping
+/// sanity, from `from`'s point of view.
+PhysAddr probe_addr(TcCluster& cl, int from, int target) {
+  const std::uint64_t ring_sz = cl.driver(from).ring_region(target).size;
+  auto w = cl.driver(from).map_remote(target, ring_sz + 4096, 4096);
+  w.expect("map_remote");
+  return w.value().at(0);
+}
+
+/// Store `value` remotely from chip `from` and poll locally on `target`
+/// until it lands or `give_up` (absolute) passes. Runs inside the caller's
+/// coroutine.
+sim::Task<bool> deliver(TcCluster& cl, int from, int target, PhysAddr addr,
+                        std::uint64_t value, Picoseconds give_up) {
+  opteron::Core& tx = cl.core(from);
+  opteron::Core& rx = cl.core(target);
+  (co_await tx.store_u64(addr, value)).expect("store");
+  (co_await tx.sfence()).expect("sfence");
+  for (;;) {
+    auto v = co_await rx.load_u64(addr);
+    v.expect("load");
+    if (v.value() == value) co_return true;
+    if (cl.engine().now() >= give_up) co_return false;
+    co_await cl.engine().delay(Picoseconds::from_ns(200));
+  }
+}
+
+TEST(FaultInjection, ValidatesScriptsAgainstTheCluster) {
+  TcCluster::Options o;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.model_code_fetch = false;
+  auto cl = TcCluster::create(o).value();
+
+  FaultEvent ev;  // default kLinkDown, link = -1
+  EXPECT_EQ(cl->inject(ev).error().code, ErrorCode::kFailedPrecondition)
+      << "injection into an unbooted cluster must fail";
+
+  cl->boot().expect("boot");
+  EXPECT_FALSE(cl->inject(ev).ok()) << "link -1 is out of range";
+  ev.link = 99;
+  EXPECT_FALSE(cl->inject(ev).ok());
+
+  FaultEvent storm;
+  storm.kind = FaultEvent::Kind::kCrcStorm;
+  storm.link = 0;
+  storm.fault_rate = 1.5;
+  EXPECT_FALSE(cl->inject(storm).ok()) << "fault_rate must be a probability";
+
+  FaultEvent hang;
+  hang.kind = FaultEvent::Kind::kEndpointHang;
+  hang.chip = 7;
+  EXPECT_FALSE(cl->inject(hang).ok()) << "chip 7 does not exist on a cable";
+
+  FaultEvent reset;
+  reset.kind = FaultEvent::Kind::kWarmReset;
+  reset.supernode = 1;  // duration left at 0
+  EXPECT_FALSE(cl->inject(reset).ok()) << "a warm reset needs a duration";
+}
+
+TEST(FaultInjection, OptionsScriptArmsAtBootAndFires) {
+  std::vector<FaultEvent> script(1);
+  script[0].at = Picoseconds::from_us(200.0);
+  script[0].duration = Picoseconds::from_us(10.0);
+  script[0].link = 0;
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2, std::move(script));
+
+  const auto armed = cl->fault_log();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_NE(armed[0].find("armed link-down"), std::string::npos);
+
+  cl->engine().run();  // the armed events are queue events; run fires them
+  bool fired = false, recovered = false;
+  for (const auto& line : cl->fault_log()) {
+    if (line.find("forced down") != std::string::npos) fired = true;
+    if (line.find("retrain initiated") != std::string::npos) recovered = true;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(recovered);
+  EXPECT_TRUE(cl->machine().link(0).up()) << "the link must retrain after the outage";
+}
+
+TEST(FaultInjection, ScriptedOutageDropsTrafficThenRecovers) {
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2);
+  const PhysAddr addr = probe_addr(*cl, 0, 1);
+  sim::Engine& eng = cl->engine();
+  bool before = false, during = true, after = false;
+
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    before = co_await deliver(*cl, 0, 1, addr, 1, eng.now() + Picoseconds::from_us(5.0));
+
+    FaultEvent ev;
+    ev.at = eng.now() + Picoseconds::from_us(1.0);
+    ev.duration = Picoseconds::from_us(20.0);
+    ev.link = 0;
+    cl->inject(ev).expect("inject");
+    co_await eng.delay(Picoseconds::from_us(2.0));
+    // Posted writes into the dead link are dropped at the egress: the probe
+    // must NOT arrive within the outage.
+    during = co_await deliver(*cl, 0, 1, addr, 2, ev.at + ev.duration);
+
+    // After the scripted recovery (+ retrain latency) traffic flows again.
+    for (std::uint64_t v = 3; !after && v < 64; ++v) {
+      after = co_await deliver(*cl, 0, 1, addr, v, eng.now() + Picoseconds::from_us(1.0));
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(before);
+  EXPECT_FALSE(during);
+  EXPECT_TRUE(after);
+  EXPECT_EQ(cl->machine().link(0).failures(), 1u);
+  EXPECT_GE(cl->machine().link(0).retrains(), 1u);
+  EXPECT_NE(health_report(*cl).find("forced down"), std::string::npos);
+}
+
+TEST(FaultInjection, CrcStormRaisesRetriesThenSubsides) {
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2);
+  const PhysAddr addr = probe_addr(*cl, 0, 1);
+  sim::Engine& eng = cl->engine();
+  ASSERT_EQ(cl->plan().wires()[0].medium.fault_rate, 0.0);
+
+  bool after = false;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    FaultEvent storm;
+    storm.kind = FaultEvent::Kind::kCrcStorm;
+    storm.at = eng.now() + Picoseconds::from_us(1.0);
+    storm.duration = Picoseconds::from_us(40.0);
+    storm.link = 0;
+    storm.fault_rate = 0.5;
+    cl->inject(storm).expect("inject");
+    co_await eng.delay(Picoseconds::from_us(2.0));
+    // Traffic through the storm: lossy-but-healing (bounded retries may fail
+    // the link; auto-retrain brings it back), so fire-and-forget stores.
+    opteron::Core& tx = cl->core(0);
+    for (int i = 0; i < 100; ++i) {
+      (co_await tx.store_u64(addr, 0xbeef)).expect("store");
+      (co_await tx.sfence()).expect("sfence");
+      co_await eng.delay(Picoseconds::from_ns(300));
+    }
+    co_await eng.delay(Picoseconds::from_us(20.0));  // past the storm's end
+    after = co_await deliver(*cl, 0, 1, addr, 0xd00d, eng.now() + Picoseconds::from_us(5.0));
+  });
+  eng.run();
+  EXPECT_GT(cl->machine().link(0).retries(), 0u) << "the storm must cause CRC retries";
+  EXPECT_EQ(cl->machine().link(0).medium().fault_rate, 0.0)
+      << "recovery must restore the planned fault rate";
+  EXPECT_TRUE(cl->machine().link(0).up());
+  EXPECT_TRUE(after);
+}
+
+TEST(FaultInjection, RecvDeadlineReturnsTypedTimeout) {
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2);
+  auto* ep = cl->msg(1).connect(0).value();
+  bool saw_timeout = false;
+  Picoseconds returned_at;
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    auto r = co_await ep->recv(cl->engine().now() + Picoseconds::from_us(5.0));
+    saw_timeout = !r.ok() && r.error().code == ErrorCode::kTimeout;
+    returned_at = cl->engine().now();
+  });
+  const Picoseconds t0 = cl->engine().now();
+  cl->engine().run();
+  EXPECT_TRUE(saw_timeout);
+  EXPECT_GE(returned_at - t0, Picoseconds::from_us(5.0));
+  EXPECT_EQ(ep->stats().timeouts, 1u);
+}
+
+TEST(FaultInjection, SendDeadlineTimesOutWhenCreditsNeverReturn) {
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2);
+  auto* ep = cl->msg(0).connect(1).value();
+  // Nobody ever receives on chip 1, so acks never come back. Saturate the
+  // 63 data slots, then a deadlined send must fail typed instead of hanging.
+  bool saw_timeout = false;
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    const std::vector<std::uint8_t> payload(8, 0x11);  // one slot per message
+    for (int i = 0; i < 63; ++i) {
+      (co_await ep->send(payload)).expect("send into free slots");
+    }
+    auto s = co_await ep->send(payload, OrderingMode::kWeaklyOrdered,
+                               cl->engine().now() + Picoseconds::from_us(10.0));
+    saw_timeout = !s.ok() && s.error().code == ErrorCode::kTimeout;
+  });
+  cl->engine().run();
+  EXPECT_TRUE(saw_timeout);
+  EXPECT_EQ(ep->stats().timeouts, 1u);
+  EXPECT_GT(ep->stats().credit_stalls, 0u);
+}
+
+TEST(FaultInjection, KeepaliveDetectsHungPeerAndRevival) {
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2);
+  sim::Engine& eng = cl->engine();
+  bool dead_seen = false, revived = false;
+  std::string report_while_dead;
+
+  cl->start_keepalives(Picoseconds::from_us(2.0), Picoseconds::from_us(10.0));
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    FaultEvent hang;
+    hang.kind = FaultEvent::Kind::kEndpointHang;
+    hang.at = eng.now() + Picoseconds::from_us(1.0);
+    hang.duration = Picoseconds::from_us(30.0);
+    hang.chip = 1;
+    cl->inject(hang).expect("inject");
+
+    co_await eng.delay(Picoseconds::from_us(20.0));
+    dead_seen = !cl->driver(0).peer_alive(1);
+    report_while_dead = health_report(*cl);
+    EXPECT_TRUE(cl->driver(1).hung());
+    // A hung driver stops heartbeating but its peer keeps beating at it, so
+    // chip 1 still judges chip 0 alive.
+    EXPECT_TRUE(cl->driver(1).peer_alive(0));
+
+    co_await eng.delay(Picoseconds::from_us(30.0));  // hang ends; beats resume
+    revived = cl->driver(0).peer_alive(1);
+    cl->stop_keepalives();
+  });
+  eng.run();
+  EXPECT_TRUE(dead_seen);
+  EXPECT_TRUE(revived);
+  EXPECT_NE(report_while_dead.find("dead peers: 1"), std::string::npos);
+  EXPECT_EQ(cl->driver(0).dead_peers(), std::vector<int>{});
+}
+
+TEST(FaultInjection, WarmResetTakesTheSupernodeDownAndBack) {
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2);
+  sim::Engine& eng = cl->engine();
+  const PhysAddr addr = probe_addr(*cl, 0, 1);
+  bool down_during = false, up_after = false, delivered_after = false;
+
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    FaultEvent reset;
+    reset.kind = FaultEvent::Kind::kWarmReset;
+    reset.at = eng.now() + Picoseconds::from_us(1.0);
+    reset.duration = Picoseconds::from_us(20.0);
+    reset.supernode = 1;
+    cl->inject(reset).expect("inject");
+
+    co_await eng.delay(Picoseconds::from_us(5.0));
+    down_during = !cl->machine().link(0).up() && cl->driver(1).hung();
+
+    co_await eng.delay(Picoseconds::from_us(30.0));  // past recovery + retrain
+    up_after = cl->machine().link(0).up() && !cl->driver(1).hung();
+    delivered_after =
+        co_await deliver(*cl, 0, 1, addr, 0xcafe, eng.now() + Picoseconds::from_us(5.0));
+  });
+  eng.run();
+  EXPECT_TRUE(down_during);
+  EXPECT_TRUE(up_after);
+  EXPECT_TRUE(delivered_after);
+}
+
+TEST(FaultInjection, RerouteAroundFailedLinkOnARing) {
+  auto cl = make_cluster(topology::ClusterShape::kRing, 4);
+  sim::Engine& eng = cl->engine();
+  const int cut = wire_between(*cl, 0, 1);
+  ASSERT_GE(cut, 0);
+  const PhysAddr addr = probe_addr(*cl, 0, 1);
+  bool delivered_via_detour = false;
+
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    FaultEvent ev;
+    ev.at = eng.now() + Picoseconds::from_us(1.0);
+    ev.link = cut;  // permanent: no scripted recovery
+    cl->inject(ev).expect("inject");
+    co_await eng.delay(Picoseconds::from_us(2.0));
+    EXPECT_FALSE(cl->machine().link(cut).up());
+
+    cl->reroute_around_failed_links().expect("reroute");
+    // Traffic to the severed neighbour must now take the long way round the
+    // ring (0 -> 3 -> 2 -> 1) instead of dying on the cut wire.
+    delivered_via_detour =
+        co_await deliver(*cl, 0, 1, addr, 0xfeed, eng.now() + Picoseconds::from_us(20.0));
+  });
+  eng.run();
+  EXPECT_TRUE(delivered_via_detour);
+}
+
+TEST(FaultInjection, ReroutePartitionIsReportedNotMasked) {
+  auto cl = make_cluster(topology::ClusterShape::kRing, 4);
+  sim::Engine& eng = cl->engine();
+  const int cut01 = wire_between(*cl, 0, 1);
+  const int cut12 = wire_between(*cl, 1, 2);
+  ASSERT_GE(cut01, 0);
+  ASSERT_GE(cut12, 0);
+
+  Status verdict;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    for (int cut : {cut01, cut12}) {
+      FaultEvent ev;
+      ev.at = eng.now() + Picoseconds::from_us(1.0);
+      ev.link = cut;
+      cl->inject(ev).expect("inject");
+    }
+    co_await eng.delay(Picoseconds::from_us(2.0));
+    verdict = cl->reroute_around_failed_links();
+  });
+  eng.run();
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.error().code, ErrorCode::kUnavailable);
+  EXPECT_NE(verdict.error().message.find("partition"), std::string::npos);
+}
+
+TEST(FaultInjection, FaultSeedsAreDerivedPerWireFromTheClusterSeed) {
+  topology::ClusterConfig cfg;
+  cfg.shape = topology::ClusterShape::kRing;
+  cfg.nx = 4;
+  auto plan = topology::ClusterPlan::build(cfg).value();
+  // Every wire gets its own seed, and none keeps the 0xc0ffee default.
+  std::vector<std::uint64_t> seeds;
+  for (const auto& w : plan.wires()) {
+    EXPECT_NE(w.medium.fault_seed, 0xc0ffeeu);
+    seeds.push_back(w.medium.fault_seed);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end())
+      << "two wires share a fault seed";
+
+  // Same master seed -> same derived seeds; different master -> different.
+  auto again = topology::ClusterPlan::build(cfg).value();
+  EXPECT_EQ(again.wires()[0].medium.fault_seed, plan.wires()[0].medium.fault_seed);
+  cfg.seed = 0x1234;
+  auto other = topology::ClusterPlan::build(cfg).value();
+  EXPECT_NE(other.wires()[0].medium.fault_seed, plan.wires()[0].medium.fault_seed);
+}
+
+}  // namespace
+}  // namespace tcc::cluster

@@ -127,6 +127,145 @@ TEST(StoreFuzz, TwoSendersInterleaveWithoutCorruption) {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-hop shape fuzz: the same golden-model store fuzz, but across shapes
+// where source and target are several links apart, so forwarding chips and
+// per-wire fault streams all sit in the data path.
+// ---------------------------------------------------------------------------
+
+struct HopCase {
+  topology::ClusterShape shape;
+  int nx;
+  std::uint64_t seed;
+  double fault_rate;
+};
+
+class MultiHopFuzz : public ::testing::TestWithParam<HopCase> {};
+
+TEST_P(MultiHopFuzz, FarEndMemoryMatchesGoldenModel) {
+  const HopCase& hc = GetParam();
+  TcCluster::Options o;
+  o.topology.shape = hc.shape;
+  o.topology.nx = hc.nx;
+  o.topology.dram_per_chip = 32_MiB;
+  o.topology.external_medium.fault_rate = hc.fault_rate;
+  o.boot.model_code_fetch = false;
+  auto created = TcCluster::create(o);
+  ASSERT_TRUE(created.ok());
+  auto& cl = *created.value();
+  ASSERT_TRUE(cl.boot().ok());
+
+  // Farthest chip from 0 on a line; on a ring this is still multiple hops.
+  const int far = cl.num_nodes() - 1;
+  constexpr std::uint64_t kRegion = 4096;
+  const PhysAddr target = cl.driver(far).shared_region(far).base;
+  std::vector<std::uint8_t> golden(kRegion, 0);
+
+  Rng rng(hc.seed);
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    opteron::Core& core = cl.core(0);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t len = rng.next_in(1, 128);
+      const std::uint64_t off = rng.next_below(kRegion - len);
+      std::vector<std::uint8_t> data(len);
+      for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.next_u64());
+      std::memcpy(golden.data() + off, data.data(), len);
+      (co_await core.store_bytes(target + off, data)).expect("store");
+      if (rng.next_bool(0.15)) {
+        (co_await core.sfence()).expect("sfence");
+      }
+    }
+    (co_await core.sfence()).expect("final sfence");
+    co_await cl.machine().chip(0).nb().drain_outbound();
+    co_await cl.engine().delay(us(10));  // cross several wires
+  });
+  cl.engine().run();
+
+  std::vector<std::uint8_t> got(kRegion);
+  cl.machine().chip(far).mc().peek(target, got);
+  ASSERT_EQ(got, golden) << "seed=" << hc.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiHopFuzz,
+    ::testing::Values(HopCase{topology::ClusterShape::kChain, 4, 21, 0.0},
+                      HopCase{topology::ClusterShape::kChain, 4, 22, 0.03},
+                      HopCase{topology::ClusterShape::kRing, 5, 23, 0.02},
+                      HopCase{topology::ClusterShape::kRing, 4, 24, 0.0}),
+    [](const auto& info) {
+      const HopCase& hc = info.param;
+      return std::string(to_string(hc.shape)) + "_nx" + std::to_string(hc.nx) + "_f" +
+             std::to_string(static_cast<int>(hc.fault_rate * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Fault-schedule determinism: the per-wire fault streams are derived from
+// the cluster seed, so identical configurations must replay identical CRC
+// fault schedules — and a different cluster seed must not.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FaultTrace {
+  std::vector<std::uint32_t> retries;     // per wire
+  std::vector<std::uint32_t> crc_errors;  // per wire, side a
+  std::vector<std::uint8_t> memory;
+};
+
+FaultTrace run_faulty_workload(std::uint64_t cluster_seed) {
+  TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kRing;
+  o.topology.nx = 3;
+  o.topology.dram_per_chip = 32_MiB;
+  o.topology.seed = cluster_seed;
+  o.topology.external_medium.fault_rate = 0.05;
+  o.boot.model_code_fetch = false;
+  auto cl = TcCluster::create(o).value();
+  cl->boot().expect("boot");
+
+  const PhysAddr target = cl->driver(2).shared_region(2).base;
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    opteron::Core& core = cl->core(0);
+    std::vector<std::uint8_t> data(64);
+    for (int i = 0; i < 150; ++i) {
+      for (auto& byte : data) byte = static_cast<std::uint8_t>(i);
+      (co_await core.store_bytes(target + 64 * (i % 32), data)).expect("store");
+    }
+    (co_await core.sfence()).expect("sfence");
+    co_await cl->machine().chip(0).nb().drain_outbound();
+    co_await cl->engine().delay(us(10));
+  });
+  cl->engine().run();
+
+  FaultTrace t;
+  for (int i = 0; i < cl->machine().num_links(); ++i) {
+    t.retries.push_back(cl->machine().link(i).retries());
+    t.crc_errors.push_back(cl->machine().link(i).side_a().regs().crc_errors);
+  }
+  t.memory.resize(2048);
+  cl->machine().chip(2).mc().peek(target, t.memory);
+  return t;
+}
+
+}  // namespace
+
+TEST(FaultDeterminism, SameSeedReplaysIdenticalFaultSchedules) {
+  const FaultTrace first = run_faulty_workload(0x7cc);
+  const FaultTrace replay = run_faulty_workload(0x7cc);
+  EXPECT_EQ(first.retries, replay.retries);
+  EXPECT_EQ(first.crc_errors, replay.crc_errors);
+  EXPECT_EQ(first.memory, replay.memory);
+  // The workload actually stressed the retry path.
+  std::uint32_t total = 0;
+  for (std::uint32_t r : first.retries) total += r;
+  EXPECT_GT(total, 0u);
+
+  const FaultTrace other = run_faulty_workload(0x1111);
+  EXPECT_NE(first.retries, other.retries)
+      << "a different cluster seed must reshuffle the per-wire fault streams";
+  EXPECT_EQ(first.memory, other.memory) << "retries never corrupt delivered data";
+}
+
+// ---------------------------------------------------------------------------
 // Planner fuzz: random configurations either fail with a clean error or
 // produce a plan whose routing delivers all-pairs.
 // ---------------------------------------------------------------------------

@@ -186,12 +186,13 @@ TEST_F(LinkFixture, RetriesAddLatency) {
   ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
   engine.run();
 
-  // ...then a faulty one; with fault_rate 1.0 the retry loop would never
-  // terminate, so use a high-but-not-certain rate and check mean latency grows.
+  // ...then a faulty one. The rate stays well below the point where eight
+  // consecutive CRC faults (the HT3 escalation cap) become likely, so the
+  // link survives the run and every packet arrives — just later.
   sim::Engine e2;
   HtEndpoint c{e2, "c", EndpointDevice::kProcessor};
   HtEndpoint d{e2, "d", EndpointDevice::kProcessor};
-  HtLink l2{e2, c, d, LinkMedium{.fault_rate = 0.9}};
+  HtLink l2{e2, c, d, LinkMedium{.fault_rate = 0.5}};
   l2.train();
   Picoseconds faulty_total;
   e2.spawn_fn([&]() -> sim::Task<void> {
@@ -203,6 +204,118 @@ TEST_F(LinkFixture, RetriesAddLatency) {
   }
   e2.run();
   EXPECT_GT(faulty_total.count() / 50, clean_arrival.count());
+}
+
+TEST_F(LinkFixture, FaultRateOneBoundsTheRetryLoopAndFailsTheLink) {
+  // Regression for the unbounded HT3 retry loop: at fault_rate = 1.0 every
+  // replay fails too, and the old code span forever. The bounded protocol
+  // must give up after kMaxConsecutiveRetries and declare the link failed.
+  link.set_auto_retrain(false);
+  link.medium().fault_rate = 1.0;
+  link.train();
+  ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
+  engine.run();  // must drain — the retry loop is bounded
+  EXPECT_FALSE(link.up());
+  EXPECT_TRUE(a.regs().link_failure);
+  EXPECT_TRUE(b.regs().link_failure);
+  EXPECT_EQ(link.failures(), 1u);
+  EXPECT_EQ(link.retries(), static_cast<std::uint32_t>(kMaxConsecutiveRetries));
+  EXPECT_EQ(b.packets_received(), 0u);  // the packet was lost, not delivered
+  // A failed link refuses traffic instead of queueing into the void.
+  EXPECT_FALSE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({2}))).ok());
+}
+
+TEST_F(LinkFixture, AutoRetrainBringsTheLinkBackAfterEscalation) {
+  link.medium().fault_rate = 1.0;
+  link.train();
+  ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
+  engine.run();
+  // The failure fired, then the scheduled retrain restored the link before
+  // the queue drained. The in-flight packet is gone (no retransmit layer).
+  EXPECT_TRUE(link.up());
+  EXPECT_EQ(link.failures(), 1u);
+  EXPECT_EQ(link.retrains(), 1u);
+  EXPECT_EQ(b.packets_received(), 0u);
+
+  // With the fault gone, traffic flows again on the retrained link.
+  link.medium().fault_rate = 0.0;
+  bool delivered = false;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    (void)co_await b.receive();
+    delivered = true;
+  });
+  ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x2000}, bytes({2}))).ok());
+  engine.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(LinkFixture, RetrainBudgetExhaustsUnderPersistentFaults) {
+  link.medium().fault_rate = 1.0;
+  link.train();
+  // Keep offering traffic across retrains: every delivery attempt fails, so
+  // the escalation budget (3 retrains without a successful delivery in
+  // between) runs out and the link stays down for good.
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 16; ++i) {
+      (void)a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1})));
+      co_await engine.delay(Picoseconds::from_us(20.0));
+    }
+  });
+  engine.run();
+  EXPECT_FALSE(link.up());
+  EXPECT_EQ(link.retrains(), 3u);
+  EXPECT_EQ(link.failures(), 4u);  // initial failure + one per budgeted retrain
+}
+
+TEST_F(LinkFixture, ForceDownDropsInFlightPacketsAndRetrainRestores) {
+  link.train();
+  ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
+  link.force_down("test cut");  // packet is mid-flight: it must be lost
+  engine.run();
+  EXPECT_EQ(b.packets_received(), 0u);
+  EXPECT_FALSE(link.up());
+  EXPECT_FALSE(a.send(Packet::posted_write(PhysAddr{0x1000}, bytes({2}))).ok());
+
+  link.schedule_retrain(Picoseconds::from_us(1.0));
+  engine.run();
+  EXPECT_TRUE(link.up());
+  bool delivered = false;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    (void)co_await b.receive();
+    delivered = true;
+  });
+  ASSERT_TRUE(a.send(Packet::posted_write(PhysAddr{0x3000}, bytes({3}))).ok());
+  engine.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(LinkFixture, DistinctFaultSeedsDecorrelateLinks) {
+  // Two links with the same fault rate but different seeds must not replay
+  // the same CRC fault sequence (the 0xc0ffee bug this PR fixes).
+  auto run_one = [](std::uint64_t seed) {
+    sim::Engine e;
+    HtEndpoint x{e, "x", EndpointDevice::kProcessor};
+    HtEndpoint y{e, "y", EndpointDevice::kProcessor};
+    HtLink l{e, x, y, LinkMedium{.fault_rate = 0.5, .fault_seed = seed}};
+    l.train();
+    std::vector<std::uint32_t> retry_trace;
+    e.spawn_fn([&]() -> sim::Task<void> {
+      for (int i = 0; i < 64; ++i) {
+        (void)co_await y.receive();
+        retry_trace.push_back(l.retries());
+      }
+    });
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_TRUE(x.send(Packet::posted_write(PhysAddr{0x1000}, bytes({1}))).ok());
+    }
+    e.run();
+    return retry_trace;
+  };
+  const auto trace1 = run_one(1);
+  const auto trace2 = run_one(2);
+  const auto trace1_again = run_one(1);
+  EXPECT_EQ(trace1, trace1_again);  // same seed -> identical fault schedule
+  EXPECT_NE(trace1, trace2);        // different seed -> decorrelated
 }
 
 TEST_F(LinkFixture, TracerRecordsEveryPacketWithTimestamps) {

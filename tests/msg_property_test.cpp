@@ -276,6 +276,54 @@ TEST(MsgWrap, SlotCursorWrapsManyLapsWithMixedSizes) {
   EXPECT_EQ(verified, kRounds * static_cast<int>(sizes.size()));
 }
 
+TEST(MsgWrap, MessagesStraddlingTheWrapSurviveAFaultyLink) {
+  // The slot audit (msg.cpp, tx_slot_addr) argues data-vs-tail ordering is
+  // safe across the 63-slot wrap because in-order posted delivery holds per
+  // link *even under HT3 retries*. Exercise exactly that: multi-slot
+  // messages whose slot runs straddle the wrap point, over a link that
+  // retries constantly, received with deadlines that must never fire.
+  auto created = TcCluster::create(cable_options(0.02));
+  ASSERT_TRUE(created.ok());
+  auto& cl = *created.value();
+  ASSERT_TRUE(cl.boot().ok());
+  auto* tx = cl.msg(0).connect(1).value();
+  auto* rx = cl.msg(1).connect(0).value();
+
+  // 2-slot messages walk every alignment of the odd-length (63-slot) ring,
+  // so some message crosses the wrap on every lap; the occasional 5-slot
+  // message also lands runs like 61,62,0,1,2.
+  auto size_of = [](int i) -> std::size_t {
+    return i % 11 == 0 ? 280 : 104;  // 5 slots : 2 slots
+  };
+  constexpr int kCount = 400;  // many laps
+  int verified = 0;
+  bool deadline_fired = false;
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<std::uint8_t> p(size_of(i), static_cast<std::uint8_t>(i * 37 + 11));
+      (co_await tx->send(p)).expect("send");
+    }
+  });
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < kCount; ++i) {
+      auto r = co_await rx->recv(cl.engine().now() + Picoseconds::from_us(500.0));
+      if (!r.ok()) {
+        deadline_fired = true;
+        co_return;
+      }
+      if (r.value().size() == size_of(i) &&
+          r.value()[0] == static_cast<std::uint8_t>(i * 37 + 11)) {
+        ++verified;
+      }
+    }
+  });
+  cl.engine().run();
+  EXPECT_FALSE(deadline_fired) << "deadlines must not fire on a flowing stream";
+  EXPECT_EQ(verified, kCount);
+  EXPECT_EQ(rx->stats().timeouts, 0u);
+  EXPECT_GT(cl.machine().tccluster_links()[0]->retries(), 0u);
+}
+
 TEST(MsgErrors, OversizeSendIsRejectedNotTruncated) {
   auto created = TcCluster::create(cable_options());
   ASSERT_TRUE(created.ok());

@@ -264,6 +264,169 @@ TEST_P(RoutingProperty, AllPairsDeliverWithoutLoops) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// route_around: degraded routing with dead wires.
+// ---------------------------------------------------------------------------
+
+/// True when `route` (a chip sequence) crosses the given wire.
+bool crosses_wire(const std::vector<int>& route, const WireSpec& w) {
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    const int u = route[i], v = route[i + 1];
+    if ((u == w.a.chip && v == w.b.chip) || (u == w.b.chip && v == w.a.chip)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(RouteAround, RingDetoursTheLongWayRound) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kRing;
+  c.nx = 4;
+  c.dram_per_chip = 1_MiB;
+  auto plan = ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  const ClusterPlan& p = plan.value();
+
+  // Find and cut the wire between supernodes 0 and 1.
+  std::size_t cut = p.wires().size();
+  for (std::size_t i = 0; i < p.wires().size(); ++i) {
+    const auto& w = p.wires()[i];
+    const std::set<int> ends = {w.a.chip, w.b.chip};
+    if (w.tccluster && ends == std::set<int>{0, 1}) cut = i;
+  }
+  ASSERT_LT(cut, p.wires().size());
+
+  auto degraded = p.route_around({cut});
+  ASSERT_TRUE(degraded.ok()) << degraded.error().to_string();
+  const ClusterPlan& d = degraded.value();
+
+  // 0 -> 1 now goes the long way: 0, 3, 2, 1.
+  const PhysAddr target = d.chips()[1].dram.base + 4096;
+  auto route = d.trace_route(0, target);
+  ASSERT_TRUE(route.ok()) << route.error().to_string();
+  EXPECT_EQ(route.value(), (std::vector<int>{0, 3, 2, 1}));
+  EXPECT_FALSE(crosses_wire(route.value(), p.wires()[cut]));
+
+  // Unaffected direction is still direct.
+  auto back = d.trace_route(2, d.chips()[3].dram.base + 4096);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), (std::vector<int>{2, 3}));
+}
+
+TEST(RouteAround, LeavesPhysicalPlanUntouched) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kRing;
+  c.nx = 4;
+  c.dram_per_chip = 1_MiB;
+  const ClusterPlan p = ClusterPlan::build(c).value();
+  const ClusterPlan d = p.route_around({0}).value();
+
+  ASSERT_EQ(d.wires().size(), p.wires().size());
+  for (std::size_t i = 0; i < p.wires().size(); ++i) {
+    EXPECT_EQ(d.wires()[i].a, p.wires()[i].a);
+    EXPECT_EQ(d.wires()[i].b, p.wires()[i].b);
+  }
+  for (std::size_t i = 0; i < p.chips().size(); ++i) {
+    EXPECT_EQ(d.chips()[i].dram.base, p.chips()[i].dram.base);
+    EXPECT_EQ(d.chips()[i].dram.size, p.chips()[i].dram.size);
+    EXPECT_LE(d.chips()[i].mmio.size(), p.chips()[i].is_bsp ? 7u : 8u);
+  }
+  EXPECT_EQ(d.global_range().base, p.global_range().base);
+}
+
+TEST(RouteAround, PartitionIsReportedWithUnreachableChips) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kChain;
+  c.nx = 3;
+  c.dram_per_chip = 1_MiB;
+  const ClusterPlan p = ClusterPlan::build(c).value();
+  // A chain has no redundancy: cutting any external wire partitions it.
+  std::size_t cut = p.wires().size();
+  for (std::size_t i = 0; i < p.wires().size(); ++i) {
+    if (p.wires()[i].tccluster) cut = i;
+  }
+  ASSERT_LT(cut, p.wires().size());
+  auto degraded = p.route_around({cut});
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.error().code, ErrorCode::kUnavailable);
+  EXPECT_NE(degraded.error().message.find("partition"), std::string::npos);
+}
+
+TEST(RouteAround, RejectsBadWireIndex) {
+  const ClusterPlan p = ClusterPlan::build(cable_config()).value();
+  EXPECT_FALSE(p.route_around({p.wires().size()}).ok());
+}
+
+TEST(RouteAround, NoFailuresIsIdentityRouting) {
+  ClusterConfig c;
+  c.shape = ClusterShape::kRing;
+  c.nx = 5;
+  c.dram_per_chip = 1_MiB;
+  const ClusterPlan p = ClusterPlan::build(c).value();
+  const ClusterPlan d = p.route_around({}).value();
+  for (int src = 0; src < c.num_chips(); ++src) {
+    for (int dst = 0; dst < c.num_chips(); ++dst) {
+      const PhysAddr t = p.chips()[static_cast<std::size_t>(dst)].dram.base + 4096;
+      EXPECT_EQ(d.trace_route(src, t).value(), p.trace_route(src, t).value());
+    }
+  }
+}
+
+TEST(RouteAround, EverySingleWireCutOnRedundantShapesStillRoutesAllPairs) {
+  // Property sweep: on shapes with path redundancy, kill each external wire
+  // in turn; the degraded tables must deliver all pairs, loop-free, without
+  // ever crossing the dead wire.
+  std::vector<ClusterConfig> configs;
+  for (int nx : {4, 6}) {
+    ClusterConfig c;
+    c.shape = ClusterShape::kRing;
+    c.nx = nx;
+    c.dram_per_chip = 1_MiB;
+    configs.push_back(c);
+  }
+  {
+    ClusterConfig c;
+    c.shape = ClusterShape::kTorus2D;
+    c.nx = 3;
+    c.ny = 3;
+    c.supernode_size = 2;
+    c.dram_per_chip = 1_MiB;
+    configs.push_back(c);
+  }
+  for (const ClusterConfig& c : configs) {
+    const ClusterPlan p = ClusterPlan::build(c).value();
+    for (std::size_t wi = 0; wi < p.wires().size(); ++wi) {
+      if (!p.wires()[wi].tccluster) continue;
+      auto degraded = p.route_around({wi});
+      if (!degraded.ok()) {
+        // A detour may legitimately overflow the 8-interval MMIO budget on
+        // dense 2-D shapes; that must be the typed answer, never a bad plan.
+        EXPECT_EQ(degraded.error().code, ErrorCode::kResourceExhausted)
+            << to_string(c.shape) << " wire " << wi << ": "
+            << degraded.error().to_string();
+        continue;
+      }
+      const ClusterPlan& d = degraded.value();
+      for (int src = 0; src < c.num_chips(); ++src) {
+        for (int dst = 0; dst < c.num_chips(); ++dst) {
+          const PhysAddr t = d.chips()[static_cast<std::size_t>(dst)].dram.base + 4096;
+          auto route = d.trace_route(src, t);
+          ASSERT_TRUE(route.ok())
+              << to_string(c.shape) << " wire " << wi << " src=" << src
+              << " dst=" << dst << ": " << route.error().to_string();
+          EXPECT_EQ(route.value().back(), dst);
+          EXPECT_FALSE(crosses_wire(route.value(), p.wires()[wi]))
+              << to_string(c.shape) << " wire " << wi << " src=" << src
+              << " dst=" << dst;
+          std::set<int> seen(route.value().begin(), route.value().end());
+          EXPECT_EQ(seen.size(), route.value().size()) << "routing loop";
+        }
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, RoutingProperty,
     ::testing::Values(PlanCase{ClusterShape::kCable, 2, 1, 1},
