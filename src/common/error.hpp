@@ -24,6 +24,7 @@ enum class ErrorCode {
   kFailedPrecondition,  // e.g. machine not booted
   kTimeout,             // deadline expired before the operation completed
   kUnavailable,         // peer dead / link down / cluster partitioned
+  kBackpressure,        // reliable send window full; peer not acknowledging
 };
 
 [[nodiscard]] const char* to_string(ErrorCode code);

@@ -49,6 +49,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kFailedPrecondition: return "failed precondition";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kBackpressure: return "backpressure";
   }
   return "unknown error";
 }

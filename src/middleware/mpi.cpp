@@ -27,8 +27,8 @@ Communicator::Communicator(cluster::TcCluster& cluster, int rank)
   TCC_ASSERT(rank >= 0 && rank < size_, "rank out of range");
 }
 
-Result<cluster::MsgEndpoint*> Communicator::ep(int peer) {
-  return cluster_.msg(rank_).connect(peer);
+Result<cluster::ReliableEndpoint*> Communicator::ep(int peer) {
+  return cluster_.rel(rank_).connect(peer);
 }
 
 sim::Task<Status> Communicator::send(int dst, std::span<const std::uint8_t> data,
@@ -41,7 +41,7 @@ sim::Task<Status> Communicator::send(int dst, std::span<const std::uint8_t> data
   }
   auto endpoint = ep(dst);
   if (!endpoint.ok()) co_return endpoint.error();
-  if (kEnvelope + data.size() <= cluster::kMaxMessageBytes) {
+  if (kEnvelope + data.size() <= cluster::ReliableEndpoint::kMaxPayloadBytes) {
     std::vector<std::uint8_t> framed(kEnvelope + data.size());
     std::memcpy(framed.data(), &tag, kEnvelope);
     if (!data.empty()) {  // empty spans may carry a null data() (UB in memcpy)

@@ -1,11 +1,14 @@
-// tcmpi: a compact MPI-style message-passing layer over tcmsg — the
+// tcmpi: a compact MPI-style message-passing layer over tcrel — the
 // middleware port the paper names as its next step (§VII: "port a middleware
 // software layer like MPI ... on top of our simple message library").
 //
-// Point-to-point semantics: each (src, dst) pair is a FIFO channel (the HT
-// posted channel guarantees in-order delivery, §IV.A), so receive names its
-// source and optional tag; a tag mismatch at the channel head is an error
-// rather than a reorder, and this is documented behaviour.
+// Point-to-point semantics: each (src, dst) pair is a FIFO channel. The
+// transport is the reliable tcrel layer (reliable.hpp), so the FIFO survives
+// link faults and warm resets: messages are sequenced, retransmitted across
+// epoch syncs and duplicate-suppressed — MPI above sees exactly-once
+// in-order delivery. Receive names its source and optional tag; a tag
+// mismatch at the channel head is an error rather than a reorder, and this
+// is documented behaviour.
 //
 // Collectives: dissemination barrier, binomial-tree broadcast and reduce,
 // recursive allreduce (reduce+bcast), gather, and all-to-all exchange.
@@ -73,7 +76,7 @@ class Communicator {
       const std::vector<std::vector<std::uint8_t>>& send_blocks);
 
  private:
-  [[nodiscard]] Result<cluster::MsgEndpoint*> ep(int peer);
+  [[nodiscard]] Result<cluster::ReliableEndpoint*> ep(int peer);
 
   cluster::TcCluster& cluster_;
   int rank_;

@@ -24,14 +24,17 @@ std::array<std::uint8_t, kAmFrame> encode_am(AmOp op, std::uint64_t offset,
 }
 }  // namespace
 
-PgasRuntime::PgasRuntime(cluster::TcCluster& cluster, int rank, int service_core)
+PgasRuntime::PgasRuntime(cluster::TcCluster& cluster, int rank, int service_core,
+                         PutMode put_mode)
     : cluster_(cluster),
       rank_(rank),
       size_(cluster.num_nodes()),
       service_core_(service_core),
-      comm_(cluster, rank) {
-  service_lib_ = std::make_unique<cluster::MsgLibrary>(
-      cluster_.driver(rank_), cluster_.core(rank_, service_core_));
+      comm_(cluster, rank),
+      put_mode_(put_mode) {
+  service_lib_ = std::make_unique<cluster::ReliableLibrary>(
+      cluster_.driver(rank_), cluster_.core(rank_, service_core_),
+      cluster_.rel_config());
   atomics_ = std::make_unique<sim::Mutex>(cluster_.engine());
 }
 
@@ -60,6 +63,7 @@ sim::Task<Result<std::uint64_t>> PgasRuntime::local_op(AmOp op, std::uint64_t of
       next = old.value() + operand;
       break;
     case AmOp::kSwap:
+    case AmOp::kPut:
       next = operand;
       break;
   }
@@ -77,19 +81,25 @@ sim::Task<void> PgasRuntime::service_loop() {
       auto req_ep = service_lib_->connect(peer, cluster::RingChannel::kPgasRequest);
       if (!req_ep.ok()) continue;
       if (!co_await req_ep.value()->poll()) continue;
-      auto req = co_await req_ep.value()->recv();
+      // poll() true may still yield nothing: the waiting frame can be a
+      // duplicate the reliable layer suppresses — bound the recv so one
+      // peer's duplicate cannot stall the whole sweep.
+      auto req = co_await req_ep.value()->recv(core.now() + Picoseconds::from_us(2.0));
       if (!req.ok() || req.value().size() != kAmFrame) continue;
       const auto op = static_cast<AmOp>(req.value()[0]);
       std::uint64_t offset = 0, operand = 0;
       std::memcpy(&offset, req.value().data() + 8, 8);
       std::memcpy(&operand, req.value().data() + 16, 8);
       auto result = co_await local_op(op, offset, operand, core);
-      const std::uint64_t value = result.ok() ? result.value() : 0;
-      auto resp_ep = service_lib_->connect(peer, cluster::RingChannel::kPgasResponse);
-      if (resp_ep.ok()) {
-        std::uint8_t buf[8];
-        std::memcpy(buf, &value, 8);
-        (void)co_await resp_ep.value()->send(buf);
+      if (op != AmOp::kPut) {  // reliable puts are response-less
+        const std::uint64_t value = result.ok() ? result.value() : 0;
+        auto resp_ep =
+            service_lib_->connect(peer, cluster::RingChannel::kPgasResponse);
+        if (resp_ep.ok()) {
+          std::uint8_t buf[8];
+          std::memcpy(buf, &value, 8);
+          (void)co_await resp_ep.value()->send(buf);
+        }
       }
       ++gets_served_;
       did_work = true;
@@ -112,9 +122,17 @@ sim::Task<Status> PgasRuntime::finalize() {
 }
 
 sim::Task<Status> PgasRuntime::barrier() {
-  // Strict-consistency point (§IV.A): Sfence orders the relaxed puts into
-  // the posted channel, then ranks synchronize with messages — every put
-  // issued before the barrier is visible after it (same VC, in order).
+  // Reliable puts first: wait until the owners' service loops acknowledged
+  // every outstanding put AM — a put lost to a fault is replayed (not lost)
+  // before any rank may pass the barrier.
+  for (cluster::ReliableEndpoint* ep : cluster_.rel(rank_).open_endpoints()) {
+    if (ep->channel() != cluster::RingChannel::kPgasRequest) continue;
+    Status s = co_await ep->flush();
+    if (!s.ok()) co_return s;
+  }
+  // Strict-consistency point (§IV.A): Sfence orders the relaxed direct puts
+  // into the posted channel, then ranks synchronize with messages — every
+  // put issued before the barrier is visible after it (same VC, in order).
   Status s = co_await cluster_.core(rank_, 0).sfence();
   if (!s.ok()) co_return s;
   co_return co_await comm_.barrier();
@@ -140,12 +158,12 @@ Result<GlobalArray> PgasRuntime::allocate(std::uint64_t elements) {
 sim::Task<Result<std::uint64_t>> PgasRuntime::remote_op(int owner, AmOp op,
                                                         std::uint64_t offset,
                                                         std::uint64_t operand) {
-  auto req_ep = cluster_.msg(rank_).connect(owner, cluster::RingChannel::kPgasRequest);
+  auto req_ep = cluster_.rel(rank_).connect(owner, cluster::RingChannel::kPgasRequest);
   if (!req_ep.ok()) co_return req_ep.error();
   const auto frame = encode_am(op, offset, operand);
   Status s = co_await req_ep.value()->send(frame);
   if (!s.ok()) co_return s.error();
-  auto resp_ep = cluster_.msg(rank_).connect(owner, cluster::RingChannel::kPgasResponse);
+  auto resp_ep = cluster_.rel(rank_).connect(owner, cluster::RingChannel::kPgasResponse);
   if (!resp_ep.ok()) co_return resp_ep.error();
   auto r = co_await resp_ep.value()->recv();
   if (!r.ok()) co_return r.error();
@@ -170,11 +188,20 @@ std::pair<int, std::uint64_t> GlobalArray::locate(std::uint64_t index) const {
 sim::Task<Status> GlobalArray::put(std::uint64_t index, std::uint64_t value) {
   const auto [owner, offset] = locate(index);
   cluster::TcCluster& cl = rt_->cluster();
-  const PhysAddr addr = cl.driver(rt_->rank()).shared_region(owner).base + offset;
-  // Relaxed consistency: a plain (combining) store; a later fence/barrier
-  // orders it. Local and remote paths are the same store instruction — only
-  // the MTRR type differs, exactly as in the real system.
-  co_return co_await cl.core(rt_->rank(), 0).store_u64(addr, value);
+  if (owner == rt_->rank() || rt_->put_mode() == PutMode::kDirect) {
+    const PhysAddr addr = cl.driver(rt_->rank()).shared_region(owner).base + offset;
+    // Relaxed consistency: a plain (combining) store; a later fence/barrier
+    // orders it. Local and remote paths are the same store instruction — only
+    // the MTRR type differs, exactly as in the real system.
+    co_return co_await cl.core(rt_->rank(), 0).store_u64(addr, value);
+  }
+  // PutMode::kReliable: a response-less active message the owner's service
+  // loop applies; still relaxed (completion = accepted into the retransmit
+  // window), made globally visible by barrier()'s request-channel flush.
+  auto req_ep = cl.rel(rt_->rank()).connect(owner, cluster::RingChannel::kPgasRequest);
+  if (!req_ep.ok()) co_return req_ep.error();
+  const auto frame = encode_am(AmOp::kPut, offset, value);
+  co_return co_await req_ep.value()->send(frame);
 }
 
 sim::Task<Result<std::uint64_t>> GlobalArray::get(std::uint64_t index) {

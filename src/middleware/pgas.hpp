@@ -1,9 +1,14 @@
-// tcpgas: a partitioned-global-address-space layer over tcmsg (§IV.A:
+// tcpgas: a partitioned-global-address-space layer over tcrel (§IV.A:
 // "TCCluster is compatible with PGAS implementations like UPC over GASNet").
 //
 // The write-only network shapes the design, exactly as §IV.A predicts:
-//  * put = direct remote store into the owner's shared region (relaxed
-//    consistency; a fence/barrier makes it globally ordered),
+//  * put = PutMode::kDirect is a direct remote store into the owner's shared
+//    region (relaxed consistency; a fence/barrier makes it globally ordered,
+//    but a store lost to a link fault is lost silently). The default
+//    PutMode::kReliable ships the put as a response-less active message over
+//    tcrel instead: sequenced, retransmitted and duplicate-suppressed, and
+//    barrier() flushes the request channels so every pre-barrier put is
+//    applied-or-replayed before ranks synchronize,
 //  * get = CANNOT be a remote load — responses are unroutable (§IV.A). It is
 //    an active message instead: a request message to the owner, whose
 //    service loop replies with a data message. This costs a full round trip,
@@ -30,6 +35,13 @@ enum class AmOp : std::uint8_t {
   kGet = 0,       ///< return *addr
   kFetchAdd = 1,  ///< old = *addr; *addr += operand; return old
   kSwap = 2,      ///< old = *addr; *addr = operand; return old
+  kPut = 3,       ///< *addr = operand; NO response (reliable relaxed put)
+};
+
+/// How GlobalArray::put reaches a remote owner.
+enum class PutMode {
+  kDirect,    ///< raw remote store: lowest latency, lost on a link fault
+  kReliable,  ///< response-less AM over tcrel: survives faults (default)
 };
 
 /// A block-distributed array of u64 over all nodes, living in each node's
@@ -40,7 +52,8 @@ class PgasRuntime {
  public:
   /// `service_core`: which core of the local chip runs the get-request
   /// service loop (core 1 by default; the application owns core 0).
-  PgasRuntime(cluster::TcCluster& cluster, int rank, int service_core = 1);
+  PgasRuntime(cluster::TcCluster& cluster, int rank, int service_core = 1,
+              PutMode put_mode = PutMode::kReliable);
 
   PgasRuntime(const PgasRuntime&) = delete;
   PgasRuntime& operator=(const PgasRuntime&) = delete;
@@ -66,6 +79,7 @@ class PgasRuntime {
   [[nodiscard]] sim::Task<Status> barrier();
 
   [[nodiscard]] std::uint64_t gets_served() const { return gets_served_; }
+  [[nodiscard]] PutMode put_mode() const { return put_mode_; }
 
  private:
   friend class GlobalArray;
@@ -89,8 +103,9 @@ class PgasRuntime {
   int size_;
   int service_core_;
   Communicator comm_;
-  std::unique_ptr<cluster::MsgLibrary> service_lib_;   // bound to service core
-  std::unique_ptr<sim::Mutex> atomics_;                // AM-vs-local atomicity
+  PutMode put_mode_;
+  std::unique_ptr<cluster::ReliableLibrary> service_lib_;  // bound to service core
+  std::unique_ptr<sim::Mutex> atomics_;                    // AM-vs-local atomicity
   std::uint64_t heap_cursor_ = 0;  // symmetric allocation offset (bytes)
   bool service_running_ = false;
   bool stop_requested_ = false;

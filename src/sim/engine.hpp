@@ -45,8 +45,9 @@ class Engine {
   /// Schedule a callback `delay` after the current time.
   void schedule(Picoseconds delay, std::function<void()> fn);
 
-  /// Schedule a callback at absolute simulated time `at` (clamped to now).
-  /// The form fault-injection scripts use: "link X dies at t = 40 µs".
+  /// Schedule a callback at absolute simulated time `at`. A non-future `at`
+  /// is clamped to now and fires on the current tick — never dropped. The
+  /// form fault-injection scripts use: "link X dies at t = 40 µs".
   void schedule_at(Picoseconds at, std::function<void()> fn) {
     schedule(at > now() ? at - now() : Picoseconds{0}, std::move(fn));
   }

@@ -37,12 +37,15 @@ Status TcCluster::boot() {
 
   drivers_.clear();
   libraries_.clear();
+  rel_libraries_.clear();
   for (int c = 0; c < machine_->num_chips(); ++c) {
     auto driver = std::make_unique<TcDriver>(*machine_, c);
     driver->set_shared_bytes(options_.shared_bytes);
     if (Status s = driver->load(); !s.ok()) return s;
     libraries_.push_back(
         std::make_unique<MsgLibrary>(*driver, machine_->chip(c).core(0)));
+    rel_libraries_.push_back(std::make_unique<ReliableLibrary>(
+        *driver, machine_->chip(c).core(0), options_.rel));
     drivers_.push_back(std::move(driver));
   }
   booted_ = true;

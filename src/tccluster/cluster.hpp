@@ -22,6 +22,7 @@
 #include "tccluster/driver.hpp"
 #include "tccluster/fault.hpp"
 #include "tccluster/msg.hpp"
+#include "tccluster/reliable.hpp"
 
 namespace tcc::cluster {
 
@@ -39,6 +40,8 @@ class TcCluster {
     /// absolute, so schedule them past the boot sequence, which takes a few
     /// microseconds of simulated time).
     std::vector<FaultEvent> faults;
+    /// Tuning for the per-node reliable message libraries (rel()).
+    RelConfig rel;
   };
 
   /// Plan + assemble the machine (powered off). Fails on impossible
@@ -67,6 +70,15 @@ class TcCluster {
   [[nodiscard]] MsgLibrary& msg(int chip) {
     return *libraries_.at(static_cast<std::size_t>(chip));
   }
+  /// The default reliable (tcrel) library of a node (bound to core 0).
+  /// Raw msg() and rel() endpoints to the same (peer, channel) share a ring
+  /// and must not be mixed; the middleware uses rel().
+  [[nodiscard]] ReliableLibrary& rel(int chip) {
+    return *rel_libraries_.at(static_cast<std::size_t>(chip));
+  }
+  /// The reliability tuning every rel() library was built with (middleware
+  /// layers constructing their own ReliableLibrary reuse it).
+  [[nodiscard]] const RelConfig& rel_config() const { return options_.rel; }
 
   /// Attach an owned protocol analyzer to every plan wire. Call before
   /// boot() to capture link-training and enumeration traffic too.
@@ -84,6 +96,8 @@ class TcCluster {
   // ---- fault domain ------------------------------------------------------
 
   /// Arm one more fault at runtime (same validation as Options::faults).
+  /// An `at` at or before the current instant strikes on the current tick —
+  /// Engine::schedule_at clamps non-future times instead of dropping them.
   Status inject(const FaultEvent& fault);
 
   /// What the injector has armed and fired so far.
@@ -113,6 +127,7 @@ class TcCluster {
   std::unique_ptr<firmware::BootSequencer> boot_;
   std::vector<std::unique_ptr<TcDriver>> drivers_;
   std::vector<std::unique_ptr<MsgLibrary>> libraries_;
+  std::vector<std::unique_ptr<ReliableLibrary>> rel_libraries_;
   std::vector<std::unique_ptr<ht::LinkTracer>> tracers_;  // one per plan wire
   std::unique_ptr<FaultInjector> injector_;
   bool booted_ = false;

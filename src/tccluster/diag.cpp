@@ -129,6 +129,24 @@ std::string health_report(TcCluster& cluster) {
     out += "  fault: " + line + "\n";
   }
   if (out == "== health ==\n") out += "  all links up, all peers alive\n";
+  // Reliability-layer state: one row per open tcrel endpoint (epoch,
+  // sync-in-flight, retransmit-queue depth, cumulative ACK positions).
+  for (int c = 0; c < cluster.num_nodes(); ++c) {
+    for (ReliableEndpoint* ep : cluster.rel(c).open_endpoints()) {
+      const RelStats& st = ep->stats();
+      out += strprintf(
+          "  rel %d->%d ch%d: epoch=%llu%s unacked=%llu last_ack=%llu "
+          "delivered=%llu retransmits=%llu dups=%llu\n",
+          c, ep->peer(), static_cast<int>(ep->channel()),
+          static_cast<unsigned long long>(ep->epoch()),
+          ep->syncing() ? " SYNCING" : "",
+          static_cast<unsigned long long>(ep->unacked()),
+          static_cast<unsigned long long>(ep->last_acked_seq()),
+          static_cast<unsigned long long>(ep->delivered_count()),
+          static_cast<unsigned long long>(st.retransmits),
+          static_cast<unsigned long long>(st.duplicates_dropped));
+    }
+  }
   return out;
 }
 

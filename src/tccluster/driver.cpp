@@ -7,6 +7,10 @@
 
 namespace tcc::cluster {
 
+// Defined in reliable.cpp (declared in reliable.hpp; redeclared here to keep
+// the driver translation unit independent of the reliability layer's header).
+void register_reliable_metrics();
+
 #if TCC_TELEMETRY_ENABLED
 namespace {
 
@@ -127,7 +131,11 @@ Status TcDriver::load() {
   }
   probe_log_.push_back("ok: ring and shared regions typed UC");
 
-  TCC_METRIC((void)driver_metrics());  // register driver metrics at load time
+  // Register driver and reliability metrics at load time: the catalogue test
+  // diffs the registry against docs/OBSERVABILITY.md after any booted
+  // workload, so lazily-registered names would depend on which layers ran.
+  TCC_METRIC((void)driver_metrics());
+  register_reliable_metrics();
   loaded_ = true;
   return {};
 }

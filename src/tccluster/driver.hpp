@@ -30,11 +30,18 @@ inline constexpr std::uint64_t kSlotBytes = 64;
 /// the remaining 63 slots carry messages.
 inline constexpr int kDataSlots = 63;
 
-/// Layout of the control block (slot 0): the ack counter lives at offset 0
-/// (written by the ring's consumer), the driver keepalive beat at offset 8
-/// (written by the ring's producer). Disjoint words, so the message layer
-/// and the keepalive never race.
+/// Layout of the control block (slot 0) of ring(owner, sender): every word
+/// is written remotely by `sender` and read locally by `owner`, so all four
+/// travel the same posted path (same-VC ordering holds between them):
+///   +0   tcmsg cumulative slots-consumed ack — `sender`'s count of slots it
+///        consumed from the opposite-direction ring (flow control),
+///   +8   driver keepalive beat (kApp channel only),
+///   +16  tcrel cumulative delivered-message ack (reliable.hpp),
+///   +24  tcrel membership-epoch word (low 32 bits epoch, bit 32 sync flag).
+/// Disjoint words, so the layers never race each other.
 inline constexpr std::uint64_t kHeartbeatOffset = 8;
+inline constexpr std::uint64_t kRelAckOffset = 16;
+inline constexpr std::uint64_t kRelEpochOffset = 24;
 
 /// Independent ring channels per endpoint pair. Channel 0 carries
 /// application/MPI traffic; 1 and 2 carry PGAS active-message requests and

@@ -136,9 +136,28 @@ sim::Task<Status> MsgEndpoint::acquire_credits(std::uint64_t slots,
   co_return Status{};
 }
 
+namespace {
+
+/// Advance a message sequence number, skipping values whose low 32 bits are
+/// zero — a released slot's marker is 0, so such a sequence could read an
+/// empty slot as a message. Sender and receiver apply the same rule, so the
+/// cursors stay in lockstep across the wrap.
+inline void advance_seq(std::uint64_t& seq) {
+  if (((++seq) & MsgSlot::kSeqMask) == 0) ++seq;
+}
+
+/// True when a loaded marker word commits `seq` (low-half match; the high
+/// half is the application tag and never participates in matching).
+inline bool marker_matches(std::uint64_t marker, std::uint64_t seq) {
+  return (marker & MsgSlot::kSeqMask) == (seq & MsgSlot::kSeqMask);
+}
+
+}  // namespace
+
 sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
                                     OrderingMode mode,
-                                    std::optional<Picoseconds> deadline) {
+                                    std::optional<Picoseconds> deadline,
+                                    std::uint32_t tag) {
   if (payload.size() > kMaxMessageBytes) {
     co_return make_error(ErrorCode::kInvalidArgument,
                         "message exceeds kMaxMessageBytes; use send_bytes");
@@ -152,13 +171,15 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
 
   const std::uint64_t head = send_slots_;
   const std::uint32_t crc = ht::crc32c(payload);
+  const std::uint64_t marker = (static_cast<std::uint64_t>(tag) << 32) |
+                               (send_seq_ & MsgSlot::kSeqMask);
 
   // Write slots in ascending order; in-order posted delivery (§IV.A) makes
   // the LAST slot's marker the commit point on the receiver.
   std::size_t off = 0;
   for (std::uint64_t i = 0; i < slots; ++i) {
     std::uint8_t slot[kSlotBytes] = {};
-    std::memcpy(slot + MsgSlot::kMarkerOffset, &send_seq_, 8);
+    std::memcpy(slot + MsgSlot::kMarkerOffset, &marker, 8);
     std::size_t data_off;
     std::size_t capacity;
     if (i == 0) {
@@ -182,7 +203,7 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
   s = co_await core_.sfence();  // push the tail out of the WC buffers
   if (!s.ok()) co_return s;
 
-  ++send_seq_;
+  advance_seq(send_seq_);
   send_slots_ += slots;
   ++stats_.messages_sent;
   stats_.bytes_sent += len;
@@ -205,14 +226,20 @@ sim::Task<Status> MsgEndpoint::send_bytes(std::span<const std::uint8_t> payload,
 }
 
 sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
-    std::vector<std::uint8_t>* copy_out, std::optional<Picoseconds> deadline) {
+    std::vector<std::uint8_t>* copy_out, std::optional<Picoseconds> deadline,
+    std::uint32_t* tag_out) {
   const PhysAddr header_addr = rx_slot_addr(recv_slots_);
   // Poll the marker word in uncacheable local memory (§VI receive path).
   bool first_miss = true;
   for (;;) {
     auto marker = co_await core_.load_u64(header_addr);
     if (!marker.ok()) co_return marker.error();
-    if (marker.value() == recv_seq_) break;
+    if (marker_matches(marker.value(), recv_seq_)) {
+      if (tag_out != nullptr) {
+        *tag_out = static_cast<std::uint32_t>(marker.value() >> 32);
+      }
+      break;
+    }
     if (deadline.has_value() && core_.engine().now() >= *deadline) {
       ++stats_.timeouts;
       TCC_METRIC(msg_metrics().timeouts.inc());
@@ -247,7 +274,7 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
     for (;;) {
       auto tail = co_await core_.load_u64(tail_addr);
       if (!tail.ok()) co_return tail.error();
-      if (tail.value() == recv_seq_) break;
+      if (marker_matches(tail.value(), recv_seq_)) break;
       // The header landed, so the tail is normally moments away — but a link
       // that died mid-message leaves it missing forever. recv_slots_ is
       // untouched, so a post-recovery retry re-polls the same message.
@@ -287,7 +314,7 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
     if (!s.ok()) co_return s.error();
   }
 
-  ++recv_seq_;
+  advance_seq(recv_seq_);
   recv_slots_ += slots;
   ++stats_.messages_received;
   stats_.bytes_received += len;
@@ -314,10 +341,18 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_discard(
   co_return co_await recv_impl(nullptr, deadline);
 }
 
+sim::Task<Result<MsgEndpoint::TaggedMessage>> MsgEndpoint::recv_tagged(
+    std::optional<Picoseconds> deadline) {
+  TaggedMessage out;
+  auto r = co_await recv_impl(&out.bytes, deadline, &out.tag);
+  if (!r.ok()) co_return r.error();
+  co_return out;
+}
+
 sim::Task<bool> MsgEndpoint::poll() {
   TCC_METRIC(msg_metrics().polls.inc());
   auto marker = co_await core_.load_u64(rx_slot_addr(recv_slots_));
-  co_return marker.ok() && marker.value() == recv_seq_;
+  co_return marker.ok() && marker_matches(marker.value(), recv_seq_);
 }
 
 sim::Task<Status> MsgEndpoint::flush_acks() {
@@ -330,6 +365,31 @@ sim::Task<Status> MsgEndpoint::flush_acks() {
   ++stats_.acks_sent;
   TCC_METRIC(msg_metrics().acks_sent.inc());
   co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::reset_rx() {
+  // Zero every data-slot marker so no stale sequence number survives into
+  // the next epoch (markers are the only words polls trust).
+  for (int i = 0; i < kDataSlots; ++i) {
+    Status s = co_await core_.store_u64(
+        rx_ring_.base + kSlotBytes * static_cast<std::uint64_t>(1 + i), 0);
+    if (!s.ok()) co_return s;
+  }
+  recv_seq_ = 1;
+  recv_slots_ = 0;
+  acked_out_ = 0;
+  // Republish a zero slots-consumed ack. Ordered ahead of any later epoch
+  // publish on the same posted path, so the peer never resumes sending
+  // against a stale credit count.
+  Status s = co_await core_.store_u64(rx_ack_, 0);
+  if (!s.ok()) co_return s;
+  co_return co_await core_.sfence();
+}
+
+void MsgEndpoint::reset_tx() {
+  send_seq_ = 1;
+  send_slots_ = 0;
+  acked_slots_cache_ = 0;
 }
 
 sim::Task<Status> MsgEndpoint::put(const RemoteWindow& window, std::uint64_t offset,

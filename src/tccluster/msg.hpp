@@ -45,21 +45,28 @@ struct MsgStats {
   std::uint64_t timeouts = 0;       ///< deadline expiries in send()/recv()
 };
 
-/// Slot wire format. EVERY slot begins with an 8-byte marker holding the
-/// message sequence number; the first slot of a message additionally carries
-/// length + CRC. Because marker words only ever contain sequence numbers (or
-/// zero after the receiver releases the slot), raw payload bytes can never
-/// alias a marker — the property that makes polling sound. In-order posted
-/// delivery (§IV.A) means the LAST slot's marker becoming visible implies
-/// the whole message has landed.
+/// Slot wire format. EVERY slot begins with an 8-byte marker word: the low
+/// 32 bits hold the message sequence number (what the receiver polls on; a
+/// sequence whose low half would be zero is skipped by both sides so an
+/// empty slot can never match), the high 32 bits carry an opaque per-message
+/// application tag that rides for free — the receiver already loads the
+/// marker, so a layer above (tcrel) gets a whole header's worth of metadata
+/// at zero additional uncacheable reads. The first slot of a message
+/// additionally carries length + CRC. Marker words only ever contain
+/// sender-composed marker values (or zero after the receiver releases the
+/// slot), and raw payload bytes can never alias one — the property that
+/// makes polling sound. In-order posted delivery (§IV.A) means the LAST
+/// slot's marker becoming visible implies the whole message has landed.
 struct MsgSlot {
-  static constexpr std::uint64_t kMarkerOffset = 0;  // u64 sequence, never 0
+  static constexpr std::uint64_t kMarkerOffset = 0;  // u64: seq low, tag high
   static constexpr std::uint64_t kLenOffset = 8;     // u32, first slot only
   static constexpr std::uint64_t kCrcOffset = 12;    // u32, first slot only
   static constexpr std::uint64_t kHeaderSize = 16;   // first slot overhead
   static constexpr std::uint64_t kMarkerSize = 8;    // later slots overhead
   static constexpr std::uint64_t kFirstPayload = kSlotBytes - kHeaderSize;  // 48
   static constexpr std::uint64_t kNextPayload = kSlotBytes - kMarkerSize;   // 56
+  /// Low half of the marker word: the sequence number on the wire.
+  static constexpr std::uint64_t kSeqMask = 0xffffffffull;
 };
 
 /// Largest single message: 48 bytes in the first slot, 56 in each of the
@@ -86,10 +93,13 @@ class MsgEndpoint {
   /// free slots (flow control). With a `deadline` (absolute simulated time),
   /// a credit stall past it returns kTimeout instead of polling forever —
   /// the only way a sender survives a peer that died holding the ring full.
+  /// `tag` rides in the high half of every slot marker (see MsgSlot) and
+  /// comes back through recv_tagged(); plain recv() ignores it.
   [[nodiscard]] sim::Task<Status> send(
       std::span<const std::uint8_t> payload,
       OrderingMode mode = OrderingMode::kWeaklyOrdered,
-      std::optional<Picoseconds> deadline = std::nullopt);
+      std::optional<Picoseconds> deadline = std::nullopt,
+      std::uint32_t tag = 0);
 
   /// Send arbitrarily large data by segmenting into ring messages.
   [[nodiscard]] sim::Task<Status> send_bytes(std::span<const std::uint8_t> payload,
@@ -106,6 +116,16 @@ class MsgEndpoint {
   /// (what a zero-copy consumer or a latency benchmark does). Returns the
   /// payload length. Honours `deadline` like recv().
   [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_discard(
+      std::optional<Picoseconds> deadline = std::nullopt);
+
+  /// recv() plus the sender's marker tag — the free metadata channel layers
+  /// like tcrel key their headers into. Costs exactly what recv() costs: the
+  /// tag arrives in a word the receive path loads anyway.
+  struct TaggedMessage {
+    std::uint32_t tag = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  [[nodiscard]] sim::Task<Result<TaggedMessage>> recv_tagged(
       std::optional<Picoseconds> deadline = std::nullopt);
 
   /// True if a complete message is waiting (single header probe, no block).
@@ -143,6 +163,23 @@ class MsgEndpoint {
   /// Push the ack counter now instead of waiting for kAckThreshold.
   [[nodiscard]] sim::Task<Status> flush_acks();
 
+  // ---- epoch reset hooks (tcrel, reliable.hpp) -----------------------------
+  // Raw tcmsg has no retransmit: a message lost mid-ring leaves the receive
+  // cursor stuck forever. The reliability layer heals that by resetting the
+  // ring transport state on an epoch bump; these two hooks are the whole
+  // raw-layer surface it needs.
+
+  /// Receive-side reset: zero every data-slot marker of the local RX ring,
+  /// rewind the receive cursors, and remote-publish a zero slots-consumed
+  /// ack. Any message content still in the ring is dropped (the reliable
+  /// layer replays it from the sender's retransmit buffer).
+  [[nodiscard]] sim::Task<Status> reset_rx();
+
+  /// Transmit-side reset: rewind the send cursors to a fresh ring. Only
+  /// valid once the peer has performed the matching reset_rx() — the
+  /// reliable layer's epoch handshake guarantees that ordering.
+  void reset_tx();
+
  private:
   [[nodiscard]] PhysAddr tx_slot_addr(std::uint64_t logical_slot) const;
   [[nodiscard]] PhysAddr rx_slot_addr(std::uint64_t logical_slot) const;
@@ -156,9 +193,11 @@ class MsgEndpoint {
   [[nodiscard]] sim::Task<Status> acquire_credits(std::uint64_t slots,
                                                   std::optional<Picoseconds> deadline);
 
-  /// Common receive path; `copy_out` nullptr = discard.
+  /// Common receive path; `copy_out` nullptr = discard, `tag_out` nullptr =
+  /// drop the marker tag.
   [[nodiscard]] sim::Task<Result<std::uint32_t>> recv_impl(
-      std::vector<std::uint8_t>* copy_out, std::optional<Picoseconds> deadline);
+      std::vector<std::uint8_t>* copy_out, std::optional<Picoseconds> deadline,
+      std::uint32_t* tag_out = nullptr);
 
   TcDriver& driver_;
   opteron::Core& core_;

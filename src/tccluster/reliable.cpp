@@ -1,0 +1,698 @@
+#include "tccluster/reliable.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "opteron/timing.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace tcc::cluster {
+
+#if TCC_TELEMETRY_ENABLED
+namespace {
+
+/// Reliability-layer accounting aggregated across every endpoint in the
+/// process (per-endpoint numbers stay in ReliableEndpoint::stats()).
+struct RelMetrics {
+  telemetry::Counter& sends =
+      telemetry::MetricsRegistry::global().counter("tccluster.rel.sends");
+  telemetry::Counter& delivered =
+      telemetry::MetricsRegistry::global().counter("tccluster.rel.delivered");
+  telemetry::Counter& acked =
+      telemetry::MetricsRegistry::global().counter("tccluster.rel.acked");
+  telemetry::Counter& retransmits = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.retransmits");
+  telemetry::Counter& duplicates_dropped = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.duplicates_dropped");
+  telemetry::Counter& stale_epoch_drops = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.stale_epoch_drops");
+  telemetry::Counter& gap_drops =
+      telemetry::MetricsRegistry::global().counter("tccluster.rel.gap_drops");
+  telemetry::Counter& backpressure_stalls = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.backpressure_stalls");
+  telemetry::Counter& epoch_bumps = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.epoch_bumps");
+  telemetry::Counter& flushed =
+      telemetry::MetricsRegistry::global().counter("tccluster.rel.flushed");
+};
+
+RelMetrics& rel_metrics() {
+  static RelMetrics m;
+  return m;
+}
+
+}  // namespace
+#endif  // TCC_TELEMETRY_ENABLED
+
+void register_reliable_metrics() { TCC_METRIC((void)rel_metrics()); }
+
+const char* to_string(DeliveryPolicy p) {
+  switch (p) {
+    case DeliveryPolicy::kReplay: return "replay";
+    case DeliveryPolicy::kFlush: return "flush";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Epoch control word: low 32 bits epoch, bit 32 "sync in progress".
+constexpr std::uint64_t kEpochMask = 0xffffffffull;
+constexpr std::uint64_t kSyncFlag = std::uint64_t{1} << 32;
+
+// The whole rel header rides in the raw marker tag (MsgSlot: the high 32
+// bits of the word every receive poll loads anyway), so reliability costs
+// zero extra payload bytes and zero extra uncacheable reads per message:
+//
+//   bit  31     : kTagRelFlag — identifies a rel frame
+//   bits 25..29 : sender's seq_bits (config cross-check, 1..16)
+//   bit  24     : MsgKind (0 data, 1 gap mark)
+//   bits 16..23 : sender epoch, low 8 bits (full epoch is in the control
+//                 word; 8 bits are ample to reject stale in-flight frames —
+//                 the ring is reset on every bump, so live frames can only
+//                 ever be a couple of epochs apart)
+//   bits  0..15 : wire sequence number, masked to seq_bits
+constexpr std::uint32_t kTagRelFlag = 1u << 31;
+constexpr std::uint32_t kTagBitsShift = 25;
+constexpr std::uint32_t kTagBitsMask = 0x1f;
+constexpr std::uint32_t kTagKindBit = 1u << 24;
+constexpr std::uint32_t kTagEpochShift = 16;
+constexpr std::uint32_t kTagEpochMask = 0xff;
+constexpr std::uint32_t kTagSeqMask = 0xffff;
+
+}  // namespace
+
+ReliableEndpoint::ReliableEndpoint(TcDriver& driver, opteron::Core& core,
+                                   int peer_chip, RingChannel channel, RelConfig cfg)
+    : driver_(driver),
+      core_(core),
+      peer_(peer_chip),
+      channel_(channel),
+      cfg_(cfg),
+      raw_(driver, core, peer_chip, channel),
+      tx_mutex_(core.engine()),
+      rx_mutex_(core.engine()) {
+  TCC_ASSERT(cfg_.seq_bits >= 2 && cfg_.seq_bits <= 16,
+             "seq_bits out of range (the wire seq lives in 16 tag bits)");
+  TCC_ASSERT(cfg_.window >= 1 &&
+                 cfg_.window < (std::uint64_t{1} << (cfg_.seq_bits - 1)),
+             "window must stay below 2^(seq_bits-1) for unambiguous deltas");
+  const AddrRange rx_ring = driver.ring(driver.chip(), peer_chip, channel);
+  const AddrRange tx_ring = driver.ring(peer_chip, driver.chip(), channel);
+  ack_in_ = rx_ring.base + kRelAckOffset;
+  epoch_in_ = rx_ring.base + kRelEpochOffset;
+  ack_out_ = tx_ring.base + kRelAckOffset;
+  epoch_out_ = tx_ring.base + kRelEpochOffset;
+  last_tx_progress_ = core.engine().now();
+}
+
+ReliableEndpoint::~ReliableEndpoint() { *alive_ = false; }
+
+std::uint32_t ReliableEndpoint::make_tag(std::uint64_t seq, MsgKind kind) const {
+  return kTagRelFlag |
+         (static_cast<std::uint32_t>(cfg_.seq_bits) << kTagBitsShift) |
+         (kind == MsgKind::kGapMark ? kTagKindBit : 0u) |
+         (static_cast<std::uint32_t>(local_epoch_ & kTagEpochMask)
+          << kTagEpochShift) |
+         static_cast<std::uint32_t>(seq & seq_mask() & kTagSeqMask);
+}
+
+void ReliableEndpoint::record(RelEvent::Kind kind, std::uint64_t a, std::uint64_t b) {
+  if (events_.size() >= cfg_.max_events) {
+    ++events_dropped_;
+    return;
+  }
+  events_.push_back(RelEvent{kind, core_.engine().now(), a, b});
+}
+
+sim::Task<bool> ReliableEndpoint::transmit(std::uint64_t seq, MsgKind kind,
+                                           std::span<const std::uint8_t> payload) {
+  // Caller holds tx_mutex_. Piggyback the cumulative delivered-count ACK on
+  // the same posted path as the data: the raw send ends in an sfence, so the
+  // ACK word commits with (ahead of) the message. Capture before suspending
+  // — a delivery landing mid-store must not be marked acked unseen. While
+  // the delayed-ACK timer is armed and the deficit is small, skip it: the
+  // timer publishes off the latency path within ack_delay anyway, and the
+  // peer's window (>= ack_threshold deep) is in no danger meanwhile.
+  if (delivered_ != acked_out_ &&
+      (!ack_timer_armed_ || delivered_ - acked_out_ >= cfg_.ack_threshold)) {
+    const std::uint64_t ack = delivered_;
+    Status s = co_await core_.store_u64(ack_out_, ack);
+    if (s.ok()) acked_out_ = ack;
+  }
+  // The header (seq/epoch/kind) travels in the marker tag, not in payload
+  // bytes. Bounded raw op: a wedged ring (peer dead, no credits) must not
+  // pin the mutex forever. A refused transmit is fine — the message stays
+  // in the retransmit buffer; drain_unsent() retries and, if ACKs truly
+  // stalled, the epoch sync replays it.
+  const Picoseconds give_up = core_.engine().now() + cfg_.raw_slice;
+  Status s = co_await raw_.send(payload, OrderingMode::kWeaklyOrdered, give_up,
+                                make_tag(seq, kind));
+  co_return s.ok();
+}
+
+sim::Task<void> ReliableEndpoint::drain_unsent() {
+  while (!sync_pending_ && next_unsent_seq_ < next_send_seq_) {
+    // Locate the pending entry (it may have vanished: kFlush clears, a
+    // forced ACK refresh pops). The deque can shift while transmit()
+    // suspends, so work from copies and re-derive state each round.
+    const Pending* p = nullptr;
+    for (const Pending& cand : buffer_) {
+      if (cand.seq == next_unsent_seq_) {
+        p = &cand;
+        break;
+      }
+    }
+    if (p == nullptr) {
+      ++next_unsent_seq_;
+      continue;
+    }
+    const std::uint64_t seq = p->seq;
+    const std::vector<std::uint8_t> payload = p->payload;
+    if (!co_await transmit(seq, MsgKind::kData, payload)) break;
+    next_unsent_seq_ = std::max(next_unsent_seq_, seq + 1);
+  }
+}
+
+sim::Task<Status> ReliableEndpoint::send(std::span<const std::uint8_t> payload,
+                                         std::optional<Picoseconds> deadline) {
+  if (payload.size() > kMaxPayloadBytes) {
+    co_return make_error(ErrorCode::kInvalidArgument,
+                         "payload exceeds kMaxPayloadBytes");
+  }
+  std::uint64_t seq = 0;
+  bool accepted = false;
+  for (;;) {
+    co_await progress();
+    if (!accepted && buffer_.size() < cfg_.window) {
+      auto g = co_await tx_mutex_.scoped();
+      if (buffer_.size() < cfg_.window) {
+        seq = next_send_seq_++;
+        buffer_.push_back(
+            Pending{seq, std::vector<std::uint8_t>(payload.begin(), payload.end()), 0});
+        accepted = true;
+        ++stats_.sent;
+        TCC_METRIC(rel_metrics().sends.inc());
+        // Transmit only when every earlier message went out (seq order ==
+        // transmission order) and no initiated sync is in flight (our raw
+        // tx state is stale until the peer adopts); otherwise buffer-only —
+        // the wait loop below / replay carries it.
+        if (!sync_pending_ && seq == next_unsent_seq_ &&
+            co_await transmit(seq, MsgKind::kData, payload)) {
+          next_unsent_seq_ = std::max(next_unsent_seq_, seq + 1);
+        }
+      }
+    }
+    if (accepted) {
+      // Acceptance guarantees delivery (kReplay), but do not return while
+      // the message has never been handed to the ring: the sending
+      // coroutine is often the only process driving recovery, and an
+      // untransmitted message with nobody pushing it would strand the
+      // receiver. This also restores the raw layer's backpressure feel —
+      // bulk streams pace themselves by ring credits, not by the window.
+      if (next_unsent_seq_ > seq) co_return Status{};
+      if (deadline && core_.engine().now() >= *deadline) {
+        // Accepted but not yet transmitted (peer blackout): still OK — it
+        // stays buffered and the epoch sync replays it.
+        co_return Status{};
+      }
+      if (!sync_pending_ && next_unsent_seq_ < next_send_seq_) {
+        auto g = co_await tx_mutex_.scoped();
+        co_await drain_unsent();
+        if (next_unsent_seq_ > seq) co_return Status{};
+      }
+    } else if (deadline && core_.engine().now() >= *deadline) {
+      ++stats_.backpressure_stalls;
+      TCC_METRIC(rel_metrics().backpressure_stalls.inc());
+      record(RelEvent::Kind::kBackpressure,
+             buffer_.empty() ? 0 : buffer_.front().seq, 0);
+      co_return make_error(ErrorCode::kBackpressure,
+                           "reliable send window full; peer not acknowledging");
+    }
+    co_await core_.compute(opteron::kPollLoopOverhead);
+  }
+}
+
+sim::Task<Status> ReliableEndpoint::send_bytes(std::span<const std::uint8_t> payload,
+                                               std::optional<Picoseconds> deadline) {
+  std::size_t off = 0;
+  do {
+    const std::size_t chunk = std::min<std::size_t>(payload.size() - off, kMaxPayloadBytes);
+    Status s = co_await send(payload.subspan(off, chunk), deadline);
+    if (!s.ok()) co_return s;
+    off += chunk;
+  } while (off < payload.size());
+  co_return Status{};
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> ReliableEndpoint::recv(
+    std::optional<Picoseconds> deadline) {
+  for (;;) {
+    bool want_sync = false;
+    {
+      auto g = co_await rx_mutex_.scoped();
+      // Block inside the raw receive for one slice rather than poll()ing
+      // first: within a slice this loop's marker-poll cadence is identical
+      // to raw tcmsg (no second marker load, no progress() beat between
+      // polls). The slice is SHORT — progress_interval, not raw_slice — so
+      // the periodic maintenance loads (peer ACK word, epoch word) run
+      // between slices, i.e. while we are waiting anyway and the loads
+      // overlap message flight time instead of sitting on the send path:
+      // by the time the caller turns around and send()s, its progress
+      // throttles are already satisfied.
+      Picoseconds slice_end = core_.engine().now() + cfg_.progress_interval;
+      if (deadline && *deadline < slice_end) slice_end = *deadline;
+      {
+        auto r = co_await raw_.recv_tagged(slice_end);
+        if (r.ok()) {
+          const std::uint32_t tag = r.value().tag;
+          std::vector<std::uint8_t>& payload = r.value().bytes;
+          if ((tag & kTagRelFlag) != 0 &&
+              ((tag >> kTagBitsShift) & kTagBitsMask) ==
+                  static_cast<std::uint32_t>(cfg_.seq_bits)) {
+            if (((tag >> kTagEpochShift) & kTagEpochMask) !=
+                static_cast<std::uint32_t>(local_epoch_ & kTagEpochMask)) {
+              ++stats_.stale_epoch_drops;
+              TCC_METRIC(rel_metrics().stale_epoch_drops.inc());
+            } else if ((tag & kTagKindBit) != 0) {
+              // kGapMark (kFlush sync): the peer discarded its buffer; the
+              // payload is its (u64) next send seq — skip the flushed range.
+              if (payload.size() >= 8) {
+                std::uint64_t next_seq = 0;
+                std::memcpy(&next_seq, payload.data(), sizeof next_seq);
+                if (next_seq >= 1) delivered_ = std::max(delivered_, next_seq - 1);
+              }
+              gap_streak_ = 0;
+              co_await publish_ack();
+            } else {
+              const std::uint64_t mask = seq_mask();
+              const std::uint64_t expected = (delivered_ + 1) & mask;
+              const std::uint64_t diff = ((tag & kTagSeqMask) - expected) & mask;
+              if (diff == 0) {
+                ++delivered_;
+                ++stats_.delivered;
+                TCC_METRIC(rel_metrics().delivered.inc());
+                gap_streak_ = 0;
+                // ACK publication stays OFF the delivery fast path: the
+                // piggyback, the idle edge below, the threshold, and the
+                // delayed-ACK timer (for a caller that never recv()s again
+                // after the stream's last message) between them bound how
+                // long the peer's window stays charged.
+                arm_ack_timer();
+                if (delivered_ - acked_out_ >= cfg_.ack_threshold) {
+                  co_await publish_ack();
+                }
+                co_return std::move(payload);
+              }
+              if (diff > (mask >> 1)) {
+                // Behind the cursor: a replay raced the original delivery.
+                ++stats_.duplicates_dropped;
+                TCC_METRIC(rel_metrics().duplicates_dropped.inc());
+                // Force-republish the ACK word: a duplicate means the peer
+                // replayed, so our previous publish may have died on a dead
+                // link even though acked_out_ claims it went out.
+                acked_out_ = delivered_ + 1;  // poison the cache -> real store
+                co_await publish_ack();
+              } else {
+                // Ahead of the cursor: we missed a sync (our replayed copy
+                // is gone, e.g. both-sides reset raced). Count, and after a
+                // streak conclude we must resync ourselves.
+                ++stats_.gap_drops;
+                TCC_METRIC(rel_metrics().gap_drops.inc());
+                if (++gap_streak_ >= cfg_.gap_sync_threshold) want_sync = true;
+              }
+            }
+          }
+          // Untagged / config-mismatched frames are dropped silently —
+          // both ends are this code, so this only happens mid-epoch-reset.
+        } else if (r.error().code == ErrorCode::kProtocolViolation) {
+          // Ring desync (length/CRC garbage from a half-landed message):
+          // raw tcmsg cannot heal this; an epoch sync resets the ring.
+          want_sync = true;
+        } else {
+          // Slice expired with the ring drained: the idle edge. Push the
+          // rel ACK (reopens the peer's window) and the raw slot ack
+          // (returns ring credits — a full-size follow-up message needs
+          // every slot back) now rather than waiting for thresholds.
+          if (delivered_ != acked_out_) co_await publish_ack();
+          (void)co_await raw_.flush_acks();
+        }
+      }
+    }
+    // Recovery runs on the beats where nothing was delivered (a delivering
+    // iteration returned above — under a continuous deliverable stream the
+    // peer is by definition healthy, and any sender duties run in our own
+    // send()/flush() loops).
+    co_await progress();
+    if (want_sync && !sync_pending_) co_await initiate_sync();
+    if (deadline && core_.engine().now() >= *deadline) {
+      co_return make_error(ErrorCode::kTimeout, "rel recv deadline passed");
+    }
+    co_await core_.compute(opteron::kPollLoopOverhead);
+  }
+}
+
+sim::Task<bool> ReliableEndpoint::poll() {
+  co_await progress();
+  auto g = co_await rx_mutex_.scoped();
+  co_return co_await raw_.poll();
+}
+
+sim::Task<Status> ReliableEndpoint::flush(std::optional<Picoseconds> deadline) {
+  for (;;) {
+    co_await progress();
+    if (buffer_.empty()) co_return Status{};
+    if (deadline && core_.engine().now() >= *deadline) {
+      co_return make_error(ErrorCode::kTimeout, "rel flush deadline passed");
+    }
+    co_await core_.compute(opteron::kPollLoopOverhead);
+  }
+}
+
+sim::Task<void> ReliableEndpoint::refresh_acks() {
+  auto v = co_await core_.load_u64(ack_in_);
+  if (!v.ok()) co_return;
+  if (v.value() > peer_delivered_) {
+    peer_delivered_ = v.value();
+    last_tx_progress_ = core_.engine().now();
+    stall_strikes_ = 0;
+    while (!buffer_.empty() && buffer_.front().seq <= peer_delivered_) {
+      buffer_.pop_front();
+      ++stats_.acked;
+      TCC_METRIC(rel_metrics().acked.inc());
+    }
+    // An acked seq was by definition transmitted (or covered by a gap mark).
+    next_unsent_seq_ = std::max(next_unsent_seq_, peer_delivered_ + 1);
+  }
+}
+
+sim::Task<void> ReliableEndpoint::progress() {
+  const Picoseconds now = core_.engine().now();
+  if (last_progress_check_ != Picoseconds::zero() &&
+      now - last_progress_check_ < cfg_.progress_interval) {
+    co_return;
+  }
+  last_progress_check_ = now;
+
+  // The ACK word only matters with sends outstanding — a quiet transmit
+  // side skips the uncacheable load entirely (it is most of what a tight
+  // recv/poll loop would otherwise pay per beat). Even with sends
+  // outstanding, the load runs on a cadence: eagerly under pressure (window
+  // half full, or untransmitted backlog waiting on ring credits), else at
+  // ack_refresh_interval — fast enough to keep the stall clock honest, slow
+  // enough that a request/response loop does not pay 60 ns per message for
+  // bookkeeping that can wait a beat.
+  if (!buffer_.empty() || next_unsent_seq_ < next_send_seq_) {
+    const bool pressure = buffer_.size() >= cfg_.window / 2 ||
+                          next_unsent_seq_ < next_send_seq_;
+    if (pressure || last_ack_refresh_ == Picoseconds::zero() ||
+        now - last_ack_refresh_ >= cfg_.ack_refresh_interval) {
+      last_ack_refresh_ = now;
+      co_await refresh_acks();
+      // Push any unsent backlog into the ring as credits return.
+      if (!sync_pending_ && next_unsent_seq_ < next_send_seq_) {
+        auto g = co_await tx_mutex_.scoped();
+        co_await drain_unsent();
+      }
+    }
+  }
+
+  // The peer's epoch word only changes around faults; poll it on its own,
+  // longer throttle — except while a handshake is in flight, when it is the
+  // signal everything waits on.
+  if (sync_pending_ || last_epoch_check_ == Picoseconds::zero() ||
+      now - last_epoch_check_ >= cfg_.epoch_interval) {
+    last_epoch_check_ = now;
+    auto w = co_await core_.load_u64(epoch_in_);
+    if (w.ok()) {
+      const std::uint64_t peer_epoch = w.value() & kEpochMask;
+      peer_epoch_seen_ = std::max(peer_epoch_seen_, peer_epoch);
+      if (peer_epoch > local_epoch_) {
+        co_await adopt_epoch(peer_epoch);
+        co_return;
+      }
+      if (sync_pending_ && sync_armed_ && peer_epoch == local_epoch_) {
+        co_await complete_sync();
+        co_return;
+      }
+    }
+  }
+
+  // Keepalive rejoin edge: the driver resurrected a dead peer — its rings
+  // (and ours) may hold debris from before the blackout; resync.
+  const bool alive = driver_.peer_alive(peer_);
+  const bool rejoin_edge = !prev_peer_alive_ && alive;
+  prev_peer_alive_ = alive;
+  if (rejoin_edge && !sync_pending_) {
+    co_await initiate_sync();
+    co_return;
+  }
+
+  // ACK stall: messages outstanding and the cumulative ACK has not moved
+  // for stall_timeout — the deadline-driven retransmit trigger. First
+  // strikes resend the window in place (go-back-N, needs no cooperation:
+  // the receiver drops duplicates and republishes its cumulative ACK, which
+  // also recovers a lost ACK word). Only after stall_sync_strikes fruitless
+  // resends escalate to an epoch sync — a resend cannot fill the hole a
+  // lost posted write leaves in the raw ring, only a ring reset can. The
+  // escalation must stay rare: a sync handshake needs the peer to respond,
+  // and syncing against a peer that is merely slow to ack (e.g. blocked in
+  // its own send) can deadlock a ring of blocked senders.
+  if (!buffer_.empty()) {
+    if (!sync_pending_ && now - last_tx_progress_ > cfg_.stall_timeout) {
+      if (stall_strikes_ >= cfg_.stall_sync_strikes) {
+        stall_strikes_ = 0;
+        co_await initiate_sync();
+        co_return;
+      }
+      auto g = co_await tx_mutex_.scoped();
+      if (!sync_pending_ && !buffer_.empty() &&
+          core_.engine().now() - last_tx_progress_ > cfg_.stall_timeout) {
+        ++stall_strikes_;
+        co_await resend_window();
+      }
+      co_return;
+    }
+  } else {
+    last_tx_progress_ = now;
+    stall_strikes_ = 0;
+  }
+
+  // Republish the epoch word while syncing: the publish is a posted write
+  // and dies silently on a dead link, so keep beating until the echo.
+  if (sync_pending_ && sync_armed_) co_await publish_epoch();
+}
+
+sim::Task<void> ReliableEndpoint::initiate_sync() {
+  if (sync_pending_) co_return;
+  // State flips before any suspension so concurrent progress() calls cannot
+  // double-initiate or complete against the pre-bump epoch.
+  sync_pending_ = true;
+  sync_armed_ = false;
+  local_epoch_ = std::max(local_epoch_, peer_epoch_seen_) + 1;
+  const std::uint64_t target = local_epoch_;
+  ++stats_.epoch_bumps;
+  TCC_METRIC(rel_metrics().epoch_bumps.inc());
+  record(RelEvent::Kind::kEpochBump, target, 1);
+  TCC_INFO("tcrel", "chip %d -> peer %d: initiating epoch %llu sync",
+           driver_.chip(), peer_, static_cast<unsigned long long>(target));
+
+  // Let in-flight raw stores from the old epoch land before wiping the ring.
+  co_await core_.engine().delay(cfg_.drain_delay);
+  if (!sync_pending_ || local_epoch_ != target) co_return;  // superseded
+
+  {
+    auto g = co_await rx_mutex_.scoped();
+    if (!sync_pending_ || local_epoch_ != target) co_return;  // superseded
+    (void)co_await raw_.reset_rx();
+    gap_streak_ = 0;
+  }
+  if (!sync_pending_ || local_epoch_ != target) co_return;
+  sync_armed_ = true;
+  co_await publish_epoch();
+  last_tx_progress_ = core_.engine().now();  // restart the stall clock
+}
+
+sim::Task<void> ReliableEndpoint::adopt_epoch(std::uint64_t epoch) {
+  auto grx = co_await rx_mutex_.scoped();
+  auto gtx = co_await tx_mutex_.scoped();
+  if (epoch <= local_epoch_) co_return;  // raced a concurrent adopt/initiate
+  // The initiator reset its rx ring before publishing `epoch`, so our tx
+  // cursors can restart at a fresh ring; our rx reset mirrors it, and our
+  // echo publish (ordered after the reset on the posted path) tells the
+  // initiator it may replay.
+  (void)co_await raw_.reset_rx();
+  raw_.reset_tx();
+  local_epoch_ = epoch;
+  sync_pending_ = false;
+  sync_armed_ = false;
+  gap_streak_ = 0;
+  ++stats_.epoch_bumps;
+  TCC_METRIC(rel_metrics().epoch_bumps.inc());
+  record(RelEvent::Kind::kEpochBump, epoch, 0);
+  TCC_INFO("tcrel", "chip %d -> peer %d: adopting epoch %llu",
+           driver_.chip(), peer_, static_cast<unsigned long long>(epoch));
+  co_await publish_epoch();
+  co_await replay_unacked();  // tx mutex still held
+}
+
+sim::Task<void> ReliableEndpoint::complete_sync() {
+  auto gtx = co_await tx_mutex_.scoped();
+  if (!sync_pending_) co_return;  // raced a concurrent completion/adoption
+  // Peer echoed our epoch: it has reset the ring we transmit into.
+  raw_.reset_tx();
+  sync_pending_ = false;
+  sync_armed_ = false;
+  co_await publish_epoch();  // clear the sync flag for diagnostics
+  co_await replay_unacked();  // tx mutex still held
+}
+
+sim::Task<void> ReliableEndpoint::replay_unacked() {
+  // Caller holds tx_mutex_; the epoch handshake just completed, so both raw
+  // ring directions are fresh.
+  if (cfg_.policy == DeliveryPolicy::kFlush) {
+    if (!buffer_.empty()) {
+      stats_.flushed += buffer_.size();
+      TCC_METRIC(rel_metrics().flushed.inc(buffer_.size()));
+      buffer_.clear();
+    }
+    next_unsent_seq_ = next_send_seq_;
+    // Tell the receiver where the stream resumes (u64 payload), even when
+    // nothing was flushed — its cursor may predate the blackout.
+    std::uint8_t next[8];
+    const std::uint64_t next_seq = next_send_seq_;
+    std::memcpy(next, &next_seq, sizeof next);
+    (void)co_await transmit(0, MsgKind::kGapMark, next);
+    last_tx_progress_ = core_.engine().now();
+    co_return;
+  }
+  // kReplay: everything unacked goes out again, in seq order, via the
+  // drain path (a full-size message can exceed the fresh ring's credits in
+  // one go; the drain stops at the first refusal and progress() resumes it).
+  for (Pending& p : buffer_) {
+    ++p.retransmits;
+    ++stats_.retransmits;
+    TCC_METRIC(rel_metrics().retransmits.inc());
+    record(RelEvent::Kind::kRetransmit, p.seq, local_epoch_);
+  }
+  next_unsent_seq_ = buffer_.empty() ? next_send_seq_ : buffer_.front().seq;
+  co_await drain_unsent();
+  last_tx_progress_ = core_.engine().now();
+  stall_strikes_ = 0;
+}
+
+sim::Task<void> ReliableEndpoint::resend_window() {
+  // Caller holds tx_mutex_. Go-back-N on an ACK stall: rewind the unsent
+  // cursor to the oldest unacked message and push the window out again.
+  // Entries at/past next_unsent_seq_ were never handed to the ring — they
+  // drain as first transmissions, not retransmits.
+  for (Pending& p : buffer_) {
+    if (p.seq >= next_unsent_seq_) break;
+    ++p.retransmits;
+    ++stats_.retransmits;
+    TCC_METRIC(rel_metrics().retransmits.inc());
+    record(RelEvent::Kind::kRetransmit, p.seq, local_epoch_);
+  }
+  if (!buffer_.empty()) {
+    next_unsent_seq_ = std::min(next_unsent_seq_, buffer_.front().seq);
+  }
+  co_await drain_unsent();
+  last_tx_progress_ = core_.engine().now();
+}
+
+void ReliableEndpoint::arm_ack_timer() {
+  // Delayed ACK: a one-shot engine task that publishes the cumulative ACK if
+  // nothing else (piggyback, idle-edge push, threshold) has within
+  // cfg_.ack_delay. Arming is a host-side operation, so the delivery fast
+  // path pays nothing; the firing runs at an idle instant off every latency
+  // path. The alive token covers an endpoint destroyed before it fires.
+  if (ack_timer_armed_) return;
+  ack_timer_armed_ = true;
+  sim::Engine& eng = core_.engine();
+  eng.spawn_fn([this, &eng, alive = alive_,
+                delay = cfg_.ack_delay]() -> sim::Task<void> {
+    co_await eng.delay(delay);
+    if (!*alive) co_return;
+    ack_timer_armed_ = false;
+    if (delivered_ != acked_out_) co_await publish_ack();
+  });
+}
+
+sim::Task<void> ReliableEndpoint::publish_ack() {
+  // Capture before suspending: a delivery that lands mid-publish must not be
+  // marked acked without its value ever reaching the wire.
+  const std::uint64_t value = delivered_;
+  if (value == acked_out_) co_return;
+  Status s = co_await core_.store_u64(ack_out_, value);
+  if (!s.ok()) co_return;
+  (void)co_await core_.sfence();
+  acked_out_ = value;
+  ++stats_.acks_pushed;
+}
+
+sim::Task<void> ReliableEndpoint::publish_epoch() {
+  // Idempotent state broadcast: derive the word from current state, so a
+  // publish that raced an adoption still writes something consistent.
+  const std::uint64_t word =
+      (local_epoch_ & kEpochMask) | (sync_pending_ ? kSyncFlag : 0);
+  Status s = co_await core_.store_u64(epoch_out_, word);
+  if (!s.ok()) co_return;
+  (void)co_await core_.sfence();
+}
+
+sim::Task<void> ReliableEndpoint::pump_process() {
+  while (!pump_stop_) {
+    co_await progress();
+    // Publish any tail ACK the app left behind (deliveries below the
+    // threshold with no further recv() to piggyback on) — otherwise the
+    // peer's window never drains and its stall detector spins forever.
+    if (delivered_ != acked_out_) co_await publish_ack();
+    co_await core_.engine().delay(cfg_.pump_interval);
+  }
+  pump_running_ = false;
+}
+
+void ReliableEndpoint::start_pump() {
+  if (pump_running_) return;
+  pump_running_ = true;
+  pump_stop_ = false;
+  core_.engine().spawn(pump_process());
+}
+
+ReliableLibrary::ReliableLibrary(TcDriver& driver, opteron::Core& core, RelConfig cfg)
+    : driver_(driver), core_(core), cfg_(cfg) {}
+
+Result<ReliableEndpoint*> ReliableLibrary::connect(int peer_chip, RingChannel channel) {
+  if (!driver_.loaded()) {
+    return make_error(ErrorCode::kFailedPrecondition, "driver not loaded");
+  }
+  if (peer_chip == driver_.chip()) {
+    return make_error(ErrorCode::kInvalidArgument, "cannot connect to self");
+  }
+  auto& per_channel = endpoints_[static_cast<int>(channel)];
+  if (per_channel.size() < static_cast<std::size_t>(peer_chip + 1)) {
+    per_channel.resize(static_cast<std::size_t>(peer_chip + 1));
+  }
+  auto& slot = per_channel[static_cast<std::size_t>(peer_chip)];
+  if (!slot) {
+    slot = std::make_unique<ReliableEndpoint>(driver_, core_, peer_chip, channel, cfg_);
+  }
+  return slot.get();
+}
+
+std::vector<ReliableEndpoint*> ReliableLibrary::open_endpoints() {
+  std::vector<ReliableEndpoint*> out;
+  for (const auto& per_channel : endpoints_) {
+    for (const auto& ep : per_channel) {
+      if (ep) out.push_back(ep.get());
+    }
+  }
+  return out;
+}
+
+void ReliableLibrary::stop_pumps() {
+  for (ReliableEndpoint* ep : open_endpoints()) ep->stop_pump();
+}
+
+}  // namespace tcc::cluster

@@ -73,11 +73,59 @@ void export_link(TcCluster& cluster, int link_index,
   }
 }
 
+// Reliability-layer events: one process per chip (pid 1 + num_links + chip),
+// instant events for retransmits, epoch bumps and backpressure returns. Only
+// chips whose endpoints logged something get a track.
+void export_rel(TcCluster& cluster, int chip, telemetry::ChromeTraceWriter& w) {
+  const int pid = 1 + cluster.machine().num_links() + chip;
+  bool named = false;
+  for (ReliableEndpoint* ep : cluster.rel(chip).open_endpoints()) {
+    if (ep->events().empty()) continue;
+    if (!named) {
+      w.set_process_name(pid, strprintf("tcrel chip %d", chip));
+      named = true;
+    }
+    const int tid = ep->peer() * kNumChannels + static_cast<int>(ep->channel());
+    w.set_thread_name(pid, tid,
+                      strprintf("-> %d ch%d", ep->peer(),
+                                static_cast<int>(ep->channel())));
+    for (const RelEvent& ev : ep->events()) {
+      switch (ev.kind) {
+        case RelEvent::Kind::kRetransmit:
+          w.instant(pid, tid, ev.at.count(), "rel retransmit", "tcrel",
+                    {telemetry::ChromeTraceWriter::arg_num("seq", ev.a),
+                     telemetry::ChromeTraceWriter::arg_num("epoch", ev.b)});
+          break;
+        case RelEvent::Kind::kEpochBump:
+          w.instant(pid, tid, ev.at.count(), "rel epoch bump", "tcrel",
+                    {telemetry::ChromeTraceWriter::arg_num("epoch", ev.a),
+                     telemetry::ChromeTraceWriter::arg_num("initiated", ev.b)});
+          break;
+        case RelEvent::Kind::kBackpressure:
+          w.instant(pid, tid, ev.at.count(), "rel backpressure", "tcrel",
+                    {telemetry::ChromeTraceWriter::arg_num("head_seq", ev.a)});
+          break;
+      }
+    }
+    if (ep->events_dropped() > 0) {
+      w.instant(pid, tid, ep->events().back().at.count(), "rel event log full",
+                "meta",
+                {telemetry::ChromeTraceWriter::arg_num("dropped",
+                                                       ep->events_dropped())});
+    }
+  }
+}
+
 telemetry::ChromeTraceWriter build_trace(TcCluster& cluster) {
   telemetry::ChromeTraceWriter w;
   export_boot(cluster, w);
   for (int i = 0; i < cluster.machine().num_links(); ++i) {
     export_link(cluster, i, w);
+  }
+  if (cluster.booted()) {
+    for (int c = 0; c < cluster.num_nodes(); ++c) {
+      export_rel(cluster, c, w);
+    }
   }
   return w;
 }

@@ -339,6 +339,33 @@ TEST(FaultInjection, ReroutePartitionIsReportedNotMasked) {
   EXPECT_NE(verdict.error().message.find("partition"), std::string::npos);
 }
 
+TEST(FaultInjection, SameTickInjectionFiresImmediately) {
+  // Regression guard: inject() with `at` equal to the CURRENT simulated
+  // instant must still fire — Engine::schedule_at clamps non-future times to
+  // "now" rather than quietly dropping the event, so a fault scripted from
+  // inside a running coroutine at its own timestamp strikes on this tick.
+  auto cl = make_cluster(topology::ClusterShape::kCable, 2);
+  sim::Engine& eng = cl->engine();
+  bool down_after_yield = false;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    FaultEvent ev;  // kLinkDown
+    ev.at = eng.now();  // same tick, not in the future
+    ev.duration = Picoseconds::from_us(5.0);
+    ev.link = 0;
+    cl->inject(ev).expect("same-tick inject");
+    co_await eng.delay(Picoseconds::from_ns(1.0));
+    down_after_yield = !cl->machine().link(0).up();
+  });
+  eng.run();
+  EXPECT_TRUE(down_after_yield) << "the same-tick strike must not be lost";
+  bool fired = false;
+  for (const auto& line : cl->fault_log()) {
+    if (line.find("forced down") != std::string::npos) fired = true;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(cl->machine().link(0).up()) << "scripted recovery must still run";
+}
+
 TEST(FaultInjection, FaultSeedsAreDerivedPerWireFromTheClusterSeed) {
   topology::ClusterConfig cfg;
   cfg.shape = topology::ClusterShape::kRing;
