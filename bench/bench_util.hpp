@@ -5,7 +5,9 @@
 // records paper-vs-measured for each.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -28,6 +30,43 @@ inline std::string flag_value(int argc, char** argv, const std::string& prefix,
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+/// `--name=123` flag parsed as an integer, or `fallback` when absent or
+/// unparsable (trailing garbage after the number is ignored, like strtol).
+inline std::int64_t flag_int(int argc, char** argv, const std::string& prefix,
+                             std::int64_t fallback = 0) {
+  const std::string raw = flag_value(argc, argv, prefix);
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  return end == raw.c_str() ? fallback : static_cast<std::int64_t>(v);
+}
+
+/// `--name=1.5` flag parsed as a double, or `fallback` when absent/unparsable.
+inline double flag_double(int argc, char** argv, const std::string& prefix,
+                          double fallback = 0.0) {
+  const std::string raw = flag_value(argc, argv, prefix);
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  return end == raw.c_str() ? fallback : v;
+}
+
+/// Boolean flag: `--name` alone means true; `--name=0/false/no/off` means
+/// false; anything else after `=` means true; absent means `fallback`.
+/// `name` is the bare flag here ("--smoke"), no equals sign.
+inline bool flag_bool(int argc, char** argv, const std::string& name,
+                      bool fallback = false) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == name) return true;
+    if (arg.rfind(name + "=", 0) == 0) {
+      const std::string v = arg.substr(name.size() + 1);
+      return !(v == "0" || v == "false" || v == "no" || v == "off");
+    }
   }
   return fallback;
 }

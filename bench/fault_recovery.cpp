@@ -29,10 +29,8 @@ int main(int argc, char** argv) {
   // during a scripted blackout that is the expected behaviour, not news.
   Log::set_level(LogLevel::kError);
 
-  const int reps = static_cast<int>(
-      std::strtol(flag_value(argc, argv, "--reps=", "20").c_str(), nullptr, 10));
-  const double outage_us = std::strtod(
-      flag_value(argc, argv, "--outage-us=", "20").c_str(), nullptr);
+  const int reps = static_cast<int>(flag_int(argc, argv, "--reps=", 20));
+  const double outage_us = flag_double(argc, argv, "--outage-us=", 20.0);
 
   auto cl = make_cable();
   sim::Engine& engine = cl->engine();

@@ -1,0 +1,272 @@
+// KV serving under open-loop load: the serving-stack capacity curve.
+//
+// Sweeps offered load on a 4-node ring (chip 0 the client, chips 1..3 the
+// servers) past the latency knee: per-request latency sits at the fabric
+// RTT until the offered rate crosses what the credit-limited RPC path and
+// the client's ring link absorb, then queueing delay takes over and the
+// p99 turns the corner. Requests never fail in the fault-free sweep —
+// deadlines sit above the worst drain time, so overload surfaces as
+// latency and SLO violations, not drops (the open-loop harness keeps
+// offering regardless of completions).
+//
+// A second, fault-injected run kills the hot shard's primary mid-run: the
+// keepalive verdict promotes the replica within one membership epoch and
+// the row shows the detection gap as a latency tail plus the epoch cost.
+// (Correctness — no acknowledged write lost — is asserted in
+// tests/kv_serving_test.cpp; here the same scenario is measured.)
+//
+// Not a paper figure: the paper stops at MPI microbenchmarks. This is the
+// ROADMAP "serving tier" scenario on top of the reproduced fabric.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/log.hpp"
+#include "tcsvc/load.hpp"
+
+using namespace tcc;
+using namespace tcc::bench;
+
+namespace {
+
+/// One serving cluster: 4-node ring, chip 0 client, chips 1..3 servers.
+struct Rig {
+  std::unique_ptr<cluster::TcCluster> cl;
+  std::vector<std::unique_ptr<tcsvc::RpcNode>> nodes;
+  std::vector<std::unique_ptr<tcsvc::KvService>> services;
+  std::unique_ptr<tcsvc::KvClient> client;
+};
+
+Rig make_rig(const tcsvc::KvConfig& kv_cfg) {
+  Rig rig;
+  cluster::TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kRing;
+  o.topology.nx = 4;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.model_code_fetch = false;
+  rig.cl = cluster::TcCluster::create(o).value();
+  rig.cl->boot().expect("boot");
+
+  auto map = tcsvc::ShardMap::from_plan(rig.cl->plan(), {1, 2, 3}, kv_cfg.shards);
+  const int n = rig.cl->num_nodes();
+  std::vector<int> all_chips;
+  for (int chip = 0; chip < n; ++chip) all_chips.push_back(chip);
+  for (int chip = 0; chip < n; ++chip) {
+    rig.nodes.push_back(std::make_unique<tcsvc::RpcNode>(*rig.cl, chip));
+  }
+  rig.services.resize(static_cast<std::size_t>(n));
+  for (int chip = 1; chip < n; ++chip) {
+    rig.services[static_cast<std::size_t>(chip)] = std::make_unique<tcsvc::KvService>(
+        *rig.cl, *rig.nodes[static_cast<std::size_t>(chip)], map, kv_cfg);
+    rig.services[static_cast<std::size_t>(chip)]->start();
+    rig.nodes[static_cast<std::size_t>(chip)]->start(all_chips).expect("rpc start");
+  }
+  rig.client = std::make_unique<tcsvc::KvClient>(*rig.cl, *rig.nodes[0],
+                                                 std::move(map), kv_cfg);
+  return rig;
+}
+
+struct PointResult {
+  tcsvc::LoadReport rep;
+  tcsvc::KvClientStats client_stats;
+  tcsvc::RpcStats rpc_stats;          ///< client-side RPC node
+  std::uint64_t failover_serves = 0;  ///< summed across servers
+  std::uint64_t degraded_writes = 0;
+  std::uint64_t epoch_delta = 0;      ///< client<->promoted replica (fault run)
+};
+
+/// One measured run at `load_cfg.offered_rps` on a fresh cluster. When
+/// `fault_after` is set, the hot key's primary is killed that long into
+/// the measured window (keepalives judge it dead, its replica promotes).
+PointResult run_point(const tcsvc::LoadConfig& load_cfg,
+                      const tcsvc::KvConfig& kv_cfg,
+                      std::optional<Picoseconds> fault_after) {
+  Rig rig = make_rig(kv_cfg);
+  tcsvc::LoadGenerator gen(*rig.cl, *rig.client, load_cfg);
+
+  const tcsvc::ShardMap& map = rig.client->shard_map();
+  const int hot_shard = map.shard_of(gen.key_of(0));
+  const int dead_chip = map.primary(hot_shard);
+  const int promoted = map.replica(hot_shard);
+
+  if (fault_after.has_value()) {
+    rig.cl->start_keepalives(Picoseconds::from_us(2.0), Picoseconds::from_us(10.0));
+  }
+
+  PointResult out;
+  rig.cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    (co_await gen.prefill()).expect("prefill");
+    std::uint64_t epoch0 = 0;
+    if (fault_after.has_value()) {
+      // Prefill touched every server, so the client<->replica endpoint
+      // exists; snapshot its membership epoch before the blackout.
+      epoch0 = rig.nodes[0]->endpoint(promoted)->epoch();
+      rig.cl->engine().spawn_fn([&]() -> sim::Task<void> {
+        co_await rig.cl->engine().delay(*fault_after);
+        rig.cl->driver(dead_chip).set_hung(true);
+        rig.nodes[static_cast<std::size_t>(dead_chip)]->stop();
+      });
+    }
+    co_await gen.run();
+    if (fault_after.has_value()) {
+      out.epoch_delta = rig.nodes[0]->endpoint(promoted)->epoch() - epoch0;
+      rig.cl->stop_keepalives();
+    }
+    for (auto& node : rig.nodes) node->stop();
+  });
+  rig.cl->engine().run();
+
+  out.rep = gen.report();
+  out.client_stats = rig.client->stats();
+  out.rpc_stats = rig.nodes[0]->stats();
+  for (int chip = 1; chip < rig.cl->num_nodes(); ++chip) {
+    const tcsvc::KvStats& s = rig.services[static_cast<std::size_t>(chip)]->stats();
+    out.failover_serves += s.failover_serves;
+    out.degraded_writes += s.degraded_writes;
+  }
+  return out;
+}
+
+void print_row(double offered_rps, const PointResult& r, const char* note) {
+  tcsvc::LoadReport rep = r.rep;  // percentile() sorts, needs a mutable copy
+  std::printf("%9.0f  %7llu  %9llu  %6llu  %12.0f  %8.2f  %8.2f  %8.2f  %8llu  %6llu  %s\n",
+              offered_rps / 1e3, static_cast<unsigned long long>(rep.offered),
+              static_cast<unsigned long long>(rep.completed),
+              static_cast<unsigned long long>(rep.failed), rep.goodput_rps() / 1e3,
+              rep.latency_ns.percentile(50.0) / 1e3,
+              rep.latency_ns.percentile(99.0) / 1e3,
+              rep.latency_ns.percentile(99.9) / 1e3,
+              static_cast<unsigned long long>(rep.slo_violations),
+              static_cast<unsigned long long>(r.client_stats.retries), note);
+}
+
+BenchReport::Fields row_fields(double offered_rps, const PointResult& r, bool fault) {
+  tcsvc::LoadReport rep = r.rep;
+  BenchReport::Fields f = {
+      BenchReport::num("offered_rps", offered_rps),
+      BenchReport::num("offered", static_cast<double>(rep.offered)),
+      BenchReport::num("completed", static_cast<double>(rep.completed)),
+      BenchReport::num("failed", static_cast<double>(rep.failed)),
+      BenchReport::num("goodput_rps", rep.goodput_rps()),
+      BenchReport::num("p50_us", rep.latency_ns.percentile(50.0) / 1e3),
+      BenchReport::num("p99_us", rep.latency_ns.percentile(99.0) / 1e3),
+      BenchReport::num("p999_us", rep.latency_ns.percentile(99.9) / 1e3),
+      BenchReport::num("slo_violations", static_cast<double>(rep.slo_violations)),
+      BenchReport::num("retries", static_cast<double>(r.client_stats.retries)),
+      BenchReport::num("credit_stalls", static_cast<double>(r.rpc_stats.credit_stalls)),
+      BenchReport::num("fault", fault ? 1.0 : 0.0),
+  };
+  if (fault) {
+    f.push_back(BenchReport::num("epoch_delta", static_cast<double>(r.epoch_delta)));
+    f.push_back(BenchReport::num("failover_serves",
+                                 static_cast<double>(r.failover_serves)));
+    f.push_back(BenchReport::num("failover_routes",
+                                 static_cast<double>(r.client_stats.failover_routes)));
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_header("kv serving: open-loop load sweep + failover on the 4-node ring",
+               "serving-tier scenario (beyond the paper's MPI benches)");
+  // Keepalive dead-peer WARNs are the expected mechanism in the fault run.
+  Log::set_level(LogLevel::kError);
+
+  const bool smoke = flag_bool(argc, argv, "--smoke");
+  const double duration_us =
+      flag_double(argc, argv, "--duration-us=", smoke ? 250.0 : 1500.0);
+  const std::uint64_t keys = static_cast<std::uint64_t>(
+      flag_int(argc, argv, "--keys=", smoke ? 64 : 256));
+  const std::string out_path = flag_value(argc, argv, "--bench-out=");
+
+  std::vector<double> loads;
+  if (smoke) {
+    loads = {100e3, 500e3};
+  } else {
+    loads = {100e3, 250e3, 500e3, 1e6, 1.5e6, 2e6};
+  }
+
+  tcsvc::KvConfig kv_cfg;
+  tcsvc::LoadConfig load_cfg;
+  load_cfg.keys = keys;
+  load_cfg.value_bytes = static_cast<std::uint32_t>(flag_int(argc, argv, "--value-bytes=", 128));
+  load_cfg.duration = Picoseconds::from_us(duration_us);
+
+  BenchReport report("kv_serving", "p99_latency", "us");
+  report.config("topology", std::string("ring-4"));
+  report.config("servers", 3.0);
+  report.config("shards", static_cast<double>(kv_cfg.shards));
+  report.config("keys", static_cast<double>(keys));
+  report.config("duration_us", duration_us);
+  report.config("read_fraction", load_cfg.read_fraction);
+  report.config("zipf_theta", load_cfg.zipf_theta);
+  report.config("value_bytes", static_cast<double>(load_cfg.value_bytes));
+  report.config("request_credits", static_cast<double>(tcsvc::RpcConfig{}.request_credits));
+  report.config("smoke", smoke ? 1.0 : 0.0);
+
+  std::printf("\n%9s  %7s  %9s  %6s  %12s  %8s  %8s  %8s  %8s  %6s\n",
+              "off_krps", "offered", "completed", "failed", "goodput_krps",
+              "p50_us", "p99_us", "p999_us", "slo_viol", "retry");
+
+  std::uint64_t total_failed = 0;
+  for (double rps : loads) {
+    load_cfg.offered_rps = rps;
+    // Above the knee the backlog drains after the arrival window; the
+    // deadline must outlast that drain (window length times the overload
+    // ratio against a conservative capacity floor) so overload reads as
+    // latency, never as drops. Attempts get the whole budget: giving up
+    // mid-queue and retrying would only re-enqueue the same work and
+    // amplify the overload.
+    const double drain_ratio = std::max(2.0, rps / 400e3);
+    load_cfg.request_deadline =
+        Picoseconds::from_us(drain_ratio * duration_us + 500.0);
+    kv_cfg.op_deadline = load_cfg.request_deadline;
+    kv_cfg.attempt_deadline = load_cfg.request_deadline;
+    // Backpressure polls above the knee dominate sim time; a coarser poll
+    // is invisible next to the millisecond-scale queueing delay there.
+    kv_cfg.retry_backoff = Picoseconds::from_us(10.0);
+    PointResult r = run_point(load_cfg, kv_cfg, std::nullopt);
+    print_row(rps, r, "");
+    report.add_row(row_fields(rps, r, /*fault=*/false));
+    tcsvc::LoadReport rep = r.rep;
+    report.add_sample(rep.latency_ns.percentile(99.0) / 1e3);
+    total_failed += rep.failed;
+  }
+
+  // Fault-injected run: moderate load, primary killed a third into the
+  // window. The short attempt budget is restored — giving up on the dead
+  // primary and flipping to the replica is exactly the mechanism under
+  // test. Failed requests here are requests whose deadline expired during
+  // the detection gap — the generous overall budget should cover it.
+  load_cfg.offered_rps = 250e3;
+  load_cfg.request_deadline = Picoseconds::from_us(2.0 * duration_us + 500.0);
+  kv_cfg.op_deadline = load_cfg.request_deadline;
+  kv_cfg.attempt_deadline = tcsvc::KvConfig{}.attempt_deadline;
+  kv_cfg.retry_backoff = tcsvc::KvConfig{}.retry_backoff;
+  const Picoseconds fault_after = Picoseconds::from_us(duration_us / 3.0);
+  PointResult fr = run_point(load_cfg, kv_cfg, fault_after);
+  print_row(load_cfg.offered_rps, fr, "<- primary killed mid-run");
+  report.add_row(row_fields(load_cfg.offered_rps, fr, /*fault=*/true));
+  std::printf("\nfailover: epoch_delta=%llu (at most one membership epoch), "
+              "failover_serves=%llu, rerouted=%llu, degraded_writes=%llu\n",
+              static_cast<unsigned long long>(fr.epoch_delta),
+              static_cast<unsigned long long>(fr.failover_serves),
+              static_cast<unsigned long long>(fr.client_stats.failover_routes),
+              static_cast<unsigned long long>(fr.degraded_writes));
+
+  report.write(out_path);
+
+  if (total_failed != 0) {
+    std::printf("FAIL: %llu requests failed in the fault-free sweep\n",
+                static_cast<unsigned long long>(total_failed));
+    return 1;
+  }
+  std::printf("fault-free sweep: zero failed requests\n");
+  return 0;
+}

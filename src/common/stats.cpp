@@ -28,8 +28,8 @@ double Summary::variance() const {
 double Summary::stddev() const { return std::sqrt(variance()); }
 
 double Samples::percentile(double p) {
-  TCC_ASSERT(!values_.empty(), "percentile of empty sample set");
   TCC_ASSERT(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (values_.empty()) return 0.0;  // mirror mean(): empty pool reads as 0
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;

@@ -35,7 +35,10 @@ class Samples {
  public:
   void add(double x) { values_.push_back(x); sorted_ = false; }
   [[nodiscard]] std::size_t count() const { return values_.size(); }
-  [[nodiscard]] double percentile(double p);  ///< p in [0,100], nearest-rank
+  /// Exact nearest-rank percentile, p in [0,100]; p=0 is the minimum and
+  /// p=100 the maximum. An empty pool returns 0.0 (like mean()) so report
+  /// writers need no special-casing; sorts in place on first call after add.
+  [[nodiscard]] double percentile(double p);
   [[nodiscard]] double median() { return percentile(50.0); }
   [[nodiscard]] double mean() const;
 

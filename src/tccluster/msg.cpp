@@ -170,12 +170,16 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
       msg_metrics().ring_occupancy.add(send_slots_ + slots - acked_slots_cache_));
 
   const std::uint64_t head = send_slots_;
-  const std::uint32_t crc = ht::crc32c(payload);
+  const std::uint32_t crc = ~ht::crc32c(payload);  // inverted: see MsgSlot
   const std::uint64_t marker = (static_cast<std::uint64_t>(tag) << 32) |
                                (send_seq_ & MsgSlot::kSeqMask);
 
-  // Write slots in ascending order; in-order posted delivery (§IV.A) makes
-  // the LAST slot's marker the commit point on the receiver.
+  // Write slots in ascending order, and within each slot the body BEFORE
+  // the marker word, so in the common (no WC eviction) case a visible
+  // marker implies a visible slot. In-order posted delivery (§IV.A) makes
+  // the LAST slot's marker the commit point on the receiver; the receiver
+  // still re-validates (see MsgSlot) because eviction of a partially
+  // filled WC line can reorder a slot's fragments around its marker.
   std::size_t off = 0;
   for (std::uint64_t i = 0; i < slots; ++i) {
     std::uint8_t slot[kSlotBytes] = {};
@@ -196,8 +200,15 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
       std::memcpy(slot + data_off, payload.data() + off, chunk);
     }
     off += chunk;
-    s = co_await ordered_store(tx_slot_addr(head + i),
-                               std::span<const std::uint8_t>(slot, kSlotBytes), mode);
+    const PhysAddr slot_addr = tx_slot_addr(head + i);
+    s = co_await ordered_store(
+        slot_addr + MsgSlot::kMarkerSize,
+        std::span<const std::uint8_t>(slot + MsgSlot::kMarkerSize,
+                                      kSlotBytes - MsgSlot::kMarkerSize),
+        mode);
+    if (!s.ok()) co_return s;
+    s = co_await ordered_store(
+        slot_addr, std::span<const std::uint8_t>(slot, MsgSlot::kMarkerSize), mode);
     if (!s.ok()) co_return s;
   }
   s = co_await core_.sfence();  // push the tail out of the WC buffers
@@ -257,54 +268,79 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
     co_await core_.compute(opteron::kPollLoopOverhead);
   }
 
-  auto lenword = co_await core_.load_u64(header_addr + MsgSlot::kLenOffset);
-  if (!lenword.ok()) co_return lenword.error();
-  std::uint32_t len = 0, crc = 0;
-  std::memcpy(&len, &lenword.value(), 4);
-  crc = static_cast<std::uint32_t>(lenword.value() >> 32);
-  if (len > kMaxMessageBytes) {
-    co_return make_error(ErrorCode::kProtocolViolation, "corrupt message length");
-  }
-  const std::uint64_t slots = slots_for(len);
-
-  // Multi-slot message: the commit point is the LAST slot's marker (in-order
-  // delivery means everything before it has landed too).
-  if (slots > 1) {
-    const PhysAddr tail_addr = rx_slot_addr(recv_slots_ + slots - 1);
-    for (;;) {
-      auto tail = co_await core_.load_u64(tail_addr);
-      if (!tail.ok()) co_return tail.error();
-      if (marker_matches(tail.value(), recv_seq_)) break;
-      // The header landed, so the tail is normally moments away — but a link
-      // that died mid-message leaves it missing forever. recv_slots_ is
-      // untouched, so a post-recovery retry re-polls the same message.
-      if (deadline.has_value() && core_.engine().now() >= *deadline) {
-        ++stats_.timeouts;
-        TCC_METRIC(msg_metrics().timeouts.inc());
-        co_return make_error(ErrorCode::kTimeout,
-                             "recv: message tail missing at the deadline");
+  // The first marker is an invitation, not a commit (see MsgSlot): validate
+  // the whole message and re-poll while any part still looks unflushed.
+  // Normally one pass succeeds — partial visibility needs a WC eviction to
+  // have split a slot, and resolves within the sender's closing sfence.
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  for (;;) {
+    bool settled = true;
+    auto lenword = co_await core_.load_u64(header_addr + MsgSlot::kLenOffset);
+    if (!lenword.ok()) co_return lenword.error();
+    if (lenword.value() == 0) {
+      // The len/CRC word of any message is nonzero (inverted CRC), so zero
+      // means that word's fragment has not landed yet.
+      settled = false;
+    } else {
+      std::memcpy(&len, &lenword.value(), 4);
+      crc = ~static_cast<std::uint32_t>(lenword.value() >> 32);
+      if (len > kMaxMessageBytes) {
+        co_return make_error(ErrorCode::kProtocolViolation, "corrupt message length");
       }
-      co_await core_.compute(opteron::kPollLoopOverhead);
+      // Every slot's marker must be visible — the tail alone does not prove
+      // the middle slots landed: a partially flushed line can linger in a WC
+      // buffer while later slots' full lines dispatch ahead of it.
+      const std::uint64_t slots = slots_for(len);
+      for (std::uint64_t i = 1; i < slots && settled; ++i) {
+        auto m = co_await core_.load_u64(rx_slot_addr(recv_slots_ + i));
+        if (!m.ok()) co_return m.error();
+        if (!marker_matches(m.value(), recv_seq_)) settled = false;
+      }
+      if (settled && copy_out != nullptr) {
+        copy_out->resize(len);
+        std::size_t off = 0;
+        for (std::uint64_t i = 0; i < slots; ++i) {
+          const std::uint64_t data_off =
+              i == 0 ? MsgSlot::kHeaderSize : MsgSlot::kMarkerSize;
+          const std::size_t capacity =
+              i == 0 ? MsgSlot::kFirstPayload : MsgSlot::kNextPayload;
+          const std::size_t chunk = std::min<std::size_t>(len - off, capacity);
+          Status s = co_await core_.load_bytes(rx_slot_addr(recv_slots_ + i) + data_off,
+                                               std::span(copy_out->data() + off, chunk));
+          if (!s.ok()) co_return s.error();
+          off += chunk;
+        }
+        // A mismatch here is almost always a payload fragment still in
+        // flight behind its marker, not corruption — keep polling.
+        if (ht::crc32c(*copy_out) != crc) settled = false;
+      }
     }
+    if (settled) break;
+    const Picoseconds now = core_.engine().now();
+    if (settle_seq_ != recv_seq_ || settle_since_ == Picoseconds::zero()) {
+      settle_seq_ = recv_seq_;
+      settle_since_ = now;
+    } else if (now - settle_since_ >= kSlotSettle) {
+      // Permanently half-written (a link died mid-message and will not
+      // resend at this layer): the ring is corrupt; only a reset above
+      // (tcrel epoch sync) heals it.
+      settle_since_ = Picoseconds::zero();
+      co_return make_error(ErrorCode::kProtocolViolation,
+                           "message never settled; ring corrupt past the marker");
+    }
+    // recv_slots_/recv_seq_ stay untouched on every early return, so a
+    // retry after deadline or recovery re-polls this same message.
+    if (deadline.has_value() && now >= *deadline) {
+      ++stats_.timeouts;
+      TCC_METRIC(msg_metrics().timeouts.inc());
+      co_return make_error(ErrorCode::kTimeout,
+                           "recv: message tail missing at the deadline");
+    }
+    co_await core_.compute(opteron::kPollLoopOverhead);
   }
-
-  if (copy_out != nullptr) {
-    copy_out->resize(len);
-    std::size_t off = 0;
-    for (std::uint64_t i = 0; i < slots; ++i) {
-      const std::uint64_t data_off = i == 0 ? MsgSlot::kHeaderSize : MsgSlot::kMarkerSize;
-      const std::size_t capacity =
-          i == 0 ? MsgSlot::kFirstPayload : MsgSlot::kNextPayload;
-      const std::size_t chunk = std::min<std::size_t>(len - off, capacity);
-      Status s = co_await core_.load_bytes(rx_slot_addr(recv_slots_ + i) + data_off,
-                                           std::span(copy_out->data() + off, chunk));
-      if (!s.ok()) co_return s.error();
-      off += chunk;
-    }
-    if (ht::crc32c(*copy_out) != crc) {
-      co_return make_error(ErrorCode::kProtocolViolation, "payload CRC mismatch");
-    }
-  }
+  settle_since_ = Picoseconds::zero();
+  const std::uint64_t slots = slots_for(len);
 
   // Free the slots ("It then has to overwrite the slot to free it", §IV.A):
   // zero every consumed slot's marker word so no stale sequence number can

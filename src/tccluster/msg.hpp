@@ -52,11 +52,24 @@ struct MsgStats {
 /// application tag that rides for free — the receiver already loads the
 /// marker, so a layer above (tcrel) gets a whole header's worth of metadata
 /// at zero additional uncacheable reads. The first slot of a message
-/// additionally carries length + CRC. Marker words only ever contain
-/// sender-composed marker values (or zero after the receiver releases the
-/// slot), and raw payload bytes can never alias one — the property that
-/// makes polling sound. In-order posted delivery (§IV.A) means the LAST
-/// slot's marker becoming visible implies the whole message has landed.
+/// additionally carries length + CRC; the CRC field stores the BITWISE NOT
+/// of crc32c(payload), so the len/CRC word of any message — including a
+/// zero-length doorbell — is nonzero and a still-unwritten (zero) word can
+/// never validate. Marker words only ever contain sender-composed marker
+/// values (or zero after the receiver releases the slot), and raw payload
+/// bytes can never alias one — the property that makes polling sound.
+///
+/// Visibility discipline: a slot's marker is written LAST (program order),
+/// so in the common case marker-visible implies slot-visible. That is not a
+/// guarantee — write-combining may evict a partially filled line and flush
+/// the remainder (marker first, by ascending offset) later, and a suspended
+/// sender can leave a slot's flush pending while later slots' full lines
+/// dispatch ahead of it. The receiver therefore treats a marker as an
+/// invitation, not a commit: it additionally waits for every slot marker of
+/// the message, a nonzero len/CRC word, and a payload CRC match before
+/// consuming, and re-polls (bounded by kSlotSettle) while any of those still
+/// look partial. 8-byte aligned words are atomic on the wire, so each
+/// individual field is either absent or complete.
 struct MsgSlot {
   static constexpr std::uint64_t kMarkerOffset = 0;  // u64: seq low, tag high
   static constexpr std::uint64_t kLenOffset = 8;     // u32, first slot only
@@ -76,6 +89,15 @@ inline constexpr std::uint32_t kMaxMessageBytes = static_cast<std::uint32_t>(
 
 /// How many consumed slots accumulate before the receiver pushes an ack.
 inline constexpr std::uint64_t kAckThreshold = 16;
+
+/// How long the receiver keeps re-polling a message whose slots look
+/// partially visible (markers present but CRC/len not yet valid) before
+/// concluding the ring is corrupt. Generous: even a max-size message's WC
+/// flush completes within the sender's closing sfence, microseconds after
+/// the first marker lands. Kept below tcrel's stall_timeout so a genuinely
+/// corrupt ring surfaces as kProtocolViolation (receiver-initiated epoch
+/// sync) before the sender's ACK-stall strikes would.
+inline constexpr Picoseconds kSlotSettle = Picoseconds::from_us(20.0);
 
 class MsgEndpoint {
  public:
@@ -216,6 +238,13 @@ class MsgEndpoint {
   std::uint64_t recv_seq_ = 1;
   std::uint64_t recv_slots_ = 0;
   std::uint64_t acked_out_ = 0;
+
+  /// Partial-visibility settle clock: when the message at recv_seq_ first
+  /// looked incomplete past its marker (zero = not waiting). Persists across
+  /// recv calls — the reliable layer polls in sub-microsecond slices, far
+  /// shorter than kSlotSettle.
+  Picoseconds settle_since_ = Picoseconds::zero();
+  std::uint64_t settle_seq_ = 0;
 
   MsgStats stats_;
 };

@@ -1,0 +1,395 @@
+#include "tcsvc/kv.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "tcsvc/metrics_internal.hpp"
+
+namespace tcc::tcsvc {
+
+// -------------------------------------------------------------- ShardMap --
+
+namespace {
+/// 64-bit finalizer (MurmurHash3 fmix64): decorrelates structured inputs.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Rendezvous weight of (shard, server) under `seed`.
+std::uint64_t hrw_score(std::uint64_t seed, int shard, int server) {
+  return mix64(seed ^ mix64(static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ull + 1) ^
+               mix64(static_cast<std::uint64_t>(server) * 0xbf58476d1ce4e5b9ull + 2));
+}
+}  // namespace
+
+ShardMap::ShardMap(std::vector<int> servers, int shards, std::uint64_t seed)
+    : servers_(std::move(servers)), seed_(seed) {
+  TCC_ASSERT(!servers_.empty(), "ShardMap needs at least one server");
+  TCC_ASSERT(shards > 0, "ShardMap needs at least one shard");
+  std::sort(servers_.begin(), servers_.end());
+  primary_.resize(static_cast<std::size_t>(shards));
+  replica_.resize(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    int best = -1, second = -1;
+    std::uint64_t best_score = 0, second_score = 0;
+    for (int server : servers_) {
+      const std::uint64_t score = hrw_score(seed_, s, server);
+      // Ties cannot deadlock placement: lower chip id wins deterministically.
+      if (best < 0 || score > best_score) {
+        second = best;
+        second_score = best_score;
+        best = server;
+        best_score = score;
+      } else if (second < 0 || score > second_score) {
+        second = server;
+        second_score = score;
+      }
+    }
+    primary_[static_cast<std::size_t>(s)] = best;
+    replica_[static_cast<std::size_t>(s)] = second;
+  }
+}
+
+ShardMap ShardMap::from_plan(const topology::ClusterPlan& plan,
+                             std::vector<int> servers, int shards) {
+  return ShardMap(std::move(servers), shards, plan.config().seed);
+}
+
+int ShardMap::shard_of(std::string_view key) const {
+  return static_cast<int>(fnv1a(key) % static_cast<std::uint64_t>(shards()));
+}
+
+int ShardMap::primary(int shard) const {
+  return primary_.at(static_cast<std::size_t>(shard));
+}
+
+int ShardMap::replica(int shard) const {
+  return replica_.at(static_cast<std::size_t>(shard));
+}
+
+int ShardMap::partner_of(int shard, int chip) const {
+  const int p = primary(shard);
+  const int r = replica(shard);
+  if (chip == p) return r;
+  if (chip == r) return p;
+  return -1;
+}
+
+std::string ShardMap::describe() const {
+  std::string out;
+  for (int s = 0; s < shards(); ++s) {
+    out += strprintf("shard %2d: primary chip %d, replica chip %d\n", s,
+                     primary(s), replica(s));
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ wire codec --
+
+namespace {
+/// kKvPut body: u16 key length, key bytes, value bytes.
+std::vector<std::uint8_t> encode_put(std::string_view key,
+                                     std::span<const std::uint8_t> value) {
+  std::vector<std::uint8_t> body(2 + key.size() + value.size());
+  const auto klen = static_cast<std::uint16_t>(key.size());
+  std::memcpy(body.data(), &klen, 2);
+  std::memcpy(body.data() + 2, key.data(), key.size());
+  std::copy(value.begin(), value.end(), body.begin() + 2 + key.size());
+  return body;
+}
+
+/// kKvReplicate body: u16 key length, u64 version, key bytes, value bytes.
+std::vector<std::uint8_t> encode_replicate(std::string_view key,
+                                           std::uint64_t version,
+                                           std::span<const std::uint8_t> value) {
+  std::vector<std::uint8_t> body(10 + key.size() + value.size());
+  const auto klen = static_cast<std::uint16_t>(key.size());
+  std::memcpy(body.data(), &klen, 2);
+  std::memcpy(body.data() + 2, &version, 8);
+  std::memcpy(body.data() + 10, key.data(), key.size());
+  std::copy(value.begin(), value.end(), body.begin() + 10 + key.size());
+  return body;
+}
+
+bool decode_put(std::span<const std::uint8_t> body, std::string_view& key,
+                std::span<const std::uint8_t>& value) {
+  if (body.size() < 2) return false;
+  std::uint16_t klen;
+  std::memcpy(&klen, body.data(), 2);
+  if (body.size() < 2u + klen) return false;
+  key = std::string_view(reinterpret_cast<const char*>(body.data()) + 2, klen);
+  value = body.subspan(2u + klen);
+  return true;
+}
+
+bool decode_replicate(std::span<const std::uint8_t> body, std::string_view& key,
+                      std::uint64_t& version,
+                      std::span<const std::uint8_t>& value) {
+  if (body.size() < 10) return false;
+  std::uint16_t klen;
+  std::memcpy(&klen, body.data(), 2);
+  std::memcpy(&version, body.data() + 2, 8);
+  if (body.size() < 10u + klen) return false;
+  key = std::string_view(reinterpret_cast<const char*>(body.data()) + 10, klen);
+  value = body.subspan(10u + klen);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_version(std::uint64_t version) {
+  std::vector<std::uint8_t> out(8);
+  std::memcpy(out.data(), &version, 8);
+  return out;
+}
+}  // namespace
+
+// ------------------------------------------------------------- KvService --
+
+KvService::KvService(cluster::TcCluster& cluster, RpcNode& rpc, ShardMap map,
+                     KvConfig cfg)
+    : cluster_(cluster),
+      rpc_(rpc),
+      map_(std::move(map)),
+      cfg_(cfg),
+      store_(static_cast<std::size_t>(map_.shards())),
+      next_version_(static_cast<std::size_t>(map_.shards()), 0) {}
+
+void KvService::start() {
+  rpc_.handle(kKvGet, [this](const RpcContext& ctx, std::span<const std::uint8_t> b) {
+    return on_get(ctx, b);
+  });
+  rpc_.handle(kKvPut, [this](const RpcContext& ctx, std::span<const std::uint8_t> b) {
+    return on_put(ctx, b);
+  });
+  rpc_.handle(kKvReplicate,
+              [this](const RpcContext& ctx, std::span<const std::uint8_t> b) {
+                return on_replicate(ctx, b);
+              });
+}
+
+bool KvService::acting_primary(int shard) const {
+  const int self = rpc_.chip();
+  const int p = map_.primary(shard);
+  if (p == self) return true;
+  return map_.replica(shard) == self && !cluster_.driver(self).peer_alive(p);
+}
+
+std::uint64_t KvService::entries() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : store_) n += shard.size();
+  return n;
+}
+
+std::optional<std::vector<std::uint8_t>> KvService::peek(
+    std::string_view key) const {
+  const auto& shard = store_[static_cast<std::size_t>(map_.shard_of(key))];
+  auto it = shard.find(key);
+  if (it == shard.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::uint64_t KvService::version_of(std::string_view key) const {
+  const auto& shard = store_[static_cast<std::size_t>(map_.shard_of(key))];
+  auto it = shard.find(key);
+  return it == shard.end() ? 0 : it->second.version;
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_get(
+    const RpcContext&, std::span<const std::uint8_t> body) {
+  co_await cluster_.engine().delay(cfg_.get_compute);
+  const std::string_view key(reinterpret_cast<const char*>(body.data()),
+                             body.size());
+  const int shard = map_.shard_of(key);
+  if (!acting_primary(shard)) {
+    ++stats_.not_primary_rejects;
+    TCC_METRIC(detail::metrics().kv_not_primary.inc());
+    co_return make_error(ErrorCode::kFailedPrecondition, "not primary for shard");
+  }
+  if (map_.primary(shard) != rpc_.chip()) {
+    ++stats_.failover_serves;
+    TCC_METRIC(detail::metrics().kv_failover_serves.inc());
+  }
+  ++stats_.gets;
+  TCC_METRIC(detail::metrics().kv_gets.inc());
+  const auto& slot = store_[static_cast<std::size_t>(shard)];
+  auto it = slot.find(key);
+  if (it == slot.end()) {
+    ++stats_.misses;
+    TCC_METRIC(detail::metrics().kv_misses.inc());
+    co_return make_error(ErrorCode::kNotFound, "no such key");
+  }
+  co_return it->second.value;
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_put(
+    const RpcContext& ctx, std::span<const std::uint8_t> body) {
+  co_await cluster_.engine().delay(cfg_.put_compute);
+  std::string_view key;
+  std::span<const std::uint8_t> value;
+  if (!decode_put(body, key, value) || key.empty()) {
+    co_return make_error(ErrorCode::kInvalidArgument, "malformed put");
+  }
+  const int shard = map_.shard_of(key);
+  if (!acting_primary(shard)) {
+    ++stats_.not_primary_rejects;
+    TCC_METRIC(detail::metrics().kv_not_primary.inc());
+    co_return make_error(ErrorCode::kFailedPrecondition, "not primary for shard");
+  }
+  const int self = rpc_.chip();
+  if (map_.primary(shard) != self) {
+    ++stats_.failover_serves;
+    TCC_METRIC(detail::metrics().kv_failover_serves.inc());
+  }
+
+  const std::uint64_t version = ++next_version_[static_cast<std::size_t>(shard)];
+  store_[static_cast<std::size_t>(shard)][std::string(key)] =
+      Entry{version, {value.begin(), value.end()}};
+  ++stats_.puts;
+  TCC_METRIC(detail::metrics().kv_puts.inc());
+
+  // Synchronous replication: ack the client only once the partner applied
+  // the write — or is already judged dead, in which case the single
+  // surviving copy IS the store (counted as a degraded ack).
+  const int partner = map_.partner_of(shard, self);
+  if (partner >= 0) {
+    if (cluster_.driver(self).peer_alive(partner)) {
+      const Picoseconds repl_deadline =
+          std::min(ctx.deadline,
+                   cluster_.engine().now() + cfg_.replicate_deadline);
+      CallOptions opts;
+      opts.channel = cfg_.replication_channel;
+      opts.deadline = repl_deadline;
+      auto r = co_await rpc_.call(partner, kKvReplicate,
+                                  encode_replicate(key, version, value), opts);
+      if (r.ok()) {
+        ++stats_.replications_out;
+      } else if (!cluster_.driver(self).peer_alive(partner)) {
+        // The partner died mid-replication; the keepalive verdict arrived
+        // first. Ack on the surviving copy.
+        ++stats_.degraded_writes;
+        TCC_METRIC(detail::metrics().kv_degraded_writes.inc());
+      } else {
+        // Partner alive but the sub-call failed (e.g. its deadline expired
+        // under load): refuse the ack so the client retries — an acked
+        // write must exist on both live copies.
+        co_return make_error(ErrorCode::kUnavailable,
+                             "replication failed: " + r.error().to_string());
+      }
+    } else {
+      ++stats_.degraded_writes;
+      TCC_METRIC(detail::metrics().kv_degraded_writes.inc());
+    }
+  }
+  co_return encode_version(version);
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_replicate(
+    const RpcContext&, std::span<const std::uint8_t> body) {
+  co_await cluster_.engine().delay(cfg_.put_compute);
+  std::string_view key;
+  std::uint64_t version = 0;
+  std::span<const std::uint8_t> value;
+  if (!decode_replicate(body, key, version, value) || key.empty()) {
+    co_return make_error(ErrorCode::kInvalidArgument, "malformed replicate");
+  }
+  const int shard = map_.shard_of(key);
+  auto& slot = store_[static_cast<std::size_t>(shard)];
+  auto it = slot.find(key);
+  // Version-gated apply: tcrel replays and client retries re-deliver the
+  // same (key, version) — only newer versions change state.
+  if (it == slot.end() || version > it->second.version) {
+    slot[std::string(key)] = Entry{version, {value.begin(), value.end()}};
+  }
+  auto& next = next_version_[static_cast<std::size_t>(shard)];
+  next = std::max(next, version);
+  ++stats_.replications_in;
+  TCC_METRIC(detail::metrics().kv_replications.inc());
+  co_return std::vector<std::uint8_t>{};
+}
+
+// -------------------------------------------------------------- KvClient --
+
+KvClient::KvClient(cluster::TcCluster& cluster, RpcNode& rpc, ShardMap map,
+                   KvConfig cfg)
+    : cluster_(cluster), rpc_(rpc), map_(std::move(map)), cfg_(cfg) {}
+
+sim::Task<Result<std::vector<std::uint8_t>>> KvClient::request(
+    std::uint16_t method, int shard, std::vector<std::uint8_t> payload,
+    Picoseconds deadline) {
+  sim::Engine& engine = cluster_.engine();
+  const int self = rpc_.chip();
+  const int p = map_.primary(shard);
+  const int r = map_.replica(shard);
+  auto alive = [&](int chip) {
+    return chip == self || cluster_.driver(self).peer_alive(chip);
+  };
+
+  int target = p;
+  if (!alive(p) && r >= 0) {
+    target = r;
+    ++stats_.failover_routes;
+  }
+  for (;;) {
+    CallOptions opts;
+    opts.channel = cfg_.client_channel;
+    opts.deadline = std::min(deadline, engine.now() + cfg_.attempt_deadline);
+    auto result = co_await rpc_.call(target, method, payload, opts);
+    if (result.ok()) co_return result;
+    const ErrorCode code = result.error().code;
+    // Semantic outcomes are final; transport/availability trouble retries
+    // against the shard's other copy until the deadline runs out.
+    if (code == ErrorCode::kNotFound || code == ErrorCode::kInvalidArgument) {
+      co_return result;
+    }
+    if (engine.now() + cfg_.retry_backoff >= deadline) co_return result;
+    ++stats_.retries;
+    const int other = (target == p) ? r : p;
+    if (other >= 0) {
+      if (target == p) ++stats_.failover_routes;
+      target = other;
+    }
+    co_await engine.delay(cfg_.retry_backoff);
+  }
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> KvClient::get(
+    std::string_view key, std::optional<Picoseconds> deadline) {
+  ++stats_.gets;
+  const Picoseconds abs =
+      deadline.value_or(cluster_.engine().now() + cfg_.op_deadline);
+  std::vector<std::uint8_t> payload(key.begin(), key.end());
+  co_return co_await request(kKvGet, map_.shard_of(key), std::move(payload), abs);
+}
+
+sim::Task<Result<std::uint64_t>> KvClient::put(
+    std::string_view key, std::span<const std::uint8_t> value,
+    std::optional<Picoseconds> deadline) {
+  ++stats_.puts;
+  const Picoseconds abs =
+      deadline.value_or(cluster_.engine().now() + cfg_.op_deadline);
+  auto result = co_await request(kKvPut, map_.shard_of(key),
+                                 encode_put(key, value), abs);
+  if (!result.ok()) co_return result.error();
+  if (result.value().size() != 8) {
+    co_return make_error(ErrorCode::kProtocolViolation, "bad put response");
+  }
+  std::uint64_t version = 0;
+  std::memcpy(&version, result.value().data(), 8);
+  co_return version;
+}
+
+}  // namespace tcc::tcsvc

@@ -1,0 +1,215 @@
+// tcsvc KV: a sharded, primary/replica-replicated in-memory key-value
+// service over the RPC layer — the repo's first end-to-end serving workload
+// (the "millions of users" tier of the ROADMAP north star, scaled to the
+// simulator).
+//
+// Placement is consistent hashing from the cluster plan: keys hash (FNV-1a)
+// onto a fixed shard ring, and each shard picks its primary and replica by
+// rendezvous (highest-random-weight) hashing over the server set, seeded
+// from the plan's master seed — deterministic, uniform, and stable under
+// server-set changes (only the shards owned by a removed server move).
+//
+// Replication and failover lean on the fault machinery below instead of
+// reinventing it:
+//
+//  * a put applies on the primary, then replicates synchronously to the
+//    replica over a dedicated RPC channel; the client is acked only once
+//    both copies exist (or the replica is already judged dead — a counted
+//    "degraded" ack). No acknowledged write is lost when either single
+//    node dies.
+//  * failover is epoch-aware by construction: the TcDriver keepalive
+//    verdict that declares the primary dead is the same edge that bumps
+//    the tcrel membership epoch, so a promoted replica starts serving in
+//    the first epoch after the fault. In-flight client frames ride tcrel's
+//    DeliveryPolicy::kReplay across the bump; writes the dead primary
+//    never acked surface as client timeouts and are retried against the
+//    replica (kFlush trades that replay for bounded catch-up — same knob,
+//    RelConfig::policy).
+//  * the replica promotes itself per-request ("acting primary": configured
+//    primary, or replica while the primary is judged dead) and the client
+//    routes the same way, so there is no separate view-change protocol to
+//    keep consistent — the membership epoch IS the view.
+//
+// Versions are per-shard monotonic counters assigned by the acting primary;
+// replica apply is version-gated, so tcrel replays and client retries are
+// idempotent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tcsvc/rpc.hpp"
+#include "topology/plan.hpp"
+
+namespace tcc::tcsvc {
+
+/// RPC method ids of the KV protocol.
+inline constexpr std::uint16_t kKvGet = 1;
+inline constexpr std::uint16_t kKvPut = 2;
+inline constexpr std::uint16_t kKvReplicate = 3;
+
+/// Consistent-hash shard placement over a server set.
+class ShardMap {
+ public:
+  /// `servers` are the serving chips (ascending); `seed` decorrelates the
+  /// rendezvous scores from the key hash.
+  ShardMap(std::vector<int> servers, int shards, std::uint64_t seed);
+
+  /// Placement seeded from the cluster plan's master seed, so the shard
+  /// layout is as reproducible as every other derived stream.
+  static ShardMap from_plan(const topology::ClusterPlan& plan,
+                            std::vector<int> servers, int shards);
+
+  [[nodiscard]] int shards() const { return static_cast<int>(primary_.size()); }
+  [[nodiscard]] const std::vector<int>& servers() const { return servers_; }
+
+  [[nodiscard]] int shard_of(std::string_view key) const;
+  [[nodiscard]] int primary(int shard) const;
+  /// The replica chip, or -1 with a single server (no replication possible).
+  [[nodiscard]] int replica(int shard) const;
+  /// The other member of a shard's (primary, replica) pair, or -1.
+  [[nodiscard]] int partner_of(int shard, int chip) const;
+
+  /// Printable placement table (examples, diag).
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<int> servers_;
+  std::uint64_t seed_;
+  std::vector<int> primary_;
+  std::vector<int> replica_;
+};
+
+/// Shared client/server tuning.
+struct KvConfig {
+  int shards = 16;
+  /// Default absolute-deadline budget of one client operation (covers every
+  /// retry and failover reroute inside it).
+  Picoseconds op_deadline = Picoseconds::from_us(500.0);
+  /// Budget of a single attempt within an operation: an attempt against a
+  /// node that died mid-request times out after this and the retry loop
+  /// reroutes, instead of one dead target eating the whole op budget.
+  Picoseconds attempt_deadline = Picoseconds::from_us(60.0);
+  /// Replication sub-call budget (must leave room for a client retry).
+  Picoseconds replicate_deadline = Picoseconds::from_us(100.0);
+  /// Modeled CPU service time per op (hash + lookup / store).
+  Picoseconds get_compute = Picoseconds::from_ns(150.0);
+  Picoseconds put_compute = Picoseconds::from_ns(300.0);
+  /// Backoff between client retry attempts (lets a keepalive verdict or an
+  /// epoch sync land instead of hammering a dying node).
+  Picoseconds retry_backoff = Picoseconds::from_us(2.0);
+  /// Logical RPC channels: client traffic and replication share each peer
+  /// pair without interleaving their correlation spaces.
+  std::uint8_t client_channel = 0;
+  std::uint8_t replication_channel = 1;
+};
+
+/// Server-side counters.
+struct KvStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t replications_out = 0;  ///< replicate calls issued as primary
+  std::uint64_t replications_in = 0;   ///< replicate frames applied as replica
+  std::uint64_t not_primary_rejects = 0;
+  std::uint64_t degraded_writes = 0;   ///< acked with the partner judged dead
+  std::uint64_t failover_serves = 0;   ///< ops served while acting for a dead primary
+};
+
+/// One node's slice of the store: registers the KV handlers on an RpcNode
+/// and serves every shard this node is acting primary or replica for.
+class KvService {
+ public:
+  KvService(cluster::TcCluster& cluster, RpcNode& rpc, ShardMap map,
+            KvConfig cfg = {});
+
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  /// Register the kKvGet/kKvPut/kKvReplicate handlers. Pumps start when the
+  /// RpcNode starts; stop serving via RpcNode::stop().
+  void start();
+
+  [[nodiscard]] int chip() const { return rpc_.chip(); }
+  [[nodiscard]] const KvStats& stats() const { return stats_; }
+  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+
+  // ---- introspection (tests, diag) ---------------------------------------
+  [[nodiscard]] std::uint64_t entries() const;
+  /// Local lookup without RPC or timing — test oracle for replication.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> peek(
+      std::string_view key) const;
+  [[nodiscard]] std::uint64_t version_of(std::string_view key) const;
+  /// True when this node currently serves `shard` (configured primary, or
+  /// replica with the primary judged dead).
+  [[nodiscard]] bool acting_primary(int shard) const;
+
+ private:
+  struct Entry {
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> value;
+  };
+
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> on_get(
+      const RpcContext& ctx, std::span<const std::uint8_t> body);
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> on_put(
+      const RpcContext& ctx, std::span<const std::uint8_t> body);
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> on_replicate(
+      const RpcContext& ctx, std::span<const std::uint8_t> body);
+
+  cluster::TcCluster& cluster_;
+  RpcNode& rpc_;
+  ShardMap map_;
+  KvConfig cfg_;
+  /// shard -> ordered key map (std::map: deterministic iteration).
+  std::vector<std::map<std::string, Entry, std::less<>>> store_;
+  /// Highest version assigned or applied per shard; a promoted replica
+  /// continues the sequence past everything it has seen.
+  std::vector<std::uint64_t> next_version_;
+  KvStats stats_;
+};
+
+/// Client-side counters.
+struct KvClientStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failover_routes = 0;  ///< requests routed to the replica
+};
+
+/// Routing client: hashes keys to shards, targets the acting primary, and
+/// fails over to the replica on a dead-peer verdict or a failed attempt —
+/// retrying within the operation deadline.
+class KvClient {
+ public:
+  KvClient(cluster::TcCluster& cluster, RpcNode& rpc, ShardMap map,
+           KvConfig cfg = {});
+
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> get(
+      std::string_view key, std::optional<Picoseconds> deadline = std::nullopt);
+  /// Returns the version the acting primary assigned.
+  [[nodiscard]] sim::Task<Result<std::uint64_t>> put(
+      std::string_view key, std::span<const std::uint8_t> value,
+      std::optional<Picoseconds> deadline = std::nullopt);
+
+  [[nodiscard]] const KvClientStats& stats() const { return stats_; }
+  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+
+ private:
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> request(
+      std::uint16_t method, int shard, std::vector<std::uint8_t> payload,
+      Picoseconds deadline);
+
+  cluster::TcCluster& cluster_;
+  RpcNode& rpc_;
+  ShardMap map_;
+  KvConfig cfg_;
+  KvClientStats stats_;
+};
+
+}  // namespace tcc::tcsvc

@@ -1,0 +1,144 @@
+#include "tcsvc/load.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "sim/join.hpp"
+#include "tcsvc/metrics_internal.hpp"
+
+namespace tcc::tcsvc {
+
+namespace {
+std::uint64_t scramble(std::uint64_t x) {
+  // fmix64: a bijection, so distinct ranks always map to distinct keys.
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  TCC_ASSERT(n_ > 0, "Zipfian needs a positive universe");
+  TCC_ASSERT(theta_ >= 0.0 && theta_ < 1.0, "zipf theta must be in [0,1)");
+  if (theta_ > 0.0) {
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) {
+  if (theta_ == 0.0) return rng.next_below(n_);
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+LoadGenerator::LoadGenerator(cluster::TcCluster& cluster, KvClient& client,
+                             LoadConfig cfg)
+    : cluster_(cluster),
+      client_(client),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      zipf_(cfg.keys, cfg.zipf_theta) {
+  TCC_ASSERT(cfg_.offered_rps > 0.0, "offered_rps must be positive");
+  register_tcsvc_metrics();
+}
+
+std::string LoadGenerator::key_of(std::uint64_t rank) const {
+  return strprintf("k%016llx", static_cast<unsigned long long>(
+                                   scramble(rank ^ (cfg_.seed << 17))));
+}
+
+sim::Task<Status> LoadGenerator::prefill() {
+  std::vector<std::uint8_t> value(cfg_.value_bytes, 0);
+  for (std::uint64_t rank = 0; rank < cfg_.keys; ++rank) {
+    for (auto& b : value) b = static_cast<std::uint8_t>(rank);
+    auto r = co_await client_.put(key_of(rank), value);
+    if (!r.ok()) {
+      co_return make_error(r.error().code,
+                           "prefill rank " + std::to_string(rank) + ": " +
+                               r.error().to_string());
+    }
+  }
+  co_return Status{};
+}
+
+sim::Task<void> LoadGenerator::run() {
+  sim::Engine& engine = cluster_.engine();
+  report_ = LoadReport{};
+  report_.started = engine.now();
+  const Picoseconds end = engine.now() + cfg_.duration;
+  sim::Joiner joiner(engine);
+
+  while (true) {
+    // Poisson arrivals: exponential interarrival at the offered rate.
+    const double gap_s = -std::log1p(-rng_.next_double()) / cfg_.offered_rps;
+    co_await engine.delay(Picoseconds::from_ns(gap_s * 1e9));
+    if (engine.now() >= end) break;
+    const bool is_read = rng_.next_bool(cfg_.read_fraction);
+    const std::uint64_t rank = zipf_.next(rng_);
+    ++report_.offered;
+    TCC_METRIC(detail::metrics().load_offered.inc());
+    joiner.launch_fn([this, is_read, rank]() -> sim::Task<void> {
+      co_await one_request(is_read, rank);
+    });
+  }
+  // Drain: every in-flight request self-terminates at its own deadline.
+  co_await joiner.wait_all();
+  report_.finished = engine.now();
+}
+
+sim::Task<void> LoadGenerator::one_request(bool is_read, std::uint64_t rank) {
+  sim::Engine& engine = cluster_.engine();
+  const std::string key = key_of(rank);
+  const Picoseconds t0 = engine.now();
+  const Picoseconds deadline = t0 + cfg_.request_deadline;
+  bool ok;
+  if (is_read) {
+    ++report_.reads;
+    auto r = co_await client_.get(key, deadline);
+    // After prefill a miss cannot happen; without prefill it is still a
+    // completed request (the store answered), not a serving failure.
+    ok = r.ok() || r.error().code == ErrorCode::kNotFound;
+  } else {
+    ++report_.writes;
+    std::vector<std::uint8_t> value(cfg_.value_bytes,
+                                    static_cast<std::uint8_t>(rank + 1));
+    auto r = co_await client_.put(key, value, deadline);
+    ok = r.ok();
+  }
+  const Picoseconds latency = engine.now() - t0;
+  if (ok) {
+    ++report_.completed;
+    report_.latency_ns.add(latency.nanoseconds());
+    TCC_METRIC(detail::metrics().load_completed.inc());
+  } else {
+    ++report_.failed;
+    TCC_METRIC(detail::metrics().load_failed.inc());
+  }
+  if (!ok || latency > cfg_.slo.latency_budget) {
+    ++report_.slo_violations;
+    TCC_METRIC(detail::metrics().load_slo_violations.inc());
+  }
+}
+
+}  // namespace tcc::tcsvc

@@ -1,0 +1,120 @@
+// tcsvc load: an open-loop load harness for the serving stack.
+//
+// Open-loop means arrivals are a Poisson process at a configured offered
+// rate, independent of completions — the generator never waits for a
+// response before issuing the next request, so queueing delay shows up as
+// latency (the knee of the latency-vs-load curve) instead of silently
+// throttling the arrival rate the way a closed loop would. Each arrival
+// becomes an independent sim task with its own deadline.
+//
+// Key popularity is Zipfian (the YCSB generator: bounded zeta, exact for
+// the first two ranks, power-law tail), with ranks scrambled through a
+// 64-bit mixer so the hot keys land on uncorrelated shards.
+//
+// Everything is deterministic: one tcc::Rng seeded from the config drives
+// interarrival gaps, the read/write coin and the key choice, and per-request
+// latencies land in an exact-percentile tcc::Samples reservoir (p50/p99/
+// p99.9 are nearest-rank over every request, not estimates).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "tcsvc/kv.hpp"
+
+namespace tcc::tcsvc {
+
+/// Service-level objective the report is judged against.
+struct SloConfig {
+  /// Per-request latency budget; a slower (or failed) request violates.
+  Picoseconds latency_budget = Picoseconds::from_us(50.0);
+  /// Fraction of offered requests allowed to violate (the error budget).
+  double error_budget = 0.001;
+};
+
+struct LoadConfig {
+  /// Offered arrival rate, requests per simulated second.
+  double offered_rps = 100'000.0;
+  double read_fraction = 0.9;
+  /// Zipf skew in [0,1): 0 = uniform, 0.99 = YCSB-default hot-key skew.
+  double zipf_theta = 0.99;
+  std::uint64_t keys = 1000;
+  std::uint32_t value_bytes = 128;
+  /// Arrival window; in-flight requests drain after it (bounded by their
+  /// own deadlines).
+  Picoseconds duration = Picoseconds::from_us(1000.0);
+  Picoseconds request_deadline = Picoseconds::from_us(500.0);
+  std::uint64_t seed = 1;
+  SloConfig slo;
+};
+
+struct LoadReport {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t slo_violations = 0;
+  Samples latency_ns;  ///< per completed request
+  Picoseconds started{};
+  Picoseconds finished{};  ///< after the drain
+
+  /// Completed requests per second of the measurement window.
+  [[nodiscard]] double goodput_rps() const {
+    const double s = (finished - started).seconds();
+    return s > 0.0 ? static_cast<double>(completed) / s : 0.0;
+  }
+  [[nodiscard]] bool within_slo(const SloConfig& slo) const {
+    return static_cast<double>(slo_violations) <=
+           slo.error_budget * static_cast<double>(offered);
+  }
+};
+
+/// YCSB-style bounded Zipfian rank generator: next() returns a rank in
+/// [0, n), rank 0 most popular.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  [[nodiscard]] std::uint64_t next(Rng& rng);
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_ = 0.0;
+  double zetan_ = 0.0;
+  double eta_ = 0.0;
+};
+
+/// Drives one KvClient with the configured workload.
+class LoadGenerator {
+ public:
+  LoadGenerator(cluster::TcCluster& cluster, KvClient& client, LoadConfig cfg);
+
+  /// The key string of a popularity rank (scrambled across shards).
+  [[nodiscard]] std::string key_of(std::uint64_t rank) const;
+
+  /// Write every key once (sequential, closed-loop) so the measured run
+  /// has no cold misses. Fails on the first unsuccessful put.
+  [[nodiscard]] sim::Task<Status> prefill();
+
+  /// The open-loop run: Poisson arrivals for cfg.duration, then drain.
+  [[nodiscard]] sim::Task<void> run();
+
+  [[nodiscard]] const LoadReport& report() const { return report_; }
+  [[nodiscard]] const LoadConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] sim::Task<void> one_request(bool is_read, std::uint64_t rank);
+
+  cluster::TcCluster& cluster_;
+  KvClient& client_;
+  LoadConfig cfg_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  LoadReport report_;
+};
+
+}  // namespace tcc::tcsvc

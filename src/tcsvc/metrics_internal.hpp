@@ -1,0 +1,64 @@
+// Internal to src/tcsvc: the cached-reference bundle for every tcsvc.*
+// metric (same idiom as RelMetrics in tccluster/reliable.cpp — one registry
+// lookup per process, one non-atomic add per event afterwards). The public
+// registration hook is register_tcsvc_metrics() in rpc.hpp; the authoritative
+// name list is the catalogue in docs/OBSERVABILITY.md.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+
+#if TCC_TELEMETRY_ENABLED
+
+namespace tcc::tcsvc::detail {
+
+struct SvcMetrics {
+  telemetry::Counter& rpc_calls =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.calls");
+  telemetry::Counter& rpc_responses =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.responses");
+  telemetry::Counter& rpc_timeouts =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.timeouts");
+  telemetry::Counter& rpc_cancels =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.cancels");
+  telemetry::Counter& rpc_credit_stalls =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.credit_stalls");
+  telemetry::Counter& rpc_backpressure =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.backpressure");
+  telemetry::Counter& rpc_requests_served =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.requests_served");
+  telemetry::Counter& rpc_expired =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.expired_dropped");
+  telemetry::Counter& rpc_cancelled =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rpc.cancelled_dropped");
+  telemetry::Counter& kv_gets =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.gets");
+  telemetry::Counter& kv_puts =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.puts");
+  telemetry::Counter& kv_misses =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.misses");
+  telemetry::Counter& kv_replications =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.replications");
+  telemetry::Counter& kv_not_primary =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.not_primary_rejects");
+  telemetry::Counter& kv_degraded_writes =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.degraded_writes");
+  telemetry::Counter& kv_failover_serves =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.failover_serves");
+  telemetry::Counter& load_offered =
+      telemetry::MetricsRegistry::global().counter("tcsvc.load.offered");
+  telemetry::Counter& load_completed =
+      telemetry::MetricsRegistry::global().counter("tcsvc.load.completed");
+  telemetry::Counter& load_failed =
+      telemetry::MetricsRegistry::global().counter("tcsvc.load.failed");
+  telemetry::Counter& load_slo_violations =
+      telemetry::MetricsRegistry::global().counter("tcsvc.load.slo_violations");
+};
+
+inline SvcMetrics& metrics() {
+  static SvcMetrics m;
+  return m;
+}
+
+}  // namespace tcc::tcsvc::detail
+
+#endif  // TCC_TELEMETRY_ENABLED

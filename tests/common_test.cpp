@@ -160,6 +160,51 @@ TEST(Samples, ExactPercentiles) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
+TEST(Samples, EmptyPoolReadsAsZero) {
+  // Report writers hit percentile() on pools that saw no samples (e.g. a
+  // bench window too short to complete a single request); like mean(),
+  // that must read as 0 rather than crash.
+  Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Samples, SingleSampleIsEveryPercentile) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.9), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Samples, NearestRankBoundaries) {
+  // Nearest-rank: rank = ceil(p/100 * n), 1-based. With n=4 the rank
+  // steps exactly at multiples of 25; just past a boundary selects the
+  // next order statistic.
+  Samples s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);      // min, not ceil(0)=rank 0
+  EXPECT_DOUBLE_EQ(s.percentile(25), 10.0);     // rank 1
+  EXPECT_DOUBLE_EQ(s.percentile(25.01), 20.0);  // rank 2
+  EXPECT_DOUBLE_EQ(s.percentile(50), 20.0);     // rank 2
+  EXPECT_DOUBLE_EQ(s.percentile(75), 30.0);     // rank 3
+  EXPECT_DOUBLE_EQ(s.percentile(75.01), 40.0);  // rank 4
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);    // max
+}
+
+TEST(Samples, AddAfterPercentileResorts) {
+  Samples s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  s.add(1.0);  // arrives after the pool was sorted once
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
 TEST(Histogram, BucketsAndOverflow) {
   Histogram h(0.0, 100.0, 10);
   h.add(-5);          // underflow

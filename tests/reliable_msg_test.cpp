@@ -4,6 +4,7 @@
 // sync that heals a raw-ring hole after a link blackout.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
 #include <vector>
@@ -157,6 +158,75 @@ TEST(TcRel, BackpressureIsTypedAndRejectsThePayload) {
   EXPECT_EQ(tx->stats().sent, 4u) << "a backpressured payload is NOT accepted";
   EXPECT_GE(tx->stats().backpressure_stalls, 1u);
   EXPECT_EQ(tx->unacked(), 4u);
+}
+
+TEST(TcRel, BackpressuredBurstsDrainInStrictSeqOrder) {
+  // Regression for the drain_unsent() ordering contract (reliable.hpp):
+  // buffered-but-never-transmitted messages must reach the raw ring in seq
+  // order, and a later message must never be raw-sent ahead of an earlier
+  // refusal. A window wider than the 63-slot raw ring makes send() accept
+  // messages the ring refuses (an unsent backlog only drain_unsent() can
+  // move), while bursts past the window sustain kBackpressure; a bursty
+  // receiver forces repeated fill/drain cycles over both edges.
+  constexpr std::uint64_t kTotal = 450;
+  constexpr std::uint64_t kBurst = 150;
+  RelConfig rel;
+  rel.window = 100;  // > kDataSlots=63: the ring refuses before the window
+  rel.stall_timeout = Picoseconds::from_us(1000.0);  // keep resends out of it
+  rel.stall_sync_strikes = 1 << 20;
+  auto cl = make_cluster(rel);
+  auto* tx = cl->rel(0).connect(1).expect("connect 0->1");
+  auto* rx = cl->rel(1).connect(0).expect("connect 1->0");
+  bool tx_done = false, rx_done = false;
+  std::uint64_t peak_unacked = 0;
+
+  cl->engine().spawn_fn([&, tx]() -> sim::Task<void> {
+    for (std::uint64_t i = 1; i <= kTotal; ++i) {
+      for (;;) {
+        // A short per-attempt deadline turns a full window into typed
+        // kBackpressure (deadline-less send would wait instead).
+        auto s = co_await tx->send(u64_payload(i),
+                                   cl->engine().now() + Picoseconds::from_us(2.0));
+        peak_unacked = std::max(peak_unacked, tx->unacked());
+        if (s.ok()) break;
+        EXPECT_EQ(s.error().code, ErrorCode::kBackpressure);
+        co_await cl->engine().delay(Picoseconds::from_us(1.0));
+      }
+      if (i % kBurst == 0) {  // window edge between bursts
+        co_await cl->engine().delay(Picoseconds::from_us(10.0));
+      }
+    }
+    tx_done = true;
+  });
+  cl->engine().spawn_fn([&, rx]() -> sim::Task<void> {
+    // Sleep through the first burst so the rel window (not just the raw
+    // ring) fills and send() returns sustained kBackpressure. Accepted-but-
+    // untransmitted sends each burn their 2us attempt deadline, so filling
+    // window - kDataSlots = 37 extra slots takes ~75us of simulated time.
+    co_await cl->engine().delay(Picoseconds::from_us(400.0));
+    for (std::uint64_t i = 1; i <= kTotal; ++i) {
+      auto r = co_await rx->recv();
+      r.expect("recv");
+      EXPECT_EQ(u64_of(r.value()), i)
+          << "drain_unsent() broke seq-order transmission";
+      if (i % 50 == 0) {  // bursty drain: let the sender refill the ring
+        co_await cl->engine().delay(Picoseconds::from_us(5.0));
+      }
+    }
+    rx_done = true;
+  });
+  cl->engine().run();
+  EXPECT_TRUE(tx_done);
+  EXPECT_TRUE(rx_done);
+  EXPECT_EQ(rx->stats().delivered, kTotal);
+  EXPECT_EQ(rx->stats().duplicates_dropped, 0u);
+  EXPECT_GT(peak_unacked, static_cast<std::uint64_t>(kDataSlots))
+      << "backlog never outran the raw ring: drain_unsent() was not exercised";
+  EXPECT_GT(tx->stats().backpressure_stalls, 0u)
+      << "bursts never filled the rel window: backpressure was not sustained";
+  EXPECT_EQ(tx->epoch(), 0u) << "a fault-free drain needs no epoch sync";
+  EXPECT_EQ(tx->stats().retransmits, 0u)
+      << "the backlog must move via drain_unsent(), not stall resends";
 }
 
 TEST(TcRel, EpochSyncHealsARingHoleAfterBlackout) {
