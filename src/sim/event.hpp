@@ -1,0 +1,172 @@
+// Allocation-free event payloads for the discrete-event engine.
+//
+// The engine's hot path dispatches tens of millions of events per wall
+// second; a `std::function` per event (heap allocation past the 16-byte SSO,
+// virtual-ish dispatch, 32-byte footprint) was the single largest cost in
+// profile. InlineFn is the replacement: a move-only type-erased callable
+// with 64 bytes of inline storage — sized so every capture in the tree today
+// (the largest is an ht::Packet moved into a delivery lambda: 56 bytes plus
+// a pointer) stays inline. Oversized or throwing-move callables fall back to
+// the heap; the engine counts those (`sim.engine.callable_heap_allocs`) so a
+// capture that silently regresses the hot path shows up in telemetry.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/units.hpp"
+
+namespace tcc::sim {
+
+/// Move-only type-erased `void()` callable with inline small-buffer storage.
+class InlineFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable sink
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& o) noexcept { move_from(o); }
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  void operator()() { vt_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+  /// True when the capture did not fit inline (telemetry wants to know).
+  [[nodiscard]] bool on_heap() const { return vt_ != nullptr && vt_->heap; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// Construct the callable directly in this object's storage — the hot
+  /// scheduling path uses this to avoid a temporary + 64-byte relocate.
+  /// Precondition: empty (reset node storage).
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(f));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVt{
+      [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<D*>(p))->~D(); },
+      false};
+
+  void move_from(InlineFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(storage_, o.storage_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  static constexpr VTable kHeapVt{
+      [](void* p) { (**reinterpret_cast<D**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* p) noexcept { delete *reinterpret_cast<D**>(p); },
+      true};
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+/// One scheduled event, recycled through the engine's slab freelist. Nodes
+/// are owned by the engine; the only external reference is a TimerHandle,
+/// which validates through `timer_id` (monotonic, never reused) so a handle
+/// to a fired-and-recycled node is detectably stale.
+struct EventNode {
+  enum class Kind : std::uint8_t {
+    kCallable,   ///< fn() on dispatch
+    kResume,     ///< resume.resume() on dispatch — bypasses the callable entirely
+    kCancelled,  ///< dead timer: skipped and recycled without advancing time
+  };
+
+  // Hot fields first: bucket-chain walks, run sorts and freelist ops touch
+  // only this leading cache line; the callable storage trails.
+  Picoseconds at{};
+  std::uint64_t seq = 0;
+  EventNode* next_free = nullptr;  ///< freelist link / intrusive bucket chain
+  std::uint64_t timer_id = 0;  ///< nonzero while a cancellable timer is pending
+  Kind kind = Kind::kCallable;
+  std::coroutine_handle<> resume;
+  InlineFn fn;
+};
+
+/// Handle to a cancellable timer (Engine::schedule_timer / sleep_for).
+/// Value-semantic and cheap; stale handles (timer already fired or
+/// cancelled) are safe to cancel again — the call is a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  [[nodiscard]] bool armed() const { return node_ != nullptr; }
+  void reset() {
+    node_ = nullptr;
+    id_ = 0;
+  }
+
+ private:
+  friend class Engine;
+  TimerHandle(EventNode* node, std::uint64_t id) : node_(node), id_(id) {}
+  EventNode* node_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace tcc::sim

@@ -11,7 +11,7 @@ Result<std::unique_ptr<TcCluster>> TcCluster::create(Options options) {
 }
 
 TcCluster::TcCluster(Options options, topology::ClusterPlan plan)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), engine_(options_.scheduler) {
   opteron::ChipConfig chip_template;
   chip_template.nb_outbound_depth = options_.nb_outbound_depth;
   machine_ = std::make_unique<firmware::Machine>(engine_, std::move(plan), chip_template);

@@ -42,6 +42,10 @@ class TcCluster {
     std::vector<FaultEvent> faults;
     /// Tuning for the per-node reliable message libraries (rel()).
     RelConfig rel;
+    /// Event-queue implementation. kHeapReference exists for the
+    /// determinism suite (diff timelines against the calendar queue) and
+    /// for honest before/after benchmarking; leave at kCalendar otherwise.
+    sim::Scheduler scheduler = sim::Scheduler::kCalendar;
   };
 
   /// Plan + assemble the machine (powered off). Fails on impossible

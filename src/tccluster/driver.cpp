@@ -197,7 +197,10 @@ sim::Task<void> TcDriver::keepalive_process() {
                  chip_, peer, (core.now() - ph.last_progress).microseconds());
       }
     }
-    co_await machine_.engine().delay(ka_interval_);
+    // Cancellable sleep: stop_keepalive() wakes us immediately instead of
+    // leaving a dead interval timer pending, so engine.run() drains as soon
+    // as the rest of the workload finishes.
+    co_await machine_.engine().sleep_for(ka_interval_, ka_sleep_);
   }
   ka_running_ = false;
 }

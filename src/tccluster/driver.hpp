@@ -138,7 +138,12 @@ class TcDriver {
   /// The process runs until stop_keepalive(), so tests driving engine.run()
   /// to completion must stop it (or use run_until).
   void start_keepalive(Picoseconds interval, Picoseconds timeout);
-  void stop_keepalive() { ka_stop_ = true; }
+  void stop_keepalive() {
+    ka_stop_ = true;
+    // If the process is mid-sleep, cut it short so it observes the stop flag
+    // now; the cancelled interval timer never fires.
+    (void)machine_.engine().wake(ka_sleep_);
+  }
   [[nodiscard]] bool keepalive_running() const { return ka_running_; }
 
   /// Fault injection: a hung driver stops emitting heartbeats (its peers'
@@ -172,6 +177,7 @@ class TcDriver {
   bool hung_ = false;
   bool ka_running_ = false;
   bool ka_stop_ = false;
+  sim::TimerHandle ka_sleep_;  ///< armed while the beat loop sleeps
   Picoseconds ka_interval_{};
   Picoseconds ka_timeout_{};
   std::uint64_t ka_beat_ = 0;

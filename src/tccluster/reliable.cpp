@@ -107,7 +107,10 @@ ReliableEndpoint::ReliableEndpoint(TcDriver& driver, opteron::Core& core,
   last_tx_progress_ = core.engine().now();
 }
 
-ReliableEndpoint::~ReliableEndpoint() { *alive_ = false; }
+ReliableEndpoint::~ReliableEndpoint() {
+  *alive_ = false;
+  (void)core_.engine().cancel(ack_timer_);
+}
 
 std::uint32_t ReliableEndpoint::make_tag(std::uint64_t seq, MsgKind kind) const {
   return kTagRelFlag |
@@ -610,12 +613,14 @@ void ReliableEndpoint::arm_ack_timer() {
   if (ack_timer_armed_) return;
   ack_timer_armed_ = true;
   sim::Engine& eng = core_.engine();
-  eng.spawn_fn([this, &eng, alive = alive_,
-                delay = cfg_.ack_delay]() -> sim::Task<void> {
-    co_await eng.delay(delay);
-    if (!*alive) co_return;
+  ack_timer_ = eng.schedule_timer(cfg_.ack_delay, [this, &eng, alive = alive_] {
+    if (!*alive) return;
     ack_timer_armed_ = false;
-    if (delivered_ != acked_out_) co_await publish_ack();
+    if (delivered_ != acked_out_) {
+      eng.spawn_fn([this, alive]() -> sim::Task<void> {
+        if (*alive) co_await publish_ack();
+      });
+    }
   });
 }
 
@@ -629,6 +634,13 @@ sim::Task<void> ReliableEndpoint::publish_ack() {
   (void)co_await core_.sfence();
   acked_out_ = value;
   ++stats_.acks_pushed;
+  // The ACK is on the wire by some other path (piggyback, threshold, idle
+  // edge): a still-armed delayed-ACK timer has nothing left to do, so
+  // cancel it instead of letting it fire as a dead event.
+  if (ack_timer_armed_ && delivered_ == acked_out_) {
+    (void)core_.engine().cancel(ack_timer_);
+    ack_timer_armed_ = false;
+  }
 }
 
 sim::Task<void> ReliableEndpoint::publish_epoch() {

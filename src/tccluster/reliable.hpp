@@ -289,6 +289,7 @@ class ReliableEndpoint {
   std::uint64_t acked_out_ = 0;        ///< last published ACK value
   int gap_streak_ = 0;
   bool ack_timer_armed_ = false;
+  sim::TimerHandle ack_timer_;  ///< pending delayed-ACK, cancellable
   sim::Mutex rx_mutex_;
 
   // Epoch state.

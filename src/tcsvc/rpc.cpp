@@ -285,12 +285,14 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcNode::call(
     stalled = true;
     ++stats_.credit_stalls;
     TCC_METRIC(detail::metrics().rpc_credit_stalls.inc());
-    engine.schedule_at(deadline, [alive = alive_, ps] {
-      if (*alive) ps->credit_free.notify();
-    });
+    sim::TimerHandle credit_timer =
+        engine.schedule_timer_at(deadline, [alive = alive_, ps] {
+          if (*alive) ps->credit_free.notify();
+        });
     while (ps->credits == 0 && engine.now() < deadline) {
       co_await ps->credit_free.wait();
     }
+    (void)engine.cancel(credit_timer);
     if (ps->credits == 0) {
       ++stats_.backpressure;
       TCC_METRIC(detail::metrics().rpc_backpressure.inc());
@@ -332,12 +334,13 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcNode::call(
     co_return sent.error();
   }
 
-  engine.schedule_at(deadline, [pc] {
+  pc->deadline_timer = engine.schedule_timer_at(deadline, [pc] {
     if (!pc->done) pc->wake.notify();
   });
   while (!pc->done && engine.now() < deadline) {
     co_await pc->wake.wait();
   }
+  (void)engine.cancel(pc->deadline_timer);
   ++ps->credits;
   ps->credit_free.notify();
 

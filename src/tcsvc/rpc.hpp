@@ -171,6 +171,9 @@ class RpcNode {
     bool done = false;
     std::optional<Result<std::vector<std::uint8_t>>> result;
     sim::Trigger wake;
+    /// Deadline wake-up; cancelled once the call completes so finished
+    /// calls don't leave dead timer events polluting the engine queue.
+    sim::TimerHandle deadline_timer;
   };
 
   struct PeerState {

@@ -12,8 +12,10 @@ namespace tcc::cluster {
 namespace {
 
 /// Boot a cable cluster, run a mixed workload, and fingerprint the timeline.
-std::vector<std::uint64_t> run_workload_fingerprint() {
+std::vector<std::uint64_t> run_workload_fingerprint(
+    sim::Scheduler scheduler = sim::Scheduler::kCalendar) {
   TcCluster::Options o;
+  o.scheduler = scheduler;
   o.topology.shape = topology::ClusterShape::kCable;
   o.topology.dram_per_chip = 32_MiB;
   auto created = TcCluster::create(o);
@@ -52,6 +54,90 @@ TEST(Determinism, WholeSystemRunsAreBitIdentical) {
   // and the final time must match exactly. This is the property that makes
   // every other test in this repository debuggable.
   EXPECT_EQ(run_workload_fingerprint(), run_workload_fingerprint());
+}
+
+TEST(Determinism, CalendarMatchesHeapReferenceOnFullSystemRun) {
+  // The whole-system timeline must be scheduler-independent: boot + rel
+  // traffic on the calendar queue replays the binary-heap reference timeline
+  // timestamp for timestamp. Event counts are excluded by construction (the
+  // reference dispatches cancelled timers as dead no-ops), so drop the final
+  // events_processed entry before diffing.
+  auto cal = run_workload_fingerprint(sim::Scheduler::kCalendar);
+  auto heap = run_workload_fingerprint(sim::Scheduler::kHeapReference);
+  ASSERT_EQ(cal.size(), heap.size());
+  cal.pop_back();
+  heap.pop_back();
+  EXPECT_EQ(cal, heap);
+}
+
+/// Chaos-soak-shaped config: keepalives beating, scripted link-down +
+/// CRC-storm faults, reliable traffic riding through the resulting
+/// retransmits. Fingerprints every delivery plus the final clock.
+std::vector<std::uint64_t> run_chaos_fingerprint(sim::Scheduler scheduler) {
+  TcCluster::Options o;
+  o.scheduler = scheduler;
+  o.topology.shape = topology::ClusterShape::kCable;
+  o.topology.dram_per_chip = 32_MiB;
+  FaultEvent down;
+  down.kind = FaultEvent::Kind::kLinkDown;
+  down.link = 0;
+  down.at = Picoseconds::from_us(60.0);
+  down.duration = Picoseconds::from_us(40.0);
+  o.faults.push_back(down);
+  FaultEvent storm;
+  storm.kind = FaultEvent::Kind::kCrcStorm;
+  storm.link = 0;
+  storm.at = Picoseconds::from_us(150.0);
+  storm.duration = Picoseconds::from_us(30.0);
+  storm.fault_rate = 0.5;
+  o.faults.push_back(storm);
+
+  auto created = TcCluster::create(o);
+  created.expect("create");
+  auto& cl = *created.value();
+  cl.boot().expect("boot");
+  cl.start_keepalives(Picoseconds::from_us(5.0), Picoseconds::from_us(25.0));
+
+  std::vector<std::uint64_t> fingerprint;
+  auto* tx = cl.rel(0).connect(1).value();
+  auto* rx = cl.rel(1).connect(0).value();
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    Rng rng(4242);
+    for (int i = 0; i < 30; ++i) {
+      std::vector<std::uint8_t> payload(rng.next_in(1, 300));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+      (co_await tx->send(payload)).expect("send");
+      co_await cl.engine().delay(Picoseconds::from_us(rng.next_in(1, 12)));
+      fingerprint.push_back(static_cast<std::uint64_t>(cl.engine().now().count()));
+    }
+  });
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 30; ++i) {
+      auto r = co_await rx->recv();
+      r.expect("recv");
+      fingerprint.push_back(static_cast<std::uint64_t>(cl.engine().now().count()) ^
+                            (r.value().size() << 40));
+    }
+    cl.stop_keepalives();
+  });
+  cl.engine().run();
+  fingerprint.push_back(static_cast<std::uint64_t>(cl.engine().now().count()));
+  return fingerprint;
+}
+
+TEST(Determinism, CalendarMatchesHeapReferenceUnderChaosFaults) {
+  // Seeded chaos config (faults + keepalives + retransmits): both schedulers
+  // must produce identical delivery timelines, and the run must drain — the
+  // keepalive stop path exercises timer cancellation via Engine::wake.
+  auto cal = run_chaos_fingerprint(sim::Scheduler::kCalendar);
+  auto heap = run_chaos_fingerprint(sim::Scheduler::kHeapReference);
+  ASSERT_EQ(cal.size(), heap.size());
+  // The final clock is intentionally excluded: the heap reference drains
+  // cancelled timers as dead no-op events, so its run() ends later (that
+  // extra queue pollution is precisely what cancellation removes).
+  cal.pop_back();
+  heap.pop_back();
+  EXPECT_EQ(cal, heap);
 }
 
 TEST(Determinism, BootStageTimingsAreReproducible) {

@@ -2,6 +2,9 @@
 // channels — the determinism guarantees everything else depends on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/bounded.hpp"
@@ -223,6 +226,260 @@ TEST(BoundedChannel, WaitEmptyResumesAfterDrain) {
   });
   e.run();
   EXPECT_EQ(drained, ns(20));
+}
+
+TEST(Engine, ScheduleAtPastClampsToNowInInsertionOrder) {
+  // Regression for the documented clamp contract: schedule_at with a
+  // non-future time fires on the current tick, after the running event, in
+  // insertion order — and never jumps ahead of events already queued at now.
+  Engine e;
+  std::vector<int> order;
+  e.schedule(ns(10), [&] {
+    e.schedule_at(ns(3), [&] { order.push_back(1); });  // past: clamps to now
+    e.schedule_at(ns(7), [&] { order.push_back(2); });  // past: clamps to now
+    order.push_back(0);
+  });
+  e.schedule(ns(10), [&] { order.push_back(3); });  // queued before the clamps
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+  EXPECT_EQ(e.now(), ns(10));
+}
+
+TEST(Timer, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  TimerHandle t = e.schedule_timer(ns(100), [&] { fired = true; });
+  e.schedule(ns(50), [&] { EXPECT_TRUE(e.cancel(t)); });
+  e.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(e.stats().timers_cancelled, 1u);
+  EXPECT_FALSE(t.armed());  // cancel resets the handle
+}
+
+TEST(Timer, CancelAfterFireIsStaleNoOp) {
+  Engine e;
+  int fires = 0;
+  TimerHandle t = e.schedule_timer(ns(10), [&] { ++fires; });
+  e.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(e.cancel(t));  // already fired: detectably stale
+  EXPECT_FALSE(e.cancel(t));  // double-cancel of a reset handle: still a no-op
+}
+
+TEST(Timer, SameTickCancelRace) {
+  // Cancel scheduled for the same tick the timer fires: the earlier
+  // insertion sequence wins. Canceller scheduled first -> timer never runs.
+  Engine e;
+  bool fired = false;
+  TimerHandle t;
+  e.schedule(ns(10), [&] { EXPECT_TRUE(e.cancel(t)); });
+  t = e.schedule_timer(ns(10), [&] { fired = true; });
+  e.run();
+  EXPECT_FALSE(fired);
+
+  // Timer scheduled first -> it fires before the would-be canceller runs.
+  Engine e2;
+  bool fired2 = false;
+  TimerHandle t2 = e2.schedule_timer(ns(10), [&] { fired2 = true; });
+  e2.schedule(ns(10), [&] { EXPECT_FALSE(e2.cancel(t2)); });
+  e2.run();
+  EXPECT_TRUE(fired2);
+}
+
+TEST(Timer, CancelledTimerIsNotCountedAsProcessed) {
+  Engine e;
+  TimerHandle t = e.schedule_timer(ns(100), [] { FAIL() << "cancelled timer ran"; });
+  ASSERT_TRUE(e.cancel(t));
+  e.schedule(ns(200), [] {});
+  e.run();
+  // The cancelled node is skipped silently: only the ns(200) event counts.
+  EXPECT_EQ(e.events_processed(), 1u);
+  EXPECT_EQ(e.now(), ns(200));
+}
+
+TEST(Timer, HeapReferenceDispatchesCancelledTimersAsDeadEvents) {
+  // The reference scheduler must preserve the pre-calendar cost model:
+  // a cancelled timer still pops as a (no-op) event.
+  Engine e(Scheduler::kHeapReference);
+  TimerHandle t = e.schedule_timer(ns(100), [] { FAIL() << "cancelled timer ran"; });
+  ASSERT_TRUE(e.cancel(t));
+  e.schedule(ns(200), [] {});
+  e.run();
+  EXPECT_EQ(e.events_processed(), 2u);
+}
+
+TEST(Timer, SleepForWakesEarly) {
+  Engine e;
+  TimerHandle slot;
+  Picoseconds woke_at{-1};
+  e.spawn_fn([&]() -> Task<void> {
+    co_await e.sleep_for(us(100), slot);
+    woke_at = e.now();
+  });
+  e.schedule(ns(50), [&] { EXPECT_TRUE(e.wake(slot)); });
+  e.run();
+  EXPECT_EQ(woke_at, ns(50));  // not us(100): the sleep was cut short
+  EXPECT_TRUE(e.all_processes_done());
+  EXPECT_FALSE(slot.armed());
+}
+
+TEST(Timer, WakeWhenNotSleepingIsNoOp) {
+  Engine e;
+  TimerHandle slot;
+  EXPECT_FALSE(e.wake(slot));  // never armed
+  Picoseconds woke_at{};
+  e.spawn_fn([&]() -> Task<void> {
+    co_await e.sleep_for(ns(10), slot);
+    woke_at = e.now();
+  });
+  e.run();
+  EXPECT_EQ(woke_at, ns(10));   // normal expiry
+  EXPECT_FALSE(e.wake(slot));   // already woke: stale handle, no double-resume
+  EXPECT_TRUE(e.all_processes_done());
+}
+
+TEST(SkipAhead, NeverSkipsAScheduledWakeup) {
+  // Sparse wakeups across second-scale gaps: idle skip-ahead must land on
+  // every one of them, at the exact scheduled time, in order.
+  Engine e;
+  std::vector<std::int64_t> fired;
+  std::int64_t expect_sum = 0;
+  std::uint64_t lcg = 12345;
+  Picoseconds at = Picoseconds::zero();
+  for (int i = 0; i < 200; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    // Gaps from sub-ns to ~10 ms stress bucket, overflow and window moves.
+    at = at + Picoseconds{static_cast<std::int64_t>((lcg >> 33) % 10'000'000'000ull) + 1};
+    expect_sum += at.count();
+    e.schedule_at(at, [&, t = at] {
+      EXPECT_EQ(e.now(), t);
+      fired.push_back(t.count());
+    });
+  }
+  e.run();
+  ASSERT_EQ(fired.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  std::int64_t sum = 0;
+  for (auto v : fired) sum += v;
+  EXPECT_EQ(sum, expect_sum);
+  // The whole point: the cursor jumped over the idle gaps.
+  EXPECT_GT(e.stats().skip_ahead_ps, 0);
+}
+
+TEST(Engine, InsertBeforePausedBucketKeepsOrder) {
+  // Pause a run after the scheduler has already activated a far-future
+  // bucket, then insert events earlier than that bucket (and earlier than
+  // the whole window). They must still fire strictly in time order.
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(us(10), [&] { order.push_back(3); });
+  e.schedule_at(us(10) + ns(400), [&] { order.push_back(5); });
+  e.run_until(us(10) + ns(50));  // dispatches the us(10) event, pauses
+  EXPECT_EQ(e.now(), us(10));
+  e.schedule_at(us(10) + ns(100), [&] { order.push_back(4); });  // before active bucket
+  e.schedule_at(us(5), [&] { order.push_back(9); });  // past: clamps to now
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 9, 4, 5}));
+}
+
+TEST(Engine, OversizedCapturesFallBackToHeapButStillRun) {
+  Engine e;
+  std::array<std::uint8_t, 128> big{};  // > InlineFn::kInlineBytes
+  big[127] = 42;
+  int seen = -1;
+  e.schedule(ns(5), [&seen, big] { seen = big[127]; });
+  EXPECT_EQ(e.stats().callable_heap_allocs, 1u);
+  e.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Engine, DestructionWithPendingEventsReleasesCaptures) {
+  // Engine destroyed with queued events (including an oversized capture and
+  // an armed timer): the slab teardown must run every capture's destructor.
+  // The ASan CI job turns a miss here into a leak report.
+  auto guard = std::make_shared<int>(7);
+  {
+    Engine e;
+    std::array<std::uint8_t, 128> big{};
+    e.schedule(ns(10), [g = guard, big] { (void)g; (void)big; });
+    e.schedule(ns(20), [g = guard] { (void)g; });
+    (void)e.schedule_timer(ns(30), [g = guard] { (void)g; });
+  }
+  EXPECT_EQ(guard.use_count(), 1);
+
+  {
+    Engine e(Scheduler::kHeapReference);
+    (void)e.schedule_timer(ns(30), [g = guard] { (void)g; });
+  }
+  EXPECT_EQ(guard.use_count(), 1);
+}
+
+/// Run one mixed workload (delays, channels, zero-delay storms, timers with
+/// same-tick cancels, second-scale idle gaps) and trace every dispatch.
+std::vector<std::uint64_t> differential_trace(Scheduler mode) {
+  Engine e(mode);
+  std::vector<std::uint64_t> trace;
+  auto mark = [&](int label) {
+    trace.push_back(static_cast<std::uint64_t>(e.now().count()) * 64 +
+                    static_cast<std::uint64_t>(label));
+  };
+  Channel<int> ch(e);
+  std::uint64_t lcg = 99;
+  auto rnd = [&lcg](std::uint64_t m) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return (lcg >> 33) % m;
+  };
+  e.spawn_fn([&]() -> Task<void> {
+    for (int i = 0; i < 300; ++i) {
+      co_await e.delay(Picoseconds{static_cast<std::int64_t>(rnd(5'000'000)) + 1});
+      ch.push(i);
+      mark(1);
+    }
+  });
+  e.spawn_fn([&]() -> Task<void> {
+    for (int i = 0; i < 300; ++i) {
+      (void)co_await ch.pop();
+      mark(2);
+      if (i % 7 == 0) co_await e.delay(Picoseconds::from_us(50.0));
+    }
+  });
+  std::vector<TimerHandle> timers(64);
+  e.spawn_fn([&]() -> Task<void> {
+    for (int round = 0; round < 40; ++round) {
+      for (auto& t : timers) {
+        t = e.schedule_timer(Picoseconds{static_cast<std::int64_t>(rnd(800'000)) + 1},
+                             [&] { mark(3); });
+      }
+      co_await e.delay(Picoseconds{400'000});
+      for (std::size_t i = 0; i < timers.size(); i += 2) (void)e.cancel(timers[i]);
+      for (int burst = 0; burst < 8; ++burst) e.schedule(Picoseconds::zero(), [&] { mark(4); });
+      co_await e.delay(Picoseconds{600'000});
+    }
+  });
+  e.run();
+  trace.push_back(e.events_processed());
+  trace.push_back(static_cast<std::uint64_t>(e.now().count()));
+  return trace;
+}
+
+TEST(Determinism, CalendarAndHeapReferenceProduceIdenticalTimelines) {
+  // The determinism contract is scheduler-independent: the calendar queue
+  // must replay the binary-heap reference timeline event for event. (Only
+  // dispatch times/order are compared — events_processed intentionally
+  // differs, since the reference dispatches cancelled timers as dead no-ops
+  // and the calendar skips them.)
+  auto cal = differential_trace(Scheduler::kCalendar);
+  auto heap = differential_trace(Scheduler::kHeapReference);
+  ASSERT_EQ(cal.size(), heap.size());
+  EXPECT_EQ(cal.back(), heap.back());  // identical final simulated time
+  cal.pop_back();
+  heap.pop_back();
+  const std::uint64_t cal_events = cal.back();
+  const std::uint64_t heap_events = heap.back();
+  cal.pop_back();
+  heap.pop_back();
+  EXPECT_EQ(cal, heap);
+  EXPECT_LT(cal_events, heap_events);  // dead no-op dispatches skipped
 }
 
 TEST(Determinism, TwoIdenticalRunsProduceIdenticalTimelines) {

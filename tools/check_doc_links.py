@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README.md and docs/*.md resolve.
+
+Usage: check_doc_links.py [repo_root]
+
+Scans inline links `[text](target)` in README.md and every docs/*.md file.
+External targets (http/https/mailto) are skipped; `#anchor` fragments are
+stripped before the existence check; bare `#anchor` links are ignored.
+Exits 1 listing every broken link, so new docs cannot rot silently.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline markdown link: [text](target). Deliberately simple — no reference
+# links or images in this repo's docs — but tolerant of titles: (target "t").
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def check_file(md: pathlib.Path, root: pathlib.Path):
+    broken = []
+    for lineno, line in enumerate(md.read_text().splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # same-document anchor
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]).resolve() if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    failures = 0
+    for md in files:
+        if not md.exists():
+            continue
+        for lineno, target in check_file(md, root):
+            print(f"{md.relative_to(root)}:{lineno}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Gate bench/sim_throughput results against the checked-in baseline.
+
+Usage: check_sim_throughput.py BENCH_sim_throughput.json [baseline.json]
+
+The gated quantity is the calendar/heap_reference ratio of simulated-ns per
+wall-second per workload (the `speedup_vs_heap` field of each calendar row).
+Both schedulers run in the same binary on the same machine, so the ratio is a
+property of the engine, not of runner hardware — that is what makes a
+checked-in baseline meaningful across machines. A run fails when any
+workload's ratio drops more than TOLERANCE below its baseline value.
+"""
+
+import json
+import pathlib
+import sys
+
+TOLERANCE = 0.20  # fail on a >20% regression vs the baseline ratio
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "sim_throughput_baseline.json"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    baseline_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+
+    doc = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())["speedup_vs_heap"]
+
+    assert doc.get("schema_version") == 1, doc.get("schema_version")
+    assert doc.get("bench") == "sim_throughput", doc.get("bench")
+
+    measured = {
+        row["workload"]: float(row["speedup_vs_heap"])
+        for row in doc["series"]
+        if "speedup_vs_heap" in row
+    }
+
+    failures = []
+    for workload, base in baseline.items():
+        if workload not in measured:
+            failures.append(f"{workload}: missing from bench output")
+            continue
+        got = measured[workload]
+        floor = base * (1.0 - TOLERANCE)
+        verdict = "OK" if got >= floor else "REGRESSION"
+        print(f"{workload:20s} speedup {got:5.2f}x  baseline {base:.2f}x  "
+              f"floor {floor:.2f}x  {verdict}")
+        if got < floor:
+            failures.append(
+                f"{workload}: {got:.2f}x is >{TOLERANCE:.0%} below baseline {base:.2f}x")
+
+    if failures:
+        print("\nsim_throughput regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("sim_throughput regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
