@@ -1,0 +1,202 @@
+// msg_sweep — mpptest-style (size x distance x pattern) sweep of the tcmsg
+// hot path, run twice: doorbell coalescing OFF vs ON.
+//
+// Patterns (the two mpptest kernels that bracket a message layer):
+//   * pingpong — one message in flight, half-RTT latency. Coalescing cannot
+//     help here (a lone staged message waits for the stage timer); the sweep
+//     records the cost so the trade-off is explicit.
+//   * burst — W messages posted back-to-back, receiver echoes one 8-byte ack
+//     when the window has fully arrived (windowed round-trip). This is the
+//     throughput regime coalescing exists for: packed line-groups amortize
+//     the doorbell sfence, slot markers, and the receiver's validation pass
+//     across the group.
+//
+// Emits BENCH_msg_sweep.json (schema v1); tools/check_msg_sweep.py gates the
+// coalescing-on/off ratio in CI. Gate (ISSUE 7 acceptance): >=1.5x burst
+// throughput at <=32 B with coalescing on, no regression at >=4 KiB.
+#include <cmath>
+#include <cstring>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tcc;
+
+/// One burst round: `ea` posts `window` messages of `bytes` each (send_bytes
+/// above the single-message limit), flushes any staged group, then waits for
+/// the receiver's 8-byte ack. Returns the round's wall time.
+double burst_round_us(cluster::TcCluster& cl, cluster::MsgEndpoint* ea,
+                      cluster::MsgEndpoint* eb, std::uint32_t bytes, int window,
+                      Rng& jitter) {
+  std::vector<std::uint8_t> payload(bytes, 0xa5);
+  const std::uint8_t ack[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  Picoseconds elapsed;
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    // De-phase the round start (outside the timed window) so the receiver's
+    // poll loop does not lock onto the simulator's quantization.
+    co_await cl.engine().delay(
+        Picoseconds{static_cast<std::int64_t>(jitter.next_below(50'000))});
+    const Picoseconds t0 = cl.engine().now();
+    for (int i = 0; i < window; ++i) {
+      if (bytes <= cluster::kMaxMessageBytes) {
+        (co_await ea->send(payload)).expect("send");
+      } else {
+        (co_await ea->send_bytes(payload)).expect("send_bytes");
+      }
+    }
+    (co_await ea->flush_coalesce()).expect("flush_coalesce");
+    (co_await ea->recv_discard()).expect("ack");
+    elapsed = cl.engine().now() - t0;
+  });
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    // recv() with the payload copy, not recv_discard(): a consumer that
+    // never touches its payload is not the workload coalescing targets, and
+    // packed groups always pay the region load (they must decode records).
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(bytes) * static_cast<std::uint64_t>(window);
+    std::uint64_t got = 0;
+    while (got < expected) {
+      got += (co_await eb->recv()).value().size();
+    }
+    (co_await eb->send(ack)).expect("ack send");
+  });
+  cl.engine().run();
+  return elapsed.nanoseconds() / 1e3;
+}
+
+struct SweepPoint {
+  double mmsgs_per_sec = 0.0;
+  double mbps = 0.0;
+};
+
+SweepPoint burst_sweep(cluster::TcCluster& cl, int a, int b, std::uint32_t bytes,
+                       int window, int rounds, bool coalesce) {
+  auto* ea = cl.msg(a).connect(b).value();
+  auto* eb = cl.msg(b).connect(a).value();
+  cluster::MsgEndpoint::CoalesceConfig cfg;
+  cfg.enabled = coalesce;
+  ea->set_coalesce(cfg);
+  Rng jitter(0x5eed ^ bytes);
+  double total_us = 0.0;
+  for (int r = 0; r < rounds; ++r) {
+    total_us += burst_round_us(cl, ea, eb, bytes, window, jitter);
+  }
+  cfg.enabled = false;
+  ea->set_coalesce(cfg);
+  const double msgs = static_cast<double>(window) * rounds;
+  SweepPoint p;
+  p.mmsgs_per_sec = msgs / total_us;  // msgs per us == Mmsg/s
+  p.mbps = msgs * bytes / total_us;   // bytes per us == MB/s
+  return p;
+}
+
+double pingpong_sweep(cluster::TcCluster& cl, int a, int b, std::uint32_t bytes,
+                      int iters, bool coalesce) {
+  auto* ea = cl.msg(a).connect(b).value();
+  cluster::MsgEndpoint::CoalesceConfig cfg;
+  cfg.enabled = coalesce;
+  ea->set_coalesce(cfg);
+  const double ns = bench::pingpong_ns(cl, a, b, bytes, iters);
+  cfg.enabled = false;
+  ea->set_coalesce(cfg);
+  return ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tcc;
+  using namespace tcc::bench;
+
+  const bool smoke = flag_bool(argc, argv, "--smoke");
+  const bool gate = flag_bool(argc, argv, "--gate", true);
+  const int window = static_cast<int>(flag_int(argc, argv, "--window=", 64));
+  const int rounds = static_cast<int>(flag_int(argc, argv, "--rounds=", smoke ? 8 : 40));
+  const int pp_iters = static_cast<int>(flag_int(argc, argv, "--iters=", smoke ? 20 : 100));
+
+  print_header("msg_sweep — (size x distance x pattern), coalescing off vs on",
+               "mpptest methodology over the §IV.A/§VI message hot path");
+
+  // One 4-chain serves both distances: 0->1 is one hop, 0->3 is three.
+  cluster::TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kChain;
+  o.topology.nx = 4;
+  o.topology.dram_per_chip = 16_MiB;
+  o.boot.model_code_fetch = false;
+  auto cl = cluster::TcCluster::create(o);
+  cl.expect("create chain");
+  cl.value()->boot().expect("boot chain");
+  cluster::TcCluster& c = *cl.value();
+
+  const std::vector<std::uint32_t> sizes =
+      smoke ? std::vector<std::uint32_t>{8, 32, 256, 4096}
+            : std::vector<std::uint32_t>{8, 16, 32, 64, 128, 256, 1024, 4096};
+  const int hops_list[] = {1, 3};
+
+  BenchReport report("msg_sweep", "burst_throughput", "Mmsg/s");
+  report.config("window", window);
+  report.config("rounds", rounds);
+  report.config("pingpong_iters", pp_iters);
+  report.config("smoke", smoke ? 1.0 : 0.0);
+
+  bool gate_ok = true;
+  std::vector<double> small_ratios;  // burst ratios at <=32 B, all distances
+  std::printf("\n%8s %6s %10s | %12s %12s %8s | %11s %11s\n", "pattern", "hops",
+              "bytes", "off Mmsg/s", "on Mmsg/s", "ratio", "off ns", "on ns");
+  for (const int hops : hops_list) {
+    const int peer = hops;  // chain: node 0 -> node `hops`
+    for (const std::uint32_t bytes : sizes) {
+      const SweepPoint off = burst_sweep(c, 0, peer, bytes, window, rounds, false);
+      const SweepPoint on = burst_sweep(c, 0, peer, bytes, window, rounds, true);
+      const double ratio = on.mmsgs_per_sec / off.mmsgs_per_sec;
+      report.add_sample(on.mmsgs_per_sec);
+      report.add_row({BenchReport::str("pattern", "burst"),
+                      BenchReport::num("hops", hops),
+                      BenchReport::num("bytes", bytes),
+                      BenchReport::num("off_mmsgs_per_sec", off.mmsgs_per_sec),
+                      BenchReport::num("on_mmsgs_per_sec", on.mmsgs_per_sec),
+                      BenchReport::num("off_mbps", off.mbps),
+                      BenchReport::num("on_mbps", on.mbps),
+                      BenchReport::num("ratio", ratio)});
+      std::printf("%8s %6d %10u | %12.3f %12.3f %7.2fx |\n", "burst", hops, bytes,
+                  off.mmsgs_per_sec, on.mmsgs_per_sec, ratio);
+      // Small-message class: geomean gated below. Per-size floor here — every
+      // point must improve; the slot-density win shrinks as the payload's own
+      // per-word UC loads (identical in both configs) take over.
+      if (bytes <= 32) {
+        small_ratios.push_back(ratio);
+        if (ratio < 1.2) gate_ok = false;
+      }
+      // No regression (5% jitter tolerance) at >=4 KiB, at every distance.
+      if (bytes >= 4096 && ratio < 0.95) gate_ok = false;
+    }
+    for (const std::uint32_t bytes : sizes) {
+      if (bytes > cluster::kMaxMessageBytes) continue;  // pingpong is single-msg
+      const double off_ns = pingpong_sweep(c, 0, peer, bytes, pp_iters, false);
+      const double on_ns = pingpong_sweep(c, 0, peer, bytes, pp_iters, true);
+      report.add_row({BenchReport::str("pattern", "pingpong"),
+                      BenchReport::num("hops", hops),
+                      BenchReport::num("bytes", bytes),
+                      BenchReport::num("off_half_rtt_ns", off_ns),
+                      BenchReport::num("on_half_rtt_ns", on_ns)});
+      std::printf("%8s %6d %10u | %12s %12s %8s | %11.0f %11.0f\n", "pingpong",
+                  hops, bytes, "", "", "", off_ns, on_ns);
+    }
+  }
+  double small_ratio = 0.0;
+  if (!small_ratios.empty()) {
+    double log_sum = 0.0;
+    for (const double r : small_ratios) log_sum += std::log(r);
+    small_ratio = std::exp(log_sum / static_cast<double>(small_ratios.size()));
+  }
+  if (small_ratio < 1.5) gate_ok = false;
+  report.config("small_msg_ratio", small_ratio);
+  report.write(flag_value(argc, argv, "--bench-out="));
+
+  std::printf("\ngate: small-message (<=32 B) burst throughput ratio %.2fx "
+              "(geomean, need >=1.5x; every point >=1.2x), >=0.95x at >=4 KiB: "
+              "%s\n", small_ratio, gate_ok ? "PASS" : "FAIL");
+  if (gate && !gate_ok) return 1;
+  return 0;
+}

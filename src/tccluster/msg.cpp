@@ -1,5 +1,6 @@
 #include "tccluster/msg.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "ht/crc.hpp"
@@ -33,6 +34,33 @@ struct MsgMetrics {
       telemetry::MetricsRegistry::global().counter("tccluster.msg.timeouts");
   telemetry::Histogram& ring_occupancy = telemetry::MetricsRegistry::global().histogram(
       "tccluster.msg.ring_occupancy");
+  // Packed line-groups (doorbell coalescing, see MsgSlot).
+  telemetry::Counter& coalesce_groups_sent = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.coalesce.groups_sent");
+  telemetry::Counter& coalesce_groups_received =
+      telemetry::MetricsRegistry::global().counter(
+          "tccluster.msg.coalesce.groups_received");
+  telemetry::Counter& coalesce_packed_msgs = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.coalesce.packed_msgs");
+  telemetry::Counter& coalesce_flush_full = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.coalesce.flush_full");
+  telemetry::Counter& coalesce_flush_timer = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.coalesce.flush_timer");
+  telemetry::Counter& coalesce_flush_inline = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.coalesce.flush_inline");
+  telemetry::Counter& coalesce_flush_explicit =
+      telemetry::MetricsRegistry::global().counter(
+          "tccluster.msg.coalesce.flush_explicit");
+  telemetry::Histogram& coalesce_group_msgs =
+      telemetry::MetricsRegistry::global().histogram(
+          "tccluster.msg.coalesce.group_msgs");
+  // Adaptive receiver polling (spin -> exponential backoff).
+  telemetry::Counter& backoff_entries = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.poll_backoff.entries");
+  telemetry::Counter& backoff_sleeps = telemetry::MetricsRegistry::global().counter(
+      "tccluster.msg.poll_backoff.sleeps");
+  telemetry::Histogram& backoff_sleep_ns = telemetry::MetricsRegistry::global().histogram(
+      "tccluster.msg.poll_backoff.sleep_ns");
 };
 
 MsgMetrics& msg_metrics() {
@@ -45,11 +73,59 @@ MsgMetrics& msg_metrics() {
 
 namespace {
 
-/// Slots needed for a payload of `len` bytes.
+/// Slots needed for a plain message payload of `len` bytes.
 std::uint64_t slots_for(std::uint32_t len) {
   if (len <= MsgSlot::kFirstPayload) return 1;
   return 1 + (len - MsgSlot::kFirstPayload + MsgSlot::kNextPayload - 1) /
                  MsgSlot::kNextPayload;
+}
+
+/// Slots needed for a packed group region of `len` bytes (dense layout:
+/// interior slots are all region, no markers — see MsgSlot).
+std::uint64_t slots_for_group(std::uint32_t len) {
+  if (len <= MsgSlot::kFirstPayload) return 1;
+  return 1 + (len - MsgSlot::kFirstPayload + MsgSlot::kGroupNextPayload - 1) /
+                 MsgSlot::kGroupNextPayload;
+}
+
+/// Append one record (u16 header, optional u32 tag, payload) to a region.
+void append_record(std::vector<std::uint8_t>& region, std::uint32_t tag,
+                   std::span<const std::uint8_t> payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::uint16_t hdr = static_cast<std::uint16_t>(len & MsgSlot::kRecordLenMask);
+  if (tag != 0) hdr |= MsgSlot::kRecordTagFlag;
+  const std::size_t base = region.size();
+  region.resize(base + MsgSlot::record_bytes(tag, len));
+  std::memcpy(region.data() + base, &hdr, 2);
+  std::size_t off = base + MsgSlot::kRecordBase;
+  if (tag != 0) {
+    std::memcpy(region.data() + off, &tag, 4);
+    off += MsgSlot::kRecordTag;
+  }
+  if (len != 0) std::memcpy(region.data() + off, payload.data(), len);
+}
+
+/// Parse the record at `data` (with `avail` region bytes left). Returns
+/// false on a malformed record: truncated header/tag, nonzero reserved
+/// bits, or a payload overrunning the region.
+bool parse_record(const std::uint8_t* data, std::size_t avail, std::uint32_t* tag,
+                  std::uint32_t* len, std::size_t* consumed) {
+  if (avail < MsgSlot::kRecordBase) return false;
+  std::uint16_t hdr = 0;
+  std::memcpy(&hdr, data, 2);
+  if ((hdr & MsgSlot::kRecordReserved) != 0) return false;
+  std::size_t off = MsgSlot::kRecordBase;
+  *tag = 0;
+  if ((hdr & MsgSlot::kRecordTagFlag) != 0) {
+    if (avail < off + MsgSlot::kRecordTag) return false;
+    std::memcpy(tag, data + off, 4);
+    off += MsgSlot::kRecordTag;
+    if (*tag == 0) return false;  // the sender never flags a zero tag
+  }
+  *len = hdr & MsgSlot::kRecordLenMask;
+  if (*len > avail - off) return false;
+  *consumed = off + *len;
+  return true;
 }
 
 }  // namespace
@@ -69,6 +145,11 @@ MsgEndpoint::MsgEndpoint(TcDriver& driver, opteron::Core& core, int peer_chip,
   rx_ring_ = driver_.ring(driver_.chip(), peer_chip, channel);
   tx_ack_ = rx_ring_.base;  // control block of our RX ring, written by peer
   rx_ack_ = tx_ring_.base;  // control block of the TX ring, written by us
+}
+
+MsgEndpoint::~MsgEndpoint() {
+  *alive_ = false;
+  (void)core_.engine().cancel(stage_timer_);
 }
 
 // Logical slot -> ring address. Slot 0 is the control block, so data lives in
@@ -154,6 +235,106 @@ inline bool marker_matches(std::uint64_t marker, std::uint64_t seq) {
 
 }  // namespace
 
+sim::Task<Status> MsgEndpoint::send_frame(std::span<const std::uint8_t> payload,
+                                          OrderingMode mode,
+                                          std::optional<Picoseconds> deadline,
+                                          std::uint32_t tag, bool packed) {
+  if (payload.size() > (packed ? kMaxGroupBytes : kMaxMessageBytes)) {
+    co_return make_error(ErrorCode::kInvalidArgument,
+                        "message exceeds kMaxMessageBytes; use send_bytes");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t slots = packed ? slots_for_group(len) : slots_for(len);
+  Status s = co_await acquire_credits(slots, deadline);
+  if (!s.ok()) co_return s;
+  TCC_METRIC(
+      msg_metrics().ring_occupancy.add(send_slots_ + slots - acked_slots_cache_));
+
+  const std::uint64_t head = send_slots_;
+  const std::uint32_t crc = ~ht::crc32c(payload);  // inverted: see MsgSlot
+  const std::uint32_t wire_len = packed ? (len | MsgSlot::kPackedLenFlag) : len;
+  const std::uint64_t marker = (static_cast<std::uint64_t>(tag) << 32) |
+                               (send_seq_ & MsgSlot::kSeqMask);
+
+  if (packed) {
+    // Dense group layout (see MsgSlot): first slot header + 48 B of region,
+    // every later slot a full 64 B of region, and ONE marker word — the
+    // doorbell — stored last. The WC unit dispatches full lines as they
+    // complete and drains stragglers in allocation order, so on the
+    // in-order posted channel the doorbell is the final write of the group.
+    const PhysAddr first = tx_slot_addr(head);
+    std::size_t off = std::min<std::size_t>(len, MsgSlot::kFirstPayload);
+    {
+      std::uint8_t slot[kSlotBytes] = {};
+      std::memcpy(slot + MsgSlot::kLenOffset, &wire_len, 4);
+      std::memcpy(slot + MsgSlot::kCrcOffset, &crc, 4);
+      if (off != 0) std::memcpy(slot + MsgSlot::kHeaderSize, payload.data(), off);
+      s = co_await ordered_store(
+          first + MsgSlot::kMarkerSize,
+          std::span<const std::uint8_t>(slot + MsgSlot::kMarkerSize,
+                                        MsgSlot::kHeaderSize - MsgSlot::kMarkerSize + off),
+          mode);
+      if (!s.ok()) co_return s;
+    }
+    for (std::uint64_t i = 1; i < slots; ++i) {
+      const std::size_t chunk =
+          std::min<std::size_t>(len - off, MsgSlot::kGroupNextPayload);
+      s = co_await ordered_store(tx_slot_addr(head + i), payload.subspan(off, chunk),
+                                 mode);
+      if (!s.ok()) co_return s;
+      off += chunk;
+    }
+    std::uint8_t doorbell[MsgSlot::kMarkerSize];
+    std::memcpy(doorbell, &marker, 8);
+    s = co_await ordered_store(first, doorbell, mode);
+    if (!s.ok()) co_return s;
+  } else {
+    // Write slots in ascending order, and within each slot the body BEFORE
+    // the marker word, so in the common (no WC eviction) case a visible
+    // marker implies a visible slot. In-order posted delivery (§IV.A) makes
+    // the LAST slot's marker the commit point on the receiver; the receiver
+    // still re-validates (see MsgSlot) because eviction of a partially
+    // filled WC line can reorder a slot's fragments around its marker.
+    std::size_t off = 0;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+      std::uint8_t slot[kSlotBytes] = {};
+      std::memcpy(slot + MsgSlot::kMarkerOffset, &marker, 8);
+      std::size_t data_off;
+      std::size_t capacity;
+      if (i == 0) {
+        std::memcpy(slot + MsgSlot::kLenOffset, &wire_len, 4);
+        std::memcpy(slot + MsgSlot::kCrcOffset, &crc, 4);
+        data_off = MsgSlot::kHeaderSize;
+        capacity = MsgSlot::kFirstPayload;
+      } else {
+        data_off = MsgSlot::kMarkerSize;
+        capacity = MsgSlot::kNextPayload;
+      }
+      const std::size_t chunk = std::min<std::size_t>(payload.size() - off, capacity);
+      if (chunk != 0) {  // doorbells have no payload and a possibly-null data()
+        std::memcpy(slot + data_off, payload.data() + off, chunk);
+      }
+      off += chunk;
+      const PhysAddr slot_addr = tx_slot_addr(head + i);
+      s = co_await ordered_store(
+          slot_addr + MsgSlot::kMarkerSize,
+          std::span<const std::uint8_t>(slot + MsgSlot::kMarkerSize,
+                                        kSlotBytes - MsgSlot::kMarkerSize),
+          mode);
+      if (!s.ok()) co_return s;
+      s = co_await ordered_store(
+          slot_addr, std::span<const std::uint8_t>(slot, MsgSlot::kMarkerSize), mode);
+      if (!s.ok()) co_return s;
+    }
+  }
+  s = co_await core_.sfence();  // push the tail out of the WC buffers
+  if (!s.ok()) co_return s;
+
+  advance_seq(send_seq_);
+  send_slots_ += slots;
+  co_return Status{};
+}
+
 sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
                                     OrderingMode mode,
                                     std::optional<Picoseconds> deadline,
@@ -162,65 +343,185 @@ sim::Task<Status> MsgEndpoint::send(std::span<const std::uint8_t> payload,
     co_return make_error(ErrorCode::kInvalidArgument,
                         "message exceeds kMaxMessageBytes; use send_bytes");
   }
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  const std::uint64_t slots = slots_for(len);
-  Status s = co_await acquire_credits(slots, deadline);
+  if (coalesce_.enabled) {
+    if (!stage_error_.ok()) {
+      // A timer-driven flush failed since the last call; surface it here
+      // (the staged messages it covered are gone — posted-write semantics).
+      Status e = stage_error_;
+      stage_error_ = Status{};
+      co_return e;
+    }
+    if (payload.size() <= coalesce_.eligible_bytes && coalesce_.max_group_msgs >= 2) {
+      const std::size_t record = MsgSlot::record_bytes(
+          tag, static_cast<std::uint32_t>(payload.size()));
+      if (!stage_.empty() &&
+          (stage_.size() + record > coalesce_.max_group_bytes ||
+           stage_msgs_ >= coalesce_.max_group_msgs)) {
+        TCC_METRIC(msg_metrics().coalesce_flush_full.inc());
+        Status s = co_await flush_stage(deadline);
+        if (!s.ok()) co_return s;
+      }
+      append_record(stage_, tag, payload);
+      ++stage_msgs_;
+      stage_payload_bytes_ += payload.size();
+      if (stage_.size() + MsgSlot::kRecordBase > coalesce_.max_group_bytes ||
+          stage_msgs_ >= coalesce_.max_group_msgs) {
+        TCC_METRIC(msg_metrics().coalesce_flush_full.inc());
+        co_return co_await flush_stage(deadline);
+      }
+      arm_stage_timer();
+      co_return Status{};
+    }
+    // Ineligible payload: publish anything staged first so send order is
+    // preserved on the wire.
+    if (!stage_.empty()) {
+      TCC_METRIC(msg_metrics().coalesce_flush_inline.inc());
+      Status s = co_await flush_stage(deadline);
+      if (!s.ok()) co_return s;
+    }
+  }
+  Status s = co_await send_frame(payload, mode, deadline, tag, /*packed=*/false);
   if (!s.ok()) co_return s;
-  TCC_METRIC(
-      msg_metrics().ring_occupancy.add(send_slots_ + slots - acked_slots_cache_));
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  TCC_METRIC(msg_metrics().sends.inc());
+  TCC_METRIC(msg_metrics().bytes_sent.inc(payload.size()));
+  co_return Status{};
+}
 
-  const std::uint64_t head = send_slots_;
-  const std::uint32_t crc = ~ht::crc32c(payload);  // inverted: see MsgSlot
-  const std::uint64_t marker = (static_cast<std::uint64_t>(tag) << 32) |
-                               (send_seq_ & MsgSlot::kSeqMask);
-
-  // Write slots in ascending order, and within each slot the body BEFORE
-  // the marker word, so in the common (no WC eviction) case a visible
-  // marker implies a visible slot. In-order posted delivery (§IV.A) makes
-  // the LAST slot's marker the commit point on the receiver; the receiver
-  // still re-validates (see MsgSlot) because eviction of a partially
-  // filled WC line can reorder a slot's fragments around its marker.
-  std::size_t off = 0;
-  for (std::uint64_t i = 0; i < slots; ++i) {
-    std::uint8_t slot[kSlotBytes] = {};
-    std::memcpy(slot + MsgSlot::kMarkerOffset, &marker, 8);
-    std::size_t data_off;
-    std::size_t capacity;
-    if (i == 0) {
-      std::memcpy(slot + MsgSlot::kLenOffset, &len, 4);
-      std::memcpy(slot + MsgSlot::kCrcOffset, &crc, 4);
-      data_off = MsgSlot::kHeaderSize;
-      capacity = MsgSlot::kFirstPayload;
-    } else {
-      data_off = MsgSlot::kMarkerSize;
-      capacity = MsgSlot::kNextPayload;
-    }
-    const std::size_t chunk = std::min<std::size_t>(payload.size() - off, capacity);
-    if (chunk != 0) {  // doorbells have no payload and a possibly-null data()
-      std::memcpy(slot + data_off, payload.data() + off, chunk);
-    }
-    off += chunk;
-    const PhysAddr slot_addr = tx_slot_addr(head + i);
-    s = co_await ordered_store(
-        slot_addr + MsgSlot::kMarkerSize,
-        std::span<const std::uint8_t>(slot + MsgSlot::kMarkerSize,
-                                      kSlotBytes - MsgSlot::kMarkerSize),
-        mode);
-    if (!s.ok()) co_return s;
-    s = co_await ordered_store(
-        slot_addr, std::span<const std::uint8_t>(slot, MsgSlot::kMarkerSize), mode);
+sim::Task<Status> MsgEndpoint::send_packed(std::span<const PackedItem> items,
+                                           OrderingMode mode,
+                                           std::optional<Picoseconds> deadline) {
+  if (items.empty()) {
+    co_return make_error(ErrorCode::kInvalidArgument, "empty packed group");
+  }
+  if (coalesce_.enabled && !stage_.empty()) {
+    TCC_METRIC(msg_metrics().coalesce_flush_inline.inc());
+    Status s = co_await flush_stage(deadline);
     if (!s.ok()) co_return s;
   }
-  s = co_await core_.sfence();  // push the tail out of the WC buffers
+  if (items.size() == 1) {
+    // A group of one needs no record framing — send it as a plain message
+    // (same doorbell count, fewer bytes on the wire).
+    Status s = co_await send_frame(items[0].payload, mode, deadline,
+                                   items[0].tag, /*packed=*/false);
+    if (!s.ok()) co_return s;
+    ++stats_.messages_sent;
+    stats_.bytes_sent += items[0].payload.size();
+    TCC_METRIC(msg_metrics().sends.inc());
+    TCC_METRIC(msg_metrics().bytes_sent.inc(items[0].payload.size()));
+    co_return Status{};
+  }
+  std::size_t region_len = 0;
+  for (const PackedItem& it : items) {
+    region_len += MsgSlot::record_bytes(it.tag,
+                                        static_cast<std::uint32_t>(it.payload.size()));
+  }
+  if (region_len > kMaxGroupBytes) {
+    co_return make_error(ErrorCode::kInvalidArgument,
+                         "packed group exceeds kMaxGroupBytes");
+  }
+  std::vector<std::uint8_t> region;
+  region.reserve(region_len);
+  std::uint64_t payload_bytes = 0;
+  for (const PackedItem& it : items) {
+    append_record(region, it.tag, it.payload);
+    payload_bytes += it.payload.size();
+  }
+  Status s = co_await send_frame(region, mode, deadline, /*tag=*/0, /*packed=*/true);
   if (!s.ok()) co_return s;
-
-  advance_seq(send_seq_);
-  send_slots_ += slots;
-  ++stats_.messages_sent;
-  stats_.bytes_sent += len;
-  TCC_METRIC(msg_metrics().sends.inc());
-  TCC_METRIC(msg_metrics().bytes_sent.inc(len));
+  ++stats_.groups_sent;
+  stats_.messages_sent += items.size();
+  stats_.messages_packed += items.size();
+  stats_.bytes_sent += payload_bytes;
+  TCC_METRIC(msg_metrics().coalesce_groups_sent.inc());
+  TCC_METRIC(msg_metrics().coalesce_packed_msgs.inc(items.size()));
+  TCC_METRIC(msg_metrics().coalesce_group_msgs.add(
+      static_cast<double>(items.size())));
+  TCC_METRIC(msg_metrics().sends.inc(items.size()));
+  TCC_METRIC(msg_metrics().bytes_sent.inc(payload_bytes));
   co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::flush_stage(std::optional<Picoseconds> deadline) {
+  if (stage_.empty()) co_return Status{};
+  // Move the region out before the first suspension: a staged send arriving
+  // while the publish is in flight must start a fresh group, not mutate the
+  // one on the wire.
+  std::vector<std::uint8_t> region = std::move(stage_);
+  stage_.clear();
+  const std::uint32_t msgs = stage_msgs_;
+  const std::uint64_t payload_bytes = stage_payload_bytes_;
+  stage_msgs_ = 0;
+  stage_payload_bytes_ = 0;
+  if (stage_timer_armed_) {
+    (void)core_.engine().cancel(stage_timer_);
+    stage_timer_armed_ = false;
+  }
+  if (msgs == 1) {
+    // Unwrap a lone record: no group framing, no decode cost at the peer.
+    std::uint32_t tag = 0;
+    std::uint32_t len = 0;
+    std::size_t consumed = 0;
+    const bool ok = parse_record(region.data(), region.size(), &tag, &len, &consumed);
+    TCC_ASSERT(ok && consumed == region.size(), "stage holds one valid record");
+    Status s = co_await send_frame(
+        std::span<const std::uint8_t>(region.data() + (consumed - len), len),
+        OrderingMode::kWeaklyOrdered, deadline, tag, /*packed=*/false);
+    if (!s.ok()) co_return s;
+    ++stats_.messages_sent;
+    stats_.bytes_sent += len;
+    TCC_METRIC(msg_metrics().sends.inc());
+    TCC_METRIC(msg_metrics().bytes_sent.inc(len));
+    co_return Status{};
+  }
+  Status s = co_await send_frame(region, OrderingMode::kWeaklyOrdered, deadline,
+                                 /*tag=*/0, /*packed=*/true);
+  if (!s.ok()) co_return s;
+  ++stats_.groups_sent;
+  stats_.messages_sent += msgs;
+  stats_.messages_packed += msgs;
+  stats_.bytes_sent += payload_bytes;
+  TCC_METRIC(msg_metrics().coalesce_groups_sent.inc());
+  TCC_METRIC(msg_metrics().coalesce_packed_msgs.inc(msgs));
+  TCC_METRIC(msg_metrics().coalesce_group_msgs.add(static_cast<double>(msgs)));
+  TCC_METRIC(msg_metrics().sends.inc(msgs));
+  TCC_METRIC(msg_metrics().bytes_sent.inc(payload_bytes));
+  co_return Status{};
+}
+
+sim::Task<Status> MsgEndpoint::flush_coalesce(std::optional<Picoseconds> deadline) {
+  if (!stage_error_.ok()) {
+    Status e = stage_error_;
+    stage_error_ = Status{};
+    co_return e;
+  }
+  if (stage_.empty()) co_return Status{};
+  TCC_METRIC(msg_metrics().coalesce_flush_explicit.inc());
+  co_return co_await flush_stage(deadline);
+}
+
+void MsgEndpoint::arm_stage_timer() {
+  // One-shot bound on how long a staged message can linger: a caller that
+  // stages a burst and then goes quiet still gets its group published within
+  // flush_delay. Detached task with an alive token (the endpoint may die
+  // first); the flush gets a generous deadline so a wedged ring cannot pin
+  // the engine alive forever — failure parks in stage_error_.
+  if (stage_timer_armed_) return;
+  stage_timer_armed_ = true;
+  sim::Engine& eng = core_.engine();
+  stage_timer_ = eng.schedule_timer(coalesce_.flush_delay, [this, &eng, alive = alive_] {
+    if (!*alive) return;
+    stage_timer_armed_ = false;
+    if (stage_.empty()) return;
+    eng.spawn_fn([this, alive]() -> sim::Task<void> {
+      if (!*alive || stage_.empty()) co_return;
+      TCC_METRIC(msg_metrics().coalesce_flush_timer.inc());
+      const Picoseconds give_up = core_.engine().now() + kSlotSettle;
+      Status s = co_await flush_stage(give_up);
+      if (!s.ok() && stage_error_.ok()) stage_error_ = s;
+    });
+  });
 }
 
 sim::Task<Status> MsgEndpoint::send_bytes(std::span<const std::uint8_t> payload,
@@ -236,22 +537,46 @@ sim::Task<Status> MsgEndpoint::send_bytes(std::span<const std::uint8_t> payload,
   co_return Status{};
 }
 
+std::uint32_t MsgEndpoint::serve_unpacked(std::vector<std::uint8_t>* copy_out,
+                                          std::uint32_t* tag_out) {
+  TaggedMessage& m = unpacked_.front();
+  const auto len = static_cast<std::uint32_t>(m.bytes.size());
+  if (tag_out != nullptr) *tag_out = m.tag;
+  if (copy_out != nullptr) *copy_out = std::move(m.bytes);
+  unpacked_.pop_front();
+  ++stats_.messages_received;
+  stats_.bytes_received += len;
+  TCC_METRIC(msg_metrics().recvs.inc());
+  TCC_METRIC(msg_metrics().bytes_received.inc(len));
+  return len;
+}
+
 sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
     std::vector<std::uint8_t>* copy_out, std::optional<Picoseconds> deadline,
     std::uint32_t* tag_out) {
+  // Sub-messages already decoded from a packed group are served first —
+  // zero uncacheable loads per queued message.
+  if (!unpacked_.empty()) co_return serve_unpacked(copy_out, tag_out);
+
   const PhysAddr header_addr = rx_slot_addr(recv_slots_);
   // Poll the marker word in uncacheable local memory (§VI receive path).
+  // Spin flat-out for the first kPollSpinPolls misses, then back off
+  // exponentially: an idle ring stops costing a 60 ns UC load every ~70 ns,
+  // at a detection-delay price capped at kPollBackoffMax.
   bool first_miss = true;
+  int misses = 0;
+  bool backoff_entered = false;
+  Picoseconds backoff = kPollBackoffStart;
+  std::uint32_t marker_tag = 0;
   for (;;) {
     auto marker = co_await core_.load_u64(header_addr);
     if (!marker.ok()) co_return marker.error();
     if (marker_matches(marker.value(), recv_seq_)) {
-      if (tag_out != nullptr) {
-        *tag_out = static_cast<std::uint32_t>(marker.value() >> 32);
-      }
+      marker_tag = static_cast<std::uint32_t>(marker.value() >> 32);
       break;
     }
-    if (deadline.has_value() && core_.engine().now() >= *deadline) {
+    const Picoseconds now = core_.engine().now();
+    if (deadline.has_value() && now >= *deadline) {
       ++stats_.timeouts;
       TCC_METRIC(msg_metrics().timeouts.inc());
       co_return make_error(ErrorCode::kTimeout,
@@ -265,7 +590,21 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
       first_miss = false;
       if (Status s = co_await flush_acks(); !s.ok()) co_return s.error();
     }
-    co_await core_.compute(opteron::kPollLoopOverhead);
+    if (++misses <= kPollSpinPolls) {
+      co_await core_.compute(opteron::kPollLoopOverhead);
+      continue;
+    }
+    if (!backoff_entered) {
+      backoff_entered = true;
+      TCC_METRIC(msg_metrics().backoff_entries.inc());
+    }
+    Picoseconds sleep = backoff;
+    if (deadline.has_value() && *deadline - now < sleep) sleep = *deadline - now;
+    ++stats_.backoff_sleeps;
+    TCC_METRIC(msg_metrics().backoff_sleeps.inc());
+    TCC_METRIC(msg_metrics().backoff_sleep_ns.add(sleep.nanoseconds()));
+    co_await core_.compute(sleep);
+    backoff = std::min(backoff * 2, kPollBackoffMax);
   }
 
   // The first marker is an invitation, not a commit (see MsgSlot): validate
@@ -274,6 +613,8 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
   // have split a slot, and resolves within the sender's closing sfence.
   std::uint32_t len = 0;
   std::uint32_t crc = 0;
+  bool packed = false;
+  std::vector<std::uint8_t> group;  // packed-region bytes (groups only)
   for (;;) {
     bool settled = true;
     auto lenword = co_await core_.load_u64(header_addr + MsgSlot::kLenOffset);
@@ -283,37 +624,57 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
       // means that word's fragment has not landed yet.
       settled = false;
     } else {
-      std::memcpy(&len, &lenword.value(), 4);
+      std::uint32_t len_raw = 0;
+      std::memcpy(&len_raw, &lenword.value(), 4);
+      packed = (len_raw & MsgSlot::kPackedLenFlag) != 0;
+      len = len_raw & MsgSlot::kLenMask;
       crc = ~static_cast<std::uint32_t>(lenword.value() >> 32);
-      if (len > kMaxMessageBytes) {
+      if (len > (packed ? MsgEndpoint::kMaxGroupBytes : kMaxMessageBytes)) {
         co_return make_error(ErrorCode::kProtocolViolation, "corrupt message length");
       }
       // Every slot's marker must be visible — the tail alone does not prove
       // the middle slots landed: a partially flushed line can linger in a WC
-      // buffer while later slots' full lines dispatch ahead of it.
-      const std::uint64_t slots = slots_for(len);
-      for (std::uint64_t i = 1; i < slots && settled; ++i) {
-        auto m = co_await core_.load_u64(rx_slot_addr(recv_slots_ + i));
-        if (!m.ok()) co_return m.error();
-        if (!marker_matches(m.value(), recv_seq_)) settled = false;
+      // buffer while later slots' full lines dispatch ahead of it. A packed
+      // group has no interior markers (dense layout) — its doorbell was the
+      // group's LAST write on the in-order channel, so doorbell-visible
+      // implies region-visible and the CRC below is the whole check.
+      const std::uint64_t slots = packed ? slots_for_group(len) : slots_for(len);
+      if (!packed) {
+        for (std::uint64_t i = 1; i < slots && settled; ++i) {
+          auto m = co_await core_.load_u64(rx_slot_addr(recv_slots_ + i));
+          if (!m.ok()) co_return m.error();
+          if (!marker_matches(m.value(), recv_seq_)) settled = false;
+        }
       }
-      if (settled && copy_out != nullptr) {
-        copy_out->resize(len);
+      // A packed group must always be materialized (the records have to be
+      // decoded whatever the caller wanted), so its CRC is always checked;
+      // a plain discard skips the copy exactly as before.
+      std::vector<std::uint8_t>* sink = packed ? &group : copy_out;
+      if (settled && sink != nullptr) {
+        sink->resize(len);
         std::size_t off = 0;
         for (std::uint64_t i = 0; i < slots; ++i) {
-          const std::uint64_t data_off =
-              i == 0 ? MsgSlot::kHeaderSize : MsgSlot::kMarkerSize;
-          const std::size_t capacity =
-              i == 0 ? MsgSlot::kFirstPayload : MsgSlot::kNextPayload;
+          std::uint64_t data_off;
+          std::size_t capacity;
+          if (i == 0) {
+            data_off = MsgSlot::kHeaderSize;
+            capacity = MsgSlot::kFirstPayload;
+          } else if (packed) {
+            data_off = 0;
+            capacity = MsgSlot::kGroupNextPayload;
+          } else {
+            data_off = MsgSlot::kMarkerSize;
+            capacity = MsgSlot::kNextPayload;
+          }
           const std::size_t chunk = std::min<std::size_t>(len - off, capacity);
           Status s = co_await core_.load_bytes(rx_slot_addr(recv_slots_ + i) + data_off,
-                                               std::span(copy_out->data() + off, chunk));
+                                               std::span(sink->data() + off, chunk));
           if (!s.ok()) co_return s.error();
           off += chunk;
         }
         // A mismatch here is almost always a payload fragment still in
         // flight behind its marker, not corruption — keep polling.
-        if (ht::crc32c(*copy_out) != crc) settled = false;
+        if (ht::crc32c(*sink) != crc) settled = false;
       }
     }
     if (settled) break;
@@ -340,7 +701,34 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
     co_await core_.compute(opteron::kPollLoopOverhead);
   }
   settle_since_ = Picoseconds::zero();
-  const std::uint64_t slots = slots_for(len);
+  const std::uint64_t slots = packed ? slots_for_group(len) : slots_for(len);
+
+  // Decode a packed group BEFORE consuming its slots: the region passed the
+  // group CRC, so these bytes are exactly what the sender published — a
+  // malformed record run means a corrupt sender, and the cursors stay put
+  // (same contract as a settle expiry: only a reset above heals the ring).
+  std::deque<TaggedMessage> decoded;
+  if (packed) {
+    std::size_t off = 0;
+    while (off < len) {
+      std::uint32_t rtag = 0;
+      std::uint32_t rlen = 0;
+      std::size_t consumed = 0;
+      if (!parse_record(group.data() + off, len - off, &rtag, &rlen, &consumed)) {
+        co_return make_error(ErrorCode::kProtocolViolation,
+                             "packed group: malformed record");
+      }
+      const std::size_t data_at = off + consumed - rlen;
+      decoded.push_back(TaggedMessage{
+          rtag,
+          std::vector<std::uint8_t>(group.begin() + static_cast<std::ptrdiff_t>(data_at),
+                                    group.begin() + static_cast<std::ptrdiff_t>(data_at + rlen))});
+      off += consumed;
+    }
+    if (decoded.empty()) {
+      co_return make_error(ErrorCode::kProtocolViolation, "packed group: no records");
+    }
+  }
 
   // Free the slots ("It then has to overwrite the slot to free it", §IV.A):
   // zero every consumed slot's marker word so no stale sequence number can
@@ -352,16 +740,27 @@ sim::Task<Result<std::uint32_t>> MsgEndpoint::recv_impl(
 
   advance_seq(recv_seq_);
   recv_slots_ += slots;
-  ++stats_.messages_received;
-  stats_.bytes_received += len;
-  TCC_METRIC(msg_metrics().recvs.inc());
-  TCC_METRIC(msg_metrics().bytes_received.inc(len));
+
+  std::uint32_t served = 0;
+  if (packed) {
+    ++stats_.groups_received;
+    TCC_METRIC(msg_metrics().coalesce_groups_received.inc());
+    unpacked_ = std::move(decoded);
+    served = serve_unpacked(copy_out, tag_out);
+  } else {
+    if (tag_out != nullptr) *tag_out = marker_tag;
+    served = len;
+    ++stats_.messages_received;
+    stats_.bytes_received += len;
+    TCC_METRIC(msg_metrics().recvs.inc());
+    TCC_METRIC(msg_metrics().bytes_received.inc(len));
+  }
 
   // Periodic pointer exchange for flow control (§IV.A).
   if (recv_slots_ - acked_out_ >= kAckThreshold) {
     if (Status s = co_await flush_acks(); !s.ok()) co_return s.error();
   }
-  co_return len;
+  co_return served;
 }
 
 sim::Task<Result<std::vector<std::uint8_t>>> MsgEndpoint::recv(
@@ -387,6 +786,8 @@ sim::Task<Result<MsgEndpoint::TaggedMessage>> MsgEndpoint::recv_tagged(
 
 sim::Task<bool> MsgEndpoint::poll() {
   TCC_METRIC(msg_metrics().polls.inc());
+  // Decoded-but-unserved sub-messages count as waiting (and cost no load).
+  if (!unpacked_.empty()) co_return true;
   auto marker = co_await core_.load_u64(rx_slot_addr(recv_slots_));
   co_return marker.ok() && marker_matches(marker.value(), recv_seq_);
 }
@@ -414,6 +815,15 @@ sim::Task<Status> MsgEndpoint::reset_rx() {
   recv_seq_ = 1;
   recv_slots_ = 0;
   acked_out_ = 0;
+  // The settle clock must not survive the epoch: a stale timestamp from a
+  // message interrupted mid-settle would otherwise charge the FIRST slot of
+  // the new epoch with pre-reset waiting time and could trip the kSlotSettle
+  // expiry on a perfectly healthy message.
+  settle_since_ = Picoseconds::zero();
+  settle_seq_ = 0;
+  // Sub-messages decoded but never handed up were never acknowledged above
+  // the raw layer either — drop them; the reliable layer replays them.
+  unpacked_.clear();
   // Republish a zero slots-consumed ack. Ordered ahead of any later epoch
   // publish on the same posted path, so the peer never resumes sending
   // against a stale credit count.
@@ -426,6 +836,21 @@ void MsgEndpoint::reset_tx() {
   send_seq_ = 1;
   send_slots_ = 0;
   acked_slots_cache_ = 0;
+  // Anything still staged was composed against the dead epoch's cursors;
+  // drop it (a reliability layer replays from its own buffer, and a raw
+  // user accepted posted-write semantics when it enabled coalescing).
+  stage_.clear();
+  stage_msgs_ = 0;
+  stage_payload_bytes_ = 0;
+  if (stage_timer_armed_) {
+    (void)core_.engine().cancel(stage_timer_);
+    stage_timer_armed_ = false;
+  }
+  // Belt and braces for the settle clock (its home reset is reset_rx): the
+  // epoch handshake always pairs the two hooks, and a reset_tx-only caller
+  // must not inherit a stale settle timestamp either.
+  settle_since_ = Picoseconds::zero();
+  settle_seq_ = 0;
 }
 
 sim::Task<Status> MsgEndpoint::put(const RemoteWindow& window, std::uint64_t offset,

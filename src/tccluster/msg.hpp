@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -43,6 +44,10 @@ struct MsgStats {
   std::uint64_t acks_sent = 0;
   std::uint64_t credit_stalls = 0;  ///< times send() had to wait for credits
   std::uint64_t timeouts = 0;       ///< deadline expiries in send()/recv()
+  std::uint64_t groups_sent = 0;        ///< packed line-groups published
+  std::uint64_t groups_received = 0;    ///< packed line-groups decoded
+  std::uint64_t messages_packed = 0;    ///< sub-messages that rode in a group
+  std::uint64_t backoff_sleeps = 0;     ///< poll-backoff sleeps on an idle ring
 };
 
 /// Slot wire format. EVERY slot begins with an 8-byte marker word: the low
@@ -80,6 +85,41 @@ struct MsgSlot {
   static constexpr std::uint64_t kNextPayload = kSlotBytes - kMarkerSize;   // 56
   /// Low half of the marker word: the sequence number on the wire.
   static constexpr std::uint64_t kSeqMask = 0xffffffffull;
+
+  // ---- packed line-groups (doorbell coalescing) ---------------------------
+  // A GROUP packs several small messages into one slot-level message so they
+  // share a single sequence number, a single validation pass, and a SINGLE
+  // marker word — the doorbell. Group slot layout is denser than a plain
+  // message's: only the first slot carries the marker/len/CRC header; every
+  // later slot is a full 64 bytes of region, so an 8-byte message stops
+  // paying a whole slot. The sender writes the region body FIRST and the
+  // first slot's marker word LAST: the WC unit dispatches full lines on
+  // completion and drains the rest in allocation order, so on the in-order
+  // posted channel the doorbell is always the final write of the group —
+  // doorbell-visible implies region-visible even across WC evictions. The
+  // inverted-CRC len word (kPackedLenFlag set) and the kSlotSettle re-poll
+  // discipline from PR 4 still guard the fault-injected case where the
+  // region was corrupted in flight.
+  //
+  // The region is a run of records: a u16 header (low 12 bits = payload
+  // length, bit 15 = "u32 tag follows", bits 12-14 reserved zero), the
+  // optional tag, then the payload. Untagged records cost 2 bytes; tagged
+  // ones (tcrel's header channel) cost 6 — per-record tags keep the
+  // marker-tag metadata channel working per sub-message even though the
+  // group's own marker tag is spent.
+  static constexpr std::uint32_t kPackedLenFlag = 0x80000000u;
+  static constexpr std::uint32_t kLenMask = 0x7fffffffu;
+  static constexpr std::uint64_t kGroupNextPayload = kSlotBytes;  // 64
+  static constexpr std::uint32_t kRecordBase = 2;    // u16 header
+  static constexpr std::uint32_t kRecordTag = 4;     // optional u32 tag
+  static constexpr std::uint16_t kRecordLenMask = 0x0fff;
+  static constexpr std::uint16_t kRecordTagFlag = 0x8000;
+  static constexpr std::uint16_t kRecordReserved = 0x7000;  // must be zero
+
+  /// Region bytes one record occupies.
+  static constexpr std::uint32_t record_bytes(std::uint32_t tag, std::uint32_t len) {
+    return kRecordBase + (tag != 0 ? kRecordTag : 0) + len;
+  }
 };
 
 /// Largest single message: 48 bytes in the first slot, 56 in each of the
@@ -99,10 +139,23 @@ inline constexpr std::uint64_t kAckThreshold = 16;
 /// sync) before the sender's ACK-stall strikes would.
 inline constexpr Picoseconds kSlotSettle = Picoseconds::from_us(20.0);
 
+/// Adaptive receiver polling. A marker poll is a ~60 ns uncacheable load; a
+/// receiver camped on an idle ring burns memory bandwidth for nothing. The
+/// receive loop spins flat-out for kPollSpinPolls misses (a message already
+/// in flight is detected at full speed), then backs off exponentially from
+/// kPollBackoffStart to kPollBackoffMax between loads. The cap is kept well
+/// under a round-trip so the first message after an idle stretch pays at
+/// most a few hundred ns of detection delay while the idle ring costs ~6x
+/// fewer UC reads.
+inline constexpr int kPollSpinPolls = 32;
+inline constexpr Picoseconds kPollBackoffStart = Picoseconds::from_ns(50.0);
+inline constexpr Picoseconds kPollBackoffMax = Picoseconds::from_ns(400.0);
+
 class MsgEndpoint {
  public:
   MsgEndpoint(TcDriver& driver, opteron::Core& core, int peer_chip,
               RingChannel channel = RingChannel::kApp);
+  ~MsgEndpoint();
 
   MsgEndpoint(const MsgEndpoint&) = delete;
   MsgEndpoint& operator=(const MsgEndpoint&) = delete;
@@ -126,6 +179,52 @@ class MsgEndpoint {
   /// Send arbitrarily large data by segmenting into ring messages.
   [[nodiscard]] sim::Task<Status> send_bytes(std::span<const std::uint8_t> payload,
                                              OrderingMode mode = OrderingMode::kWeaklyOrdered);
+
+  // ---- packed line-groups (see MsgSlot) -----------------------------------
+
+  /// One sub-message of a packed group; `tag` is delivered through
+  /// recv_tagged() exactly as a plain send's marker tag would be.
+  struct PackedItem {
+    std::span<const std::uint8_t> payload;
+    std::uint32_t tag = 0;
+  };
+
+  /// Largest packed-region a single group can carry (record headers count).
+  /// Denser than kMaxMessageBytes: interior group slots have no marker.
+  static constexpr std::uint32_t kMaxGroupBytes = static_cast<std::uint32_t>(
+      MsgSlot::kFirstPayload + (kDataSlots - 1) * MsgSlot::kGroupNextPayload);
+
+  /// Publish `items` as ONE packed line-group: one sequence number, one
+  /// credit acquisition (all-or-nothing), one closing sfence. The receiver
+  /// unpacks transparently — each item surfaces as its own recv()/
+  /// recv_tagged() result, in order. Refused whole (no partial publish) on
+  /// a deadline, so a reliability layer can keep its retransmit accounting
+  /// message-exact.
+  [[nodiscard]] sim::Task<Status> send_packed(
+      std::span<const PackedItem> items,
+      OrderingMode mode = OrderingMode::kWeaklyOrdered,
+      std::optional<Picoseconds> deadline = std::nullopt);
+
+  /// Sender-side auto-coalescing: when enabled, small send()s stage locally
+  /// and go out as packed groups when the stage fills, an ineligible (large)
+  /// send needs ordering, flush_coalesce() is called, or the one-shot stage
+  /// timer fires. A staged send() returns OK at acceptance (posted-write
+  /// semantics — same contract a WC buffer already imposes on plain sends);
+  /// a flush failure surfaces on the next send()/flush_coalesce().
+  struct CoalesceConfig {
+    bool enabled = false;
+    std::uint32_t eligible_bytes = 192;    ///< only payloads <= this stage
+    std::uint32_t max_group_bytes = 1024;  ///< flush when the region hits this
+    std::uint32_t max_group_msgs = 16;     ///< flush at this many staged msgs
+    Picoseconds flush_delay = Picoseconds::from_ns(300.0);  ///< stage timer
+  };
+  void set_coalesce(const CoalesceConfig& cfg) { coalesce_ = cfg; }
+  [[nodiscard]] const CoalesceConfig& coalesce() const { return coalesce_; }
+
+  /// Publish the staged group now (no-op on an empty stage). Returns the
+  /// sticky error of a failed timer flush, if one happened.
+  [[nodiscard]] sim::Task<Status> flush_coalesce(
+      std::optional<Picoseconds> deadline = std::nullopt);
 
   /// Blocking receive with payload copy + CRC check. With a `deadline`
   /// (absolute simulated time), returns kTimeout once it passes with no
@@ -152,6 +251,11 @@ class MsgEndpoint {
 
   /// True if a complete message is waiting (single header probe, no block).
   [[nodiscard]] sim::Task<bool> poll();
+
+  /// Sub-messages decoded from a packed group but not yet served — a
+  /// host-side check (no loads). A reliability layer uses it as the "burst
+  /// still draining" signal for ACK batching.
+  [[nodiscard]] std::size_t unpacked_pending() const { return unpacked_.size(); }
 
   /// One-sided put into a window previously mapped with TcDriver::map_remote
   /// (the rendezvous path of §IV.A). Completion is local: data is in flight,
@@ -206,6 +310,23 @@ class MsgEndpoint {
   [[nodiscard]] PhysAddr tx_slot_addr(std::uint64_t logical_slot) const;
   [[nodiscard]] PhysAddr rx_slot_addr(std::uint64_t logical_slot) const;
 
+  /// Slot-level send shared by send() and the packed paths; `packed` sets
+  /// MsgSlot::kPackedLenFlag in the length word.
+  [[nodiscard]] sim::Task<Status> send_frame(std::span<const std::uint8_t> payload,
+                                             OrderingMode mode,
+                                             std::optional<Picoseconds> deadline,
+                                             std::uint32_t tag, bool packed);
+
+  /// Publish the current stage as a packed group; caller checked non-empty.
+  [[nodiscard]] sim::Task<Status> flush_stage(std::optional<Picoseconds> deadline);
+
+  /// Arm the one-shot stage-flush timer (no-op if armed).
+  void arm_stage_timer();
+
+  /// Pop the head of the unpack queue into the caller's buffers.
+  std::uint32_t serve_unpacked(std::vector<std::uint8_t>* copy_out,
+                               std::uint32_t* tag_out);
+
   /// Store a byte range with the chosen ordering (per-line fences if strict).
   [[nodiscard]] sim::Task<Status> ordered_store(PhysAddr addr,
                                                 std::span<const std::uint8_t> bytes,
@@ -242,9 +363,28 @@ class MsgEndpoint {
   /// Partial-visibility settle clock: when the message at recv_seq_ first
   /// looked incomplete past its marker (zero = not waiting). Persists across
   /// recv calls — the reliable layer polls in sub-microsecond slices, far
-  /// shorter than kSlotSettle.
+  /// shorter than kSlotSettle — and is cleared by the epoch reset hooks so a
+  /// pre-reset timestamp can never expire a slot of the new epoch.
   Picoseconds settle_since_ = Picoseconds::zero();
   std::uint64_t settle_seq_ = 0;
+
+  /// Sub-messages decoded from a packed group but not yet handed to a
+  /// caller. Served in order ahead of any ring poll (zero UC loads per
+  /// queued message). Dropped by reset_rx() — an undelivered queue entry was
+  /// never acked above the raw layer, so a reliability layer replays it.
+  std::deque<TaggedMessage> unpacked_;
+
+  // Auto-coalescing stage: flattened packed-region bytes (records already
+  // framed) awaiting publication as one group.
+  CoalesceConfig coalesce_;
+  std::vector<std::uint8_t> stage_;
+  std::uint32_t stage_msgs_ = 0;
+  std::uint64_t stage_payload_bytes_ = 0;
+  Status stage_error_;  ///< sticky failure of a timer-driven flush
+  bool stage_timer_armed_ = false;
+  sim::TimerHandle stage_timer_;
+  /// Liveness token for the detached stage-timer task.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
   MsgStats stats_;
 };

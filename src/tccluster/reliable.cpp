@@ -35,6 +35,16 @@ struct RelMetrics {
       "tccluster.rel.epoch_bumps");
   telemetry::Counter& flushed =
       telemetry::MetricsRegistry::global().counter("tccluster.rel.flushed");
+  // Batched cumulative-ACK publication.
+  telemetry::Counter& ack_batch_published = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.ack_batch.published");
+  telemetry::Counter& ack_batch_deferred = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.ack_batch.deferred");
+  telemetry::Histogram& ack_batch_size = telemetry::MetricsRegistry::global().histogram(
+      "tccluster.rel.ack_batch.size");
+  // Packed line-groups handed to the raw ring by the drain path.
+  telemetry::Counter& groups_sent = telemetry::MetricsRegistry::global().counter(
+      "tccluster.rel.groups_sent");
 };
 
 RelMetrics& rel_metrics() {
@@ -155,24 +165,77 @@ sim::Task<bool> ReliableEndpoint::transmit(std::uint64_t seq, MsgKind kind,
   co_return s.ok();
 }
 
+sim::Task<bool> ReliableEndpoint::transmit_group(const std::vector<Pending>& run) {
+  // Caller holds tx_mutex_. Same piggyback-ACK rule as transmit() — the
+  // group's closing sfence commits the ACK word with it.
+  if (delivered_ != acked_out_ &&
+      (!ack_timer_armed_ || delivered_ - acked_out_ >= cfg_.ack_threshold)) {
+    const std::uint64_t ack = delivered_;
+    Status s = co_await core_.store_u64(ack_out_, ack);
+    if (s.ok()) acked_out_ = ack;
+  }
+  // Each record carries its own rel header in its record tag, so the peer's
+  // demux sees the same per-message metadata a plain transmit carries; the
+  // group-level marker tag stays internal to the raw layer. Tags are
+  // composed before the first suspension (the epoch must not move under
+  // them mid-build).
+  std::vector<MsgEndpoint::PackedItem> items;
+  items.reserve(run.size());
+  for (const Pending& p : run) {
+    items.push_back(MsgEndpoint::PackedItem{p.payload, make_tag(p.seq, MsgKind::kData)});
+  }
+  const Picoseconds give_up = core_.engine().now() + cfg_.raw_slice;
+  Status s = co_await raw_.send_packed(items, OrderingMode::kWeaklyOrdered, give_up);
+  if (s.ok()) {
+    ++stats_.groups_sent;
+    TCC_METRIC(rel_metrics().groups_sent.inc());
+  }
+  co_return s.ok();
+}
+
 sim::Task<void> ReliableEndpoint::drain_unsent() {
   while (!sync_pending_ && next_unsent_seq_ < next_send_seq_) {
     // Locate the pending entry (it may have vanished: kFlush clears, a
     // forced ACK refresh pops). The deque can shift while transmit()
     // suspends, so work from copies and re-derive state each round.
-    const Pending* p = nullptr;
-    for (const Pending& cand : buffer_) {
-      if (cand.seq == next_unsent_seq_) {
-        p = &cand;
-        break;
-      }
+    std::size_t idx = 0;
+    for (; idx < buffer_.size(); ++idx) {
+      if (buffer_[idx].seq == next_unsent_seq_) break;
     }
-    if (p == nullptr) {
+    if (idx == buffer_.size()) {
       ++next_unsent_seq_;
       continue;
     }
-    const std::uint64_t seq = p->seq;
-    const std::vector<std::uint8_t> payload = p->payload;
+    // A backlog is the throughput regime: collect the longest run of
+    // consecutive small unsent messages and hand it to the ring as one
+    // packed line-group — one doorbell and ~4x the slot density for tiny
+    // payloads. (The send() fast path still transmits a lone message
+    // directly, so the latency regime never waits for a group to form.)
+    std::vector<Pending> run;
+    if (cfg_.pack_eligible_bytes > 0) {
+      std::uint64_t region = 0;
+      std::uint64_t want = next_unsent_seq_;
+      for (std::size_t i = idx; i < buffer_.size(); ++i) {
+        const Pending& cand = buffer_[i];
+        if (cand.seq != want || cand.payload.size() > cfg_.pack_eligible_bytes) break;
+        // Rel records always carry a tag (the header channel), so each one
+        // costs the base + tag framing on top of its payload.
+        const std::uint64_t record =
+            MsgSlot::kRecordBase + MsgSlot::kRecordTag + cand.payload.size();
+        if (region + record > cfg_.pack_group_bytes) break;
+        region += record;
+        run.push_back(cand);
+        ++want;
+      }
+    }
+    if (run.size() >= 2) {
+      const std::uint64_t last_seq = run.back().seq;
+      if (!co_await transmit_group(run)) break;
+      next_unsent_seq_ = std::max(next_unsent_seq_, last_seq + 1);
+      continue;
+    }
+    const std::uint64_t seq = buffer_[idx].seq;
+    const std::vector<std::uint8_t> payload = buffer_[idx].payload;
     if (!co_await transmit(seq, MsgKind::kData, payload)) break;
     next_unsent_seq_ = std::max(next_unsent_seq_, seq + 1);
   }
@@ -187,7 +250,6 @@ sim::Task<Status> ReliableEndpoint::send(std::span<const std::uint8_t> payload,
   std::uint64_t seq = 0;
   bool accepted = false;
   for (;;) {
-    co_await progress();
     if (!accepted && buffer_.size() < cfg_.window) {
       auto g = co_await tx_mutex_.scoped();
       if (buffer_.size() < cfg_.window) {
@@ -207,6 +269,16 @@ sim::Task<Status> ReliableEndpoint::send(std::span<const std::uint8_t> payload,
         }
       }
     }
+    // Maintenance AFTER the transmit attempt, not before: on a fresh send
+    // the periodic uncacheable loads (peer ACK word, epoch word — ~60 ns
+    // each through the NB) would otherwise sit between the caller and the
+    // data store whenever the cadence has expired, which is exactly the
+    // request/response case (the delivering recv returns without a
+    // progress beat, and the app thinks for a while before replying).
+    // Running them here overlaps them with the message's flight time; the
+    // call still performs every duty before returning, so the per-call
+    // cadence the recovery machinery relies on is unchanged.
+    co_await progress();
     if (accepted) {
       // Acceptance guarantees delivery (kReplay), but do not return while
       // the message has never been handed to the ring: the sending
@@ -278,6 +350,11 @@ sim::Task<Result<std::vector<std::uint8_t>>> ReliableEndpoint::recv(
                 static_cast<std::uint32_t>(local_epoch_ & kTagEpochMask)) {
               ++stats_.stale_epoch_drops;
               TCC_METRIC(rel_metrics().stale_epoch_drops.inc());
+              // A stale frame is still a retransmission signal: without
+              // this, a receiver fed nothing but stale-epoch packets (CRC
+              // storm around a sync) never refreshes its ACK and the sender
+              // waits out its full ack_delay/stall clock.
+              co_await note_suppressed();
             } else if ((tag & kTagKindBit) != 0) {
               // kGapMark (kFlush sync): the peer discarded its buffer; the
               // payload is its (u64) next send seq — skip the flushed range.
@@ -297,14 +374,27 @@ sim::Task<Result<std::vector<std::uint8_t>>> ReliableEndpoint::recv(
                 ++stats_.delivered;
                 TCC_METRIC(rel_metrics().delivered.inc());
                 gap_streak_ = 0;
+                suppressed_since_ack_ = 0;
                 // ACK publication stays OFF the delivery fast path: the
                 // piggyback, the idle edge below, the threshold, and the
                 // delayed-ACK timer (for a caller that never recv()s again
                 // after the stream's last message) between them bound how
-                // long the peer's window stays charged.
+                // long the peer's window stays charged. While a packed
+                // burst is still draining out of the raw unpack queue the
+                // threshold publish is deferred too — the burst then costs
+                // ONE control-block write at its tail instead of one per
+                // ack_threshold — but never past ack_batch_limit.
                 arm_ack_timer();
-                if (delivered_ - acked_out_ >= cfg_.ack_threshold) {
+                const std::uint64_t deficit = delivered_ - acked_out_;
+                if (deficit >= cfg_.ack_batch_limit) {
                   co_await publish_ack();
+                } else if (deficit >= cfg_.ack_threshold) {
+                  if (raw_.unpacked_pending() == 0) {
+                    co_await publish_ack();
+                  } else {
+                    ++stats_.ack_deferrals;
+                    TCC_METRIC(rel_metrics().ack_batch_deferred.inc());
+                  }
                 }
                 co_return std::move(payload);
               }
@@ -312,11 +402,10 @@ sim::Task<Result<std::vector<std::uint8_t>>> ReliableEndpoint::recv(
                 // Behind the cursor: a replay raced the original delivery.
                 ++stats_.duplicates_dropped;
                 TCC_METRIC(rel_metrics().duplicates_dropped.inc());
-                // Force-republish the ACK word: a duplicate means the peer
-                // replayed, so our previous publish may have died on a dead
-                // link even though acked_out_ claims it went out.
-                acked_out_ = delivered_ + 1;  // poison the cache -> real store
-                co_await publish_ack();
+                // The peer replayed, so our previous ACK publish may have
+                // died on a dead link even though acked_out_ claims it went
+                // out — count toward the refresh opportunity.
+                co_await note_suppressed();
               } else {
                 // Ahead of the cursor: we missed a sync (our replayed copy
                 // is gone, e.g. both-sides reset raced). Count, and after a
@@ -624,11 +713,35 @@ void ReliableEndpoint::arm_ack_timer() {
   });
 }
 
+sim::Task<void> ReliableEndpoint::note_suppressed() {
+  // A suppressed (duplicate / stale-epoch) packet proves the peer is
+  // retransmitting: our cumulative ACK may never have landed. Republish on
+  // the FIRST suppressed packet since the last publish — recovery latency
+  // identical to republishing every time — then batch further ones up to
+  // ack_threshold, so a CRC-storm flood of duplicates does not pay a
+  // control store + sfence per packet.
+  ++suppressed_since_ack_;
+  const bool first = suppressed_since_ack_ == 1;
+  const bool batch = suppressed_since_ack_ >= cfg_.ack_threshold;
+  if (!first && !batch) co_return;
+  if (batch) suppressed_since_ack_ = 0;
+  acked_out_ = delivered_ + 1;  // poison the cache -> real store
+  co_await publish_ack();
+}
+
 sim::Task<void> ReliableEndpoint::publish_ack() {
   // Capture before suspending: a delivery that lands mid-publish must not be
   // marked acked without its value ever reaching the wire.
   const std::uint64_t value = delivered_;
   if (value == acked_out_) co_return;
+  // acked_out_ may be poisoned past value (forced republish); only a real
+  // advance counts as batch size.
+  TCC_METRIC({
+    if (value > acked_out_) {
+      rel_metrics().ack_batch_size.add(static_cast<double>(value - acked_out_));
+    }
+    rel_metrics().ack_batch_published.inc();
+  });
   Status s = co_await core_.store_u64(ack_out_, value);
   if (!s.ok()) co_return;
   (void)co_await core_.sfence();

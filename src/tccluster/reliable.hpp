@@ -91,6 +91,21 @@ struct RelConfig {
   /// Deliveries without a piggyback opportunity before a standalone ACK
   /// push (mirrors raw tcmsg's kAckThreshold).
   std::uint64_t ack_threshold = 8;
+  /// Batched-ACK hard cap: while a delivery burst is still draining (more
+  /// sub-messages decoded and queued at the raw layer), the ack_threshold
+  /// publish is deferred so the whole burst costs ONE control-block write —
+  /// but never past this many unacknowledged deliveries. Keep it below the
+  /// peer's window or a long burst could stall the sender mid-burst; the
+  /// delayed-ACK timer (ack_delay) bounds the deferral in time regardless.
+  std::uint64_t ack_batch_limit = 24;
+  /// Packed line-group coalescing in the transmit drain path: a run of
+  /// consecutive buffered messages each no larger than this is handed to
+  /// the raw ring as ONE group (one doorbell, one credit acquisition, one
+  /// sequence number at the slot level). Zero disables packing.
+  std::uint32_t pack_eligible_bytes = 256;
+  /// Cap on a packed group's region (record headers included). Bounds how
+  /// many ring credits one drain round can claim at once.
+  std::uint32_t pack_group_bytes = 1024;
   /// Delayed-ACK bound: every delivery arms a one-shot timer; if nothing
   /// else (piggyback, idle-edge push, threshold) has published the ACK by
   /// then, the timer does. Keeps the delivery fast path free of ACK stores
@@ -127,6 +142,8 @@ struct RelStats {
   std::uint64_t epoch_bumps = 0;         ///< syncs this endpoint participated in
   std::uint64_t flushed = 0;             ///< messages dropped by DeliveryPolicy::kFlush
   std::uint64_t acks_pushed = 0;         ///< standalone ACK word publishes
+  std::uint64_t ack_deferrals = 0;       ///< threshold publishes deferred mid-burst
+  std::uint64_t groups_sent = 0;         ///< packed line-groups handed to the ring
 };
 
 /// One entry of the bounded diagnostics log trace_export turns into
@@ -232,8 +249,22 @@ class ReliableEndpoint {
   [[nodiscard]] sim::Task<bool> transmit(std::uint64_t seq, MsgKind kind,
                                          std::span<const std::uint8_t> payload);
 
+  /// Raw-send a run of consecutive buffered messages as ONE packed
+  /// line-group (the copies are the caller's — the deque shifts across
+  /// suspensions). Caller holds the tx mutex. False on raw refusal, and the
+  /// whole group stays buffered (send_packed is all-or-nothing).
+  [[nodiscard]] sim::Task<bool> transmit_group(const std::vector<Pending>& run);
+
   /// Arm the one-shot delayed-ACK timer (no-op if already armed).
   void arm_ack_timer();
+
+  /// A duplicate or stale-epoch packet was suppressed: it is proof the peer
+  /// is retransmitting, i.e. our cumulative ACK may have died on the wire.
+  /// Counts toward the ACK-refresh opportunity check — the first suppressed
+  /// packet since the last publish republishes immediately, later ones
+  /// batch up to ack_threshold so a CRC-storm duplicate flood does not pay
+  /// a control store + sfence per packet.
+  [[nodiscard]] sim::Task<void> note_suppressed();
 
   /// Hand buffered-but-never-transmitted messages (seq >= next_unsent_seq_)
   /// to the raw ring in order, stopping at the first refusal. Caller holds
@@ -287,6 +318,7 @@ class ReliableEndpoint {
   // Receive state.
   std::uint64_t delivered_ = 0;
   std::uint64_t acked_out_ = 0;        ///< last published ACK value
+  std::uint64_t suppressed_since_ack_ = 0;  ///< dup/stale drops since a publish
   int gap_streak_ = 0;
   bool ack_timer_armed_ = false;
   sim::TimerHandle ack_timer_;  ///< pending delayed-ACK, cancellable

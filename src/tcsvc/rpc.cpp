@@ -278,6 +278,16 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcNode::call(
   if (!ps_result.ok()) co_return ps_result.error();
   PeerState* ps = ps_result.value();
 
+  // Admission check: a call whose deadline has already passed must not burn a
+  // credit and a retransmit-buffer slot to deliver a guaranteed expired drop.
+  if (engine.now() >= deadline) {
+    ++stats_.timeouts;
+    TCC_METRIC(detail::metrics().rpc_timeouts.inc());
+    record_span({peer, method, opts.channel, 0, start, engine.now(),
+                 ErrorCode::kTimeout, false, false});
+    co_return make_error(ErrorCode::kTimeout, "deadline expired at admission");
+  }
+
   // Acquire an outstanding-call credit; the deadline timer below doubles as
   // the bail-out wake-up so a starved caller never waits past its deadline.
   bool stalled = false;
@@ -300,6 +310,17 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcNode::call(
                    ErrorCode::kBackpressure, false, false});
       co_return make_error(ErrorCode::kBackpressure,
                            "no request credit before deadline");
+    }
+    if (engine.now() >= deadline) {
+      // A credit freed up exactly at (or after) the deadline boundary:
+      // admitting now would post a send whose tcrel deadline has already
+      // passed. Leave the credit for a live caller.
+      ++stats_.timeouts;
+      TCC_METRIC(detail::metrics().rpc_timeouts.inc());
+      record_span({peer, method, opts.channel, 0, start, engine.now(),
+                   ErrorCode::kTimeout, false, false});
+      co_return make_error(ErrorCode::kTimeout,
+                           "deadline expired while waiting for credit");
     }
   }
   (void)stalled;

@@ -9,8 +9,10 @@
 #include <cstring>
 #include <map>
 #include <set>
+#include <span>
 
 #include "common/rng.hpp"
+#include "ht/crc.hpp"
 #include "tccluster/cluster.hpp"
 
 namespace tcc::cluster {
@@ -196,6 +198,273 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(to_string(hc.shape)) + "_nx" + std::to_string(hc.nx) + "_f" +
              std::to_string(static_cast<int>(hc.fault_rate * 100));
     });
+
+// ---------------------------------------------------------------------------
+// Packed line-group decoder hostility: hand-crafted wire images pushed into
+// a receiver's ring must never validate a torn or malformed group. The
+// receiver's contract (msg.cpp recv_impl): a doorbell is an invitation, not
+// a commit — CRC + settle clock guard torn regions, and a region that
+// passes CRC but decodes to malformed records is a typed protocol
+// violation with the cursors untouched.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RawRing {
+  std::unique_ptr<TcCluster> cl;
+  MsgEndpoint* rx = nullptr;  // node 1's endpoint for peer 0 (kApp channel)
+  PhysAddr base;              // node 1's RX ring that node 0 writes into
+
+  [[nodiscard]] PhysAddr slot(std::uint64_t logical) const {
+    return base + kSlotBytes * (1 + logical % kDataSlots);
+  }
+};
+
+RawRing make_raw_ring() {
+  TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kCable;
+  o.topology.dram_per_chip = 32_MiB;
+  o.boot.model_code_fetch = false;
+  RawRing r;
+  r.cl = TcCluster::create(o).value();
+  r.cl->boot().expect("boot");
+  r.rx = r.cl->msg(1).connect(0).value();
+  r.base = r.cl->driver(1).ring(1, 0).base;
+  return r;
+}
+
+/// Store `bytes` at `addr` from node 0's core and push them onto the wire.
+sim::Task<void> inject(TcCluster& cl, PhysAddr addr,
+                       std::span<const std::uint8_t> bytes) {
+  opteron::Core& core = cl.core(0);
+  (co_await core.store_bytes(addr, bytes)).expect("inject store");
+  (co_await core.sfence()).expect("inject sfence");
+  co_await cl.machine().chip(0).nb().drain_outbound();
+  co_await cl.engine().delay(us(1));
+}
+
+/// First-slot header fields for a packed group claiming `region_len` bytes
+/// whose CRC was computed over `crc_bytes` (what the sender WOULD have
+/// written — for torn-group tests the two differ from what lands).
+std::vector<std::uint8_t> packed_lenword(std::uint32_t region_len,
+                                         std::span<const std::uint8_t> crc_bytes) {
+  const std::uint32_t wire_len = region_len | MsgSlot::kPackedLenFlag;
+  const std::uint32_t crc = ~ht::crc32c(crc_bytes);
+  std::vector<std::uint8_t> w(8);
+  std::memcpy(w.data(), &wire_len, 4);
+  std::memcpy(w.data() + 4, &crc, 4);
+  return w;
+}
+
+std::vector<std::uint8_t> marker_word(std::uint64_t seq, std::uint32_t tag = 0) {
+  const std::uint64_t marker = (static_cast<std::uint64_t>(tag) << 32) |
+                               (seq & MsgSlot::kSeqMask);
+  std::vector<std::uint8_t> w(8);
+  std::memcpy(w.data(), &marker, 8);
+  return w;
+}
+
+void append_raw_record(std::vector<std::uint8_t>& region, std::uint16_t hdr,
+                       std::uint32_t tag, std::span<const std::uint8_t> payload) {
+  const std::size_t at = region.size();
+  region.resize(at + 2);
+  std::memcpy(region.data() + at, &hdr, 2);
+  if ((hdr & MsgSlot::kRecordTagFlag) != 0) {
+    const std::size_t t = region.size();
+    region.resize(t + 4);
+    std::memcpy(region.data() + t, &tag, 4);
+  }
+  region.insert(region.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+TEST(PackedDecoderFuzz, TornGroupNeverValidatesAndSettleExpires) {
+  // A 2-slot group whose interior slot never lands: doorbell + header +
+  // first 48 region bytes are visible, the other 52 are still zeros. The
+  // group CRC (over the full intended region) cannot match, so the
+  // receiver must first wait out the settle clock (kTimeout on a short
+  // deadline), then, once kSlotSettle expires, report a typed protocol
+  // violation — never a delivery of torn bytes.
+  auto rig = make_raw_ring();
+  TcCluster& cl = *rig.cl;
+  bool done = false;
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    std::vector<std::uint8_t> region(100);
+    for (std::size_t i = 0; i < region.size(); ++i) {
+      region[i] = static_cast<std::uint8_t>(0x40 + i * 3);
+    }
+    const auto first_chunk = std::span<const std::uint8_t>(region).first(48);
+    co_await inject(cl, rig.slot(0) + MsgSlot::kLenOffset,
+                    packed_lenword(100, region));
+    co_await inject(cl, rig.slot(0) + MsgSlot::kHeaderSize, first_chunk);
+    // Interior slot (logical 1) deliberately never written.
+    co_await inject(cl, rig.slot(0), marker_word(1));
+
+    auto r1 = co_await rig.rx->recv(cl.engine().now() + us(5));
+    EXPECT_FALSE(r1.ok());
+    if (r1.ok()) co_return;
+    EXPECT_EQ(r1.error().code, ErrorCode::kTimeout)
+        << "a torn group inside the settle window is a wait, not an error";
+
+    auto r2 = co_await rig.rx->recv(cl.engine().now() + us(30));
+    EXPECT_FALSE(r2.ok());
+    if (r2.ok()) co_return;
+    EXPECT_EQ(r2.error().code, ErrorCode::kProtocolViolation)
+        << "a group torn past kSlotSettle must surface as ring corruption";
+    done = true;
+  });
+  cl.engine().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.rx->stats().messages_received, 0u);
+  EXPECT_EQ(rig.rx->stats().groups_received, 0u);
+}
+
+TEST(PackedDecoderFuzz, MalformedRecordRunsAreTypedViolations) {
+  // Regions that pass the group CRC (the sender really published these
+  // bytes) but decode to malformed record runs: nonzero reserved header
+  // bits, a tag flag with a zero tag, a payload overrunning the region,
+  // and an empty region. Each must be kProtocolViolation — and the
+  // cursors must stay put (a second recv sees the same poison, it does
+  // not skip ahead).
+  const std::uint8_t body[4] = {0xaa, 0xbb, 0xcc, 0xdd};
+  std::vector<std::vector<std::uint8_t>> regions;
+  {
+    std::vector<std::uint8_t> reserved;
+    append_raw_record(reserved, static_cast<std::uint16_t>(0x1000 | 4), 0, body);
+    regions.push_back(reserved);
+
+    std::vector<std::uint8_t> zero_tag;
+    append_raw_record(zero_tag, static_cast<std::uint16_t>(0x8000 | 4), 0, body);
+    regions.push_back(zero_tag);
+
+    std::vector<std::uint8_t> overrun;
+    append_raw_record(overrun, static_cast<std::uint16_t>(40), 0, body);  // claims 40
+    regions.push_back(overrun);
+
+    regions.emplace_back();  // empty region: "no records"
+  }
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    const auto& region = regions[i];
+    auto rig = make_raw_ring();
+    TcCluster& cl = *rig.cl;
+    bool done = false;
+    cl.engine().spawn_fn([&]() -> sim::Task<void> {
+      if (!region.empty()) {
+        co_await inject(cl, rig.slot(0) + MsgSlot::kHeaderSize, region);
+      }
+      co_await inject(cl, rig.slot(0) + MsgSlot::kLenOffset,
+                      packed_lenword(static_cast<std::uint32_t>(region.size()), region));
+      co_await inject(cl, rig.slot(0), marker_word(1));
+
+      auto r1 = co_await rig.rx->recv(cl.engine().now() + us(5));
+      EXPECT_FALSE(r1.ok()) << "variant " << i;
+      if (r1.ok()) co_return;
+      EXPECT_EQ(r1.error().code, ErrorCode::kProtocolViolation) << "variant " << i;
+      // Cursors untouched: the same malformed group is still at the head.
+      auto r2 = co_await rig.rx->recv(cl.engine().now() + us(5));
+      EXPECT_FALSE(r2.ok()) << "variant " << i;
+      if (r2.ok()) co_return;
+      EXPECT_EQ(r2.error().code, ErrorCode::kProtocolViolation) << "variant " << i;
+      done = true;
+    });
+    cl.engine().run();
+    EXPECT_TRUE(done) << "variant " << i;
+    EXPECT_EQ(rig.rx->stats().messages_received, 0u) << "variant " << i;
+  }
+}
+
+TEST(PackedDecoderFuzz, DoorbellBeforeBodySettlesAndDelivers) {
+  // The pathological flush order: the doorbell lands FIRST (the wire can
+  // never produce this — the sender stores it last on an in-order channel —
+  // but a hostile/buggy peer could). The receiver must treat the doorbell
+  // as an invitation, re-poll under the settle clock, and deliver intact
+  // once the region arrives within kSlotSettle.
+  auto rig = make_raw_ring();
+  TcCluster& cl = *rig.cl;
+  std::vector<std::uint8_t> region;
+  const std::uint8_t p1[6] = {1, 2, 3, 4, 5, 6};
+  const std::uint8_t p2[3] = {7, 8, 9};
+  append_raw_record(region, static_cast<std::uint16_t>(0x8000 | 6), 0x5150, p1);
+  append_raw_record(region, static_cast<std::uint16_t>(3), 0, p2);
+  bool done = false;
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    co_await inject(cl, rig.slot(0), marker_word(1));  // doorbell first!
+    co_await cl.engine().delay(us(5));                 // well inside kSlotSettle
+    co_await inject(cl, rig.slot(0) + MsgSlot::kHeaderSize, region);
+    co_await inject(cl, rig.slot(0) + MsgSlot::kLenOffset,
+                    packed_lenword(static_cast<std::uint32_t>(region.size()), region));
+    done = true;
+  });
+  std::vector<MsgEndpoint::TaggedMessage> got;
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 2; ++i) {
+      auto r = co_await rig.rx->recv_tagged(cl.engine().now() + us(50));
+      EXPECT_TRUE(r.ok());
+      if (!r.ok()) co_return;
+      got.push_back(std::move(r.value()));
+    }
+  });
+  cl.engine().run();
+  EXPECT_TRUE(done);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].tag, 0x5150u);
+  EXPECT_EQ(got[0].bytes, std::vector<std::uint8_t>(p1, p1 + 6));
+  EXPECT_EQ(got[1].tag, 0u);
+  EXPECT_EQ(got[1].bytes, std::vector<std::uint8_t>(p2, p2 + 3));
+  EXPECT_EQ(rig.rx->stats().groups_received, 1u);
+}
+
+TEST(PackedDecoderFuzz, WarmResetMidSettleDoesNotExpireTheNextEpoch) {
+  // Regression: the settle clock (settle_since_/settle_seq_) must be
+  // cleared by the epoch reset hooks. Sequence: a marker-only (partial)
+  // message arms the clock; the endpoint sits past kSlotSettle WITHOUT
+  // polling (no recv call, so nothing expires it); a warm reset_rx() then
+  // rewinds the ring — and the first partial-looking message of the NEW
+  // epoch must get a fresh settle window, not inherit the stale timestamp
+  // and violate instantly.
+  auto rig = make_raw_ring();
+  TcCluster& cl = *rig.cl;
+  bool done = false;
+  cl.engine().spawn_fn([&]() -> sim::Task<void> {
+    co_await inject(cl, rig.slot(0), marker_word(1));  // partial: marker only
+    auto r1 = co_await rig.rx->recv(cl.engine().now() + us(5));
+    EXPECT_FALSE(r1.ok());
+    if (r1.ok()) co_return;
+    EXPECT_EQ(r1.error().code, ErrorCode::kTimeout);  // clock armed, waiting
+
+    // Sit out more than kSlotSettle with no receiver activity, then warm-
+    // reset the ring (what tcrel's epoch sync does to heal corruption).
+    co_await cl.engine().delay(us(30));
+    (co_await rig.rx->reset_rx()).expect("reset_rx");
+
+    // New epoch, same story: a marker lands, body not yet. A stale settle
+    // timestamp from before the reset would expire this message instantly.
+    co_await inject(cl, rig.slot(0), marker_word(1));
+    auto r2 = co_await rig.rx->recv(cl.engine().now() + us(5));
+    EXPECT_FALSE(r2.ok());
+    if (r2.ok()) co_return;
+    EXPECT_EQ(r2.error().code, ErrorCode::kTimeout)
+        << "reset_rx must clear the settle clock: " << r2.error().to_string();
+
+    // Complete the message; it must deliver normally.
+    const std::uint8_t payload[8] = {9, 9, 2, 2, 5, 5, 7, 7};
+    const std::uint32_t len = 8;
+    const std::uint32_t crc = ~ht::crc32c(payload);
+    std::vector<std::uint8_t> lenword(8);
+    std::memcpy(lenword.data(), &len, 4);
+    std::memcpy(lenword.data() + 4, &crc, 4);
+    co_await inject(cl, rig.slot(0) + MsgSlot::kHeaderSize, payload);
+    co_await inject(cl, rig.slot(0) + MsgSlot::kLenOffset, lenword);
+    auto r3 = co_await rig.rx->recv(cl.engine().now() + us(50));
+    EXPECT_TRUE(r3.ok());
+    if (!r3.ok()) co_return;
+    EXPECT_EQ(r3.value(), std::vector<std::uint8_t>(payload, payload + 8));
+    done = true;
+  });
+  cl.engine().run();
+  EXPECT_TRUE(done);
+}
 
 // ---------------------------------------------------------------------------
 // Fault-schedule determinism: the per-wire fault streams are derived from

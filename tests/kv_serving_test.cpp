@@ -206,6 +206,60 @@ TEST(Rpc, CreditExhaustionIsTypedBackpressure) {
   EXPECT_EQ(client.stats().backpressure, 1u);
 }
 
+TEST(Rpc, ExpiredDeadlineFailsAtAdmissionWithoutWireTraffic) {
+  // Regression: a call whose deadline has ALREADY passed at admission must
+  // fail typed (kTimeout) before consuming a request credit or posting
+  // anything onto the wire — an expired request is a guaranteed drop at the
+  // server, so transmitting it only burns ring slots and a retransmit-
+  // buffer entry.
+  auto cl = make_cable();
+  sim::Engine& engine = cl->engine();
+  tcsvc::RpcConfig cfg;
+  cfg.request_credits = 1;  // a leaked credit would starve the follow-up call
+  tcsvc::RpcNode server(*cl, 1);
+  tcsvc::RpcNode client(*cl, 0, cfg);
+  server.handle(7, [](const tcsvc::RpcContext&, std::span<const std::uint8_t> b)
+                       -> sim::Task<Result<std::vector<std::uint8_t>>> {
+    co_return std::vector<std::uint8_t>(b.begin(), b.end());
+  });
+  std::array<int, 1> client_peer = {0};
+  server.start(client_peer).expect("server start");
+
+  bool done = false;
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    co_await engine.delay(Picoseconds::from_us(2.0));
+    auto* wire = cl->rel(0).connect(1).value();  // the client's rel endpoint
+    const std::uint64_t sent_before = wire->stats().sent;
+
+    tcsvc::CallOptions opts;
+    opts.deadline = engine.now() - Picoseconds::from_us(1.0);  // already past
+    auto r = co_await client.call(1, 7, bytes_of("dead"), opts);
+    EXPECT_FALSE(r.ok());
+    if (r.ok()) co_return;
+    EXPECT_EQ(r.error().code, ErrorCode::kTimeout);
+    EXPECT_EQ(wire->stats().sent, sent_before)
+        << "an expired-at-admission call must post nothing onto the wire";
+
+    // The only credit must still be free: a live call goes straight through.
+    auto ok = co_await client.call(1, 7, bytes_of("alive"));
+    EXPECT_TRUE(ok.ok()) << (ok.ok() ? "" : ok.error().to_string());
+    if (ok.ok()) { EXPECT_EQ(ok.value(), bytes_of("alive")); }
+    EXPECT_GT(wire->stats().sent, sent_before)
+        << "sanity: the live call must flow through the observed endpoint";
+
+    done = true;
+    server.stop();
+    client.stop();
+  });
+  cl->engine().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(client.stats().calls, 2u);
+  EXPECT_EQ(client.stats().timeouts, 1u);
+  EXPECT_EQ(client.stats().credit_stalls, 0u)
+      << "the expired call must be refused before the credit gate, not in it";
+  EXPECT_EQ(server.stats().requests_served, 1u);
+}
+
 // ------------------------------------------------------------------- KV --
 
 struct ServingRig {

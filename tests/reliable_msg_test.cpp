@@ -229,6 +229,67 @@ TEST(TcRel, BackpressuredBurstsDrainInStrictSeqOrder) {
       << "the backlog must move via drain_unsent(), not stall resends";
 }
 
+TEST(TcRel, SuppressedDuplicateRepublishesASwallowedAck) {
+  // Regression: a receiver whose ACK publish died on a dead link believes
+  // it acked (the posted store "succeeds" locally, acked_out_ advances) and
+  // every later publish path is gated on delivered_ != acked_out_. The
+  // sender's stall resends then arrive as duplicates — dropped — and only
+  // note_suppressed() (a suppressed packet counts toward the ACK refresh)
+  // can break the livelock. Timeline: the message lands in the receiver's
+  // raw ring BEFORE the blackout; the receiver only starts recv()ing INSIDE
+  // it, so the delivery comes out of local memory but every ACK publish
+  // (idle edge, delayed-ACK timer) dies on the dead link; the first stall
+  // resend lands after the link heals.
+  RelConfig rel;
+  // The first stall resend must hit a LIVE link: past the blackout AND the
+  // 5 us retrain (ht::kRetrainLatency) that follows it — a resend posted
+  // into a training link is dropped at the egress and leaves a ring hole
+  // only an epoch sync could heal, which this test deliberately disables.
+  rel.stall_timeout = Picoseconds::from_us(15.0);
+  rel.stall_sync_strikes = 1 << 20;  // an epoch sync must not mask the fix
+  auto cl = make_cluster(rel);
+  auto* tx = cl->rel(0).connect(1).expect("connect 0->1");
+  auto* rx = cl->rel(1).connect(0).expect("connect 1->0");
+  sim::Engine& eng = cl->engine();
+  bool flushed = false;
+  std::uint64_t extra_deliveries = 0;
+
+  eng.spawn_fn([&, tx]() -> sim::Task<void> {
+    (co_await tx->send(u64_payload(1))).expect("send before the blackout");
+    FaultEvent ev;  // kLinkDown: swallows every receiver ACK store
+    ev.at = eng.now() + Picoseconds::from_us(0.5);
+    ev.duration = Picoseconds::from_us(6.0);
+    ev.link = 0;
+    cl->inject(ev).expect("inject");
+    (co_await tx->flush(eng.now() + Picoseconds::from_us(200.0)))
+        .expect("flush must complete: the duplicate-triggered ACK refresh");
+    flushed = true;
+  });
+  eng.spawn_fn([&, rx]() -> sim::Task<void> {
+    co_await eng.delay(Picoseconds::from_us(2.0));  // wake inside the blackout
+    auto first = co_await rx->recv(eng.now() + Picoseconds::from_us(5.0));
+    first.expect("the delivery comes out of the local ring");
+    EXPECT_EQ(u64_of(first.value()), 1u);
+    // Keep pumping: the stall resend must be suppressed as a duplicate
+    // (never re-delivered), and its suppression must republish the ACK.
+    while (!flushed && eng.now() < Picoseconds::from_us(500.0)) {
+      auto r = co_await rx->recv(eng.now() + Picoseconds::from_us(5.0));
+      if (r.ok()) ++extra_deliveries;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(flushed) << "sender stuck: suppressed duplicates never "
+                          "refreshed the swallowed ACK";
+  EXPECT_EQ(extra_deliveries, 0u) << "a resend was re-delivered";
+  EXPECT_EQ(rx->stats().delivered, 1u);
+  EXPECT_GT(tx->stats().retransmits, 0u) << "the stall detector must have fired";
+  EXPECT_GT(rx->stats().duplicates_dropped, 0u)
+      << "the resend must have arrived as a duplicate";
+  EXPECT_EQ(tx->epoch(), 0u) << "recovery must come from the ACK refresh, "
+                                "not an epoch sync";
+  EXPECT_EQ(tx->unacked(), 0u);
+}
+
 TEST(TcRel, EpochSyncHealsARingHoleAfterBlackout) {
   // A message posted into a dead link is dropped at the egress, leaving a
   // hole in the raw ring that no resend can fill (resends land in later

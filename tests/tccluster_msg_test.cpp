@@ -321,6 +321,204 @@ TEST_F(CableCluster, WireTraceShowsTheRingProtocol) {
             cluster->driver(0).ring(0, 1).base.value());
 }
 
+// ---- packed line-groups & doorbell coalescing (see MsgSlot in msg.hpp) ----
+
+TEST_F(CableCluster, SendPackedDeliversTaggedSubMessagesInOrder) {
+  auto* tx = cluster->msg(0).connect(1).value();
+  auto* rx = cluster->msg(1).connect(0).value();
+  const auto a = pattern(16, 1);
+  const auto b = pattern(40, 2);
+  const auto c = pattern(8, 3);
+  const std::vector<MsgEndpoint::PackedItem> items = {
+      {a, 0x1111}, {b, 0}, {c, 0x3333}};  // tag 0 = untagged record
+
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    (co_await tx->send_packed(items)).expect("send_packed");
+  });
+  std::vector<MsgEndpoint::TaggedMessage> got;
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      auto r = co_await rx->recv_tagged();
+      EXPECT_TRUE(r.ok());
+      if (!r.ok()) co_return;
+      got.push_back(std::move(r.value()));
+    }
+  });
+  cluster->engine().run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].tag, 0x1111u);
+  EXPECT_EQ(got[0].bytes, a);
+  EXPECT_EQ(got[1].tag, 0u);
+  EXPECT_EQ(got[1].bytes, b);
+  EXPECT_EQ(got[2].tag, 0x3333u);
+  EXPECT_EQ(got[2].bytes, c);
+  // One group on the wire, three application messages through it.
+  EXPECT_EQ(tx->stats().groups_sent, 1u);
+  EXPECT_EQ(tx->stats().messages_packed, 3u);
+  EXPECT_EQ(tx->stats().messages_sent, 3u);
+  EXPECT_EQ(rx->stats().groups_received, 1u);
+  EXPECT_EQ(rx->stats().messages_received, 3u);
+}
+
+TEST_F(CableCluster, CoalescingStagesSmallSendsIntoOneGroup) {
+  auto* tx = cluster->msg(0).connect(1).value();
+  auto* rx = cluster->msg(1).connect(0).value();
+  MsgEndpoint::CoalesceConfig cc;
+  cc.enabled = true;
+  cc.max_group_msgs = 8;
+  tx->set_coalesce(cc);
+
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (std::uint8_t i = 0; i < 8; ++i) sent.push_back(pattern(16, i));
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    // The 8th staged send hits max_group_msgs and flushes the full group.
+    for (const auto& p : sent) (co_await tx->send(p)).expect("send");
+    (co_await tx->flush_coalesce()).expect("flush_coalesce");
+  });
+  std::vector<std::vector<std::uint8_t>> got;
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      auto r = co_await rx->recv();
+      EXPECT_TRUE(r.ok());
+      if (!r.ok()) co_return;
+      got.push_back(std::move(r.value()));
+    }
+  });
+  cluster->engine().run();
+  EXPECT_EQ(got, sent) << "coalescing must preserve payloads and order";
+  EXPECT_EQ(tx->stats().groups_sent, 1u);
+  EXPECT_EQ(tx->stats().messages_packed, 8u);
+  EXPECT_EQ(rx->stats().groups_received, 1u);
+  EXPECT_EQ(rx->stats().messages_received, 8u);
+}
+
+TEST_F(CableCluster, CoalesceStageTimerFlushesALoneStrayMessage) {
+  auto* tx = cluster->msg(0).connect(1).value();
+  auto* rx = cluster->msg(1).connect(0).value();
+  MsgEndpoint::CoalesceConfig cc;
+  cc.enabled = true;
+  tx->set_coalesce(cc);
+  const auto payload = pattern(24, 9);
+
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    // One small send stages and returns; NOBODY flushes explicitly. The
+    // one-shot stage timer must publish it within flush_delay.
+    (co_await tx->send(payload)).expect("send");
+  });
+  std::vector<std::uint8_t> got;
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    auto r = co_await rx->recv(cluster->engine().now() + Picoseconds::from_us(50.0));
+    EXPECT_TRUE(r.ok()) << "stage timer never flushed the stray message";
+    if (r.ok()) got = std::move(r.value());
+  });
+  cluster->engine().run();
+  EXPECT_EQ(got, payload);
+  // A lone staged record unwraps to a plain send — no group framing cost.
+  EXPECT_EQ(tx->stats().groups_sent, 0u);
+  EXPECT_EQ(tx->stats().messages_sent, 1u);
+}
+
+TEST_F(CableCluster, IneligibleSendFlushesTheStageInOrder) {
+  auto* tx = cluster->msg(0).connect(1).value();
+  auto* rx = cluster->msg(1).connect(0).value();
+  MsgEndpoint::CoalesceConfig cc;
+  cc.enabled = true;
+  cc.eligible_bytes = 192;
+  tx->set_coalesce(cc);
+  const auto a = pattern(16, 1);
+  const auto b = pattern(32, 2);
+  const auto big = pattern(500, 3);  // > eligible_bytes: bypasses the stage
+
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    (co_await tx->send(a)).expect("send a");
+    (co_await tx->send(b)).expect("send b");
+    // The ineligible send must publish the staged group FIRST so the wire
+    // order matches the send order.
+    (co_await tx->send(big)).expect("send big");
+  });
+  std::vector<std::vector<std::uint8_t>> got;
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      auto r = co_await rx->recv();
+      EXPECT_TRUE(r.ok());
+      if (!r.ok()) co_return;
+      got.push_back(std::move(r.value()));
+    }
+  });
+  cluster->engine().run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], a);
+  EXPECT_EQ(got[1], b);
+  EXPECT_EQ(got[2], big);
+  EXPECT_EQ(tx->stats().groups_sent, 1u) << "a+b ride one group ahead of big";
+  EXPECT_EQ(tx->stats().messages_packed, 2u);
+}
+
+TEST_F(CableCluster, PackedGroupStraddlesTheRingWrap) {
+  auto* tx = cluster->msg(0).connect(1).value();
+  auto* rx = cluster->msg(1).connect(0).value();
+  // Advance both cursors to logical slot 61 of the 63-slot ring, so a
+  // 3-slot group lands on logical 61,62,63 -> physical 62,63,1: the dense
+  // region wraps the ring edge and must still reassemble and validate.
+  constexpr int kWarmup = 61;
+  const auto a = pattern(50, 1);
+  const auto b = pattern(50, 2);
+  const auto c = pattern(50, 3);
+  const std::vector<MsgEndpoint::PackedItem> items = {{a, 7}, {b, 0}, {c, 9}};
+
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < kWarmup; ++i) {
+      (co_await tx->send({})).expect("warmup doorbell");  // 1 slot each
+    }
+    (co_await tx->send_packed(items)).expect("send_packed across the wrap");
+  });
+  std::vector<MsgEndpoint::TaggedMessage> got;
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    for (int i = 0; i < kWarmup; ++i) (void)co_await rx->recv_discard();
+    for (int i = 0; i < 3; ++i) {
+      auto r = co_await rx->recv_tagged();
+      EXPECT_TRUE(r.ok());
+      if (!r.ok()) co_return;
+      got.push_back(std::move(r.value()));
+    }
+  });
+  cluster->engine().run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].bytes, a);
+  EXPECT_EQ(got[1].bytes, b);
+  EXPECT_EQ(got[2].bytes, c);
+  EXPECT_EQ(got[0].tag, 7u);
+  EXPECT_EQ(got[2].tag, 9u);
+  EXPECT_EQ(rx->stats().groups_received, 1u);
+}
+
+TEST_F(CableCluster, IdleRingPollingBacksOffAndStillDetects) {
+  auto* tx = cluster->msg(0).connect(1).value();
+  auto* rx = cluster->msg(1).connect(0).value();
+  const auto payload = pattern(32, 4);
+  std::vector<std::uint8_t> got;
+
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    // Camp on an empty ring long enough to exhaust the spin budget: the
+    // receiver must fall into exponential backoff instead of hammering a
+    // 60 ns uncacheable load per poll-loop turn.
+    auto r = co_await rx->recv(cluster->engine().now() + Picoseconds::from_us(5.0));
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kTimeout);
+    EXPECT_GT(rx->stats().backoff_sleeps, 0u) << "idle poll never backed off";
+    // And a message arriving after the idle stretch is still detected.
+    auto r2 = co_await rx->recv();
+    EXPECT_TRUE(r2.ok());
+    if (r2.ok()) got = std::move(r2.value());
+  });
+  cluster->engine().spawn_fn([&]() -> sim::Task<void> {
+    co_await cluster->engine().delay(Picoseconds::from_us(10.0));
+    (co_await tx->send(payload)).expect("send");
+  });
+  cluster->engine().run();
+  EXPECT_EQ(got, payload);
+}
+
 TEST(TcClusterMultiNode, ChainDeliversAcrossIntermediateHops) {
   TcCluster::Options o;
   o.topology.shape = topology::ClusterShape::kChain;

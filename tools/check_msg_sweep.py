@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Gate bench/msg_sweep results against the checked-in baseline.
+
+Usage: check_msg_sweep.py BENCH_msg_sweep.json [baseline.json]
+
+The gated quantity is the coalescing-on/off burst-throughput ratio per
+(hops, bytes) point. Both configurations run in the same binary on the same
+machine, so the ratio is a property of the message layer, not of runner
+hardware — that is what makes a checked-in baseline meaningful across
+machines. A run fails when:
+  * any point's ratio drops more than TOLERANCE below its baseline value, or
+  * the small-message (<= 32 B) geomean ratio falls below SMALL_MSG_FLOOR
+    (the ISSUE 7 acceptance bar, independent of the baseline).
+"""
+
+import json
+import pathlib
+import sys
+
+TOLERANCE = 0.15        # fail on a >15% ratio regression vs the baseline
+SMALL_MSG_FLOOR = 1.5   # absolute bar: <=32 B geomean coalescing speedup
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "msg_sweep_baseline.json"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    baseline_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+
+    doc = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())["burst_ratio"]
+
+    assert doc.get("schema_version") == 1, doc.get("schema_version")
+    assert doc.get("bench") == "msg_sweep", doc.get("bench")
+
+    measured = {
+        f"h{row['hops']}_b{row['bytes']}": float(row["ratio"])
+        for row in doc["series"]
+        if row.get("pattern") == "burst"
+    }
+
+    failures = []
+    for point, base in baseline.items():
+        if point not in measured:
+            failures.append(f"{point}: missing from bench output")
+            continue
+        got = measured[point]
+        floor = base * (1.0 - TOLERANCE)
+        verdict = "OK" if got >= floor else "REGRESSION"
+        print(f"{point:12s} ratio {got:5.2f}x  baseline {base:.2f}x  "
+              f"floor {floor:.2f}x  {verdict}")
+        if got < floor:
+            failures.append(
+                f"{point}: {got:.2f}x is >{TOLERANCE:.0%} below baseline {base:.2f}x")
+
+    small = float(doc["config"].get("small_msg_ratio", 0.0))
+    print(f"{'small geomean':12s} ratio {small:5.2f}x  floor {SMALL_MSG_FLOOR:.2f}x  "
+          f"{'OK' if small >= SMALL_MSG_FLOOR else 'REGRESSION'}")
+    if small < SMALL_MSG_FLOOR:
+        failures.append(
+            f"small-message geomean {small:.2f}x below the {SMALL_MSG_FLOOR}x bar")
+
+    if failures:
+        print("\nmsg_sweep regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("msg_sweep regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
