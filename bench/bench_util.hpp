@@ -55,6 +55,14 @@ inline double flag_double(int argc, char** argv, const std::string& prefix,
   return end == raw.c_str() ? fallback : v;
 }
 
+/// String flag by bare name: `--shape=torus3d` -> "torus3d". `name` is the
+/// bare flag ("--shape"), no equals sign — unlike flag_value, which takes
+/// the full "--shape=" prefix.
+inline std::string flag_string(int argc, char** argv, const std::string& name,
+                               std::string fallback = {}) {
+  return flag_value(argc, argv, name + "=", std::move(fallback));
+}
+
 /// Boolean flag: `--name` alone means true; `--name=0/false/no/off` means
 /// false; anything else after `=` means true; absent means `fallback`.
 /// `name` is the bare flag here ("--smoke"), no equals sign.
@@ -183,6 +191,28 @@ inline std::unique_ptr<cluster::TcCluster> make_cable(
   o.boot.tccluster_freq = freq;
   o.boot.model_code_fetch = false;  // benches do not need boot timing
   o.nb_outbound_depth = nb_outbound_depth;
+  o.shared_bytes = shared_bytes;
+  auto c = cluster::TcCluster::create(o);
+  c.value()->boot().expect("boot");
+  return std::move(c).value();
+}
+
+/// A booted nx x ny x nz 3-D torus of k-chip Supernodes. Rigs of 16+
+/// Supernodes take the staged bring-up path automatically (plan check,
+/// per-plane link training, membership epoch). dram_per_chip must hold the
+/// per-chip ring region (num_chips * 3 * 4 KiB) plus shared_bytes; the
+/// 16 MiB default covers 256 chips.
+inline std::unique_ptr<cluster::TcCluster> make_torus3d(
+    int nx, int ny, int nz, int k = 4, std::uint64_t dram_per_chip = 16_MiB,
+    std::uint64_t shared_bytes = 4_MiB) {
+  cluster::TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kTorus3D;
+  o.topology.nx = nx;
+  o.topology.ny = ny;
+  o.topology.nz = nz;
+  o.topology.supernode_size = k;
+  o.topology.dram_per_chip = dram_per_chip;
+  o.boot.model_code_fetch = false;  // benches do not need boot timing
   o.shared_bytes = shared_bytes;
   auto c = cluster::TcCluster::create(o);
   c.value()->boot().expect("boot");

@@ -76,7 +76,9 @@ int main(int argc, char** argv) {
     sim::Engine engine;
     auto plan = topology::ClusterPlan::build(cable);
     firmware::Machine machine(engine, std::move(plan.value()));
-    firmware::BootSequencer boot(machine, firmware::BootOptions{.stock_firmware = true});
+    firmware::BootOptions stock;
+    stock.stock_firmware = true;
+    firmware::BootSequencer boot(machine, stock);
     const Status st = boot.run();
     std::printf("\n-- stock (unpatched) coreboot --\n%s\n",
                 st.ok() ? "unexpectedly booted!" : st.error().to_string().c_str());
@@ -85,8 +87,9 @@ int main(int argc, char** argv) {
     sim::Engine engine;
     auto plan = topology::ClusterPlan::build(cable);
     firmware::Machine machine(engine, std::move(plan.value()));
-    firmware::BootSequencer boot(machine,
-                                 firmware::BootOptions{.synchronized_reset = false});
+    firmware::BootOptions unsynced;
+    unsynced.synchronized_reset = false;
+    firmware::BootSequencer boot(machine, unsynced);
     const Status st = boot.run();
     std::printf("\n-- unsynchronized warm reset (§IV.E) --\n%s\n",
                 st.ok() ? "unexpectedly booted!" : st.error().to_string().c_str());

@@ -1,26 +1,38 @@
 // KV serving under open-loop load: the serving-stack capacity curve.
 //
-// Sweeps offered load on a 4-node ring (chip 0 the client, chips 1..3 the
-// servers) past the latency knee: per-request latency sits at the fabric
-// RTT until the offered rate crosses what the credit-limited RPC path and
-// the client's ring link absorb, then queueing delay takes over and the
-// p99 turns the corner. Requests never fail in the fault-free sweep —
-// deadlines sit above the worst drain time, so overload surfaces as
-// latency and SLO violations, not drops (the open-loop harness keeps
+// Sweeps offered load past the latency knee: per-request latency sits at
+// the fabric RTT until the offered rate crosses what the credit-limited
+// RPC path and the client's link absorb, then queueing delay takes over
+// and the p99 turns the corner. Requests never fail in the fault-free
+// sweep — deadlines sit above the worst drain time, so overload surfaces
+// as latency and SLO violations, not drops (the open-loop harness keeps
 // offering regardless of completions).
 //
-// A second, fault-injected run kills the hot shard's primary mid-run: the
-// keepalive verdict promotes the replica within one membership epoch and
-// the row shows the detection gap as a latency tail plus the epoch cost.
-// (Correctness — no acknowledged write lost — is asserted in
-// tests/kv_serving_test.cpp; here the same scenario is measured.)
+// Two rigs, selected with --shape=:
+//
+//  * ring (default): the 4-node ring (chip 0 the client, chips 1..3 the
+//    servers), plus a fault-injected run that kills the hot shard's
+//    primary mid-run: the keepalive verdict promotes the replica within
+//    one membership epoch and the row shows the detection gap as a
+//    latency tail plus the epoch cost.
+//  * torus3d: a 4x4x4 torus of 4-chip Supernodes (256 chips, staged
+//    bring-up), eight servers spread across the four z-planes so the
+//    domain-aware shard map never co-locates a shard's copies in one
+//    plane. Reports per-hop latency percentiles and the bisection
+//    bandwidth alongside the capacity sweep, then runs the plane-cut
+//    scenario: every Supernode in one z-plane dies at once, survivors are
+//    rerouted around the cut, and the run fails unless every acknowledged
+//    write is still readable afterwards.
 //
 // Not a paper figure: the paper stops at MPI microbenchmarks. This is the
 // ROADMAP "serving tier" scenario on top of the reproduced fabric.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,37 +45,66 @@ using namespace tcc::bench;
 
 namespace {
 
-/// One serving cluster: 4-node ring, chip 0 client, chips 1..3 servers.
+constexpr int kTorusDim = 4;  ///< 4x4x4 Supernodes, k = 4 -> 256 chips
+
+/// One serving cluster. `nodes`/`services` are indexed by chip with null
+/// holes: on the torus only the client and the eight servers get an RPC
+/// node — the other 247 chips are fabric.
 struct Rig {
   std::unique_ptr<cluster::TcCluster> cl;
+  std::vector<int> servers;
+  std::vector<int> participants;  ///< client (chip 0) + servers
   std::vector<std::unique_ptr<tcsvc::RpcNode>> nodes;
   std::vector<std::unique_ptr<tcsvc::KvService>> services;
   std::unique_ptr<tcsvc::KvClient> client;
 };
 
-Rig make_rig(const tcsvc::KvConfig& kv_cfg) {
-  Rig rig;
-  cluster::TcCluster::Options o;
-  o.topology.shape = topology::ClusterShape::kRing;
-  o.topology.nx = 4;
-  o.topology.dram_per_chip = 64_MiB;
-  o.boot.model_code_fetch = false;
-  rig.cl = cluster::TcCluster::create(o).value();
-  rig.cl->boot().expect("boot");
-
-  auto map = tcsvc::ShardMap::from_plan(rig.cl->plan(), {1, 2, 3}, kv_cfg.shards);
-  const int n = rig.cl->num_nodes();
-  std::vector<int> all_chips;
-  for (int chip = 0; chip < n; ++chip) all_chips.push_back(chip);
-  for (int chip = 0; chip < n; ++chip) {
-    rig.nodes.push_back(std::make_unique<tcsvc::RpcNode>(*rig.cl, chip));
+/// Server chips for the torus rig: two Supernodes per z-plane — (1,1,z)
+/// and (3,2,z) — so every plane holds servers but no plane holds both
+/// copies of any shard (ShardMap::from_plan places replicas across
+/// z-plane fault domains).
+std::vector<int> torus_servers(const topology::ClusterPlan& plan) {
+  std::vector<int> servers;
+  for (int z = 0; z < kTorusDim; ++z) {
+    for (int xy : {1 + kTorusDim * 1, 3 + kTorusDim * 2}) {
+      const int sn = xy + kTorusDim * kTorusDim * z;
+      servers.push_back(plan.supernodes()[static_cast<std::size_t>(sn)].chips[0]);
+    }
   }
+  return servers;
+}
+
+Rig make_rig(const std::string& shape, const tcsvc::KvConfig& kv_cfg) {
+  Rig rig;
+  if (shape == "torus3d") {
+    rig.cl = make_torus3d(kTorusDim, kTorusDim, kTorusDim);
+    rig.servers = torus_servers(rig.cl->plan());
+  } else {
+    cluster::TcCluster::Options o;
+    o.topology.shape = topology::ClusterShape::kRing;
+    o.topology.nx = 4;
+    o.topology.dram_per_chip = 64_MiB;
+    o.boot.model_code_fetch = false;
+    rig.cl = cluster::TcCluster::create(o).value();
+    rig.cl->boot().expect("boot");
+    rig.servers = {1, 2, 3};
+  }
+  rig.participants.push_back(0);
+  for (int s : rig.servers) rig.participants.push_back(s);
+
+  auto map = tcsvc::ShardMap::from_plan(rig.cl->plan(), rig.servers, kv_cfg.shards);
+  const int n = rig.cl->num_nodes();
+  rig.nodes.resize(static_cast<std::size_t>(n));
   rig.services.resize(static_cast<std::size_t>(n));
-  for (int chip = 1; chip < n; ++chip) {
+  for (int chip : rig.participants) {
+    rig.nodes[static_cast<std::size_t>(chip)] =
+        std::make_unique<tcsvc::RpcNode>(*rig.cl, chip);
+  }
+  for (int chip : rig.servers) {
     rig.services[static_cast<std::size_t>(chip)] = std::make_unique<tcsvc::KvService>(
         *rig.cl, *rig.nodes[static_cast<std::size_t>(chip)], map, kv_cfg);
     rig.services[static_cast<std::size_t>(chip)]->start();
-    rig.nodes[static_cast<std::size_t>(chip)]->start(all_chips).expect("rpc start");
+    rig.nodes[static_cast<std::size_t>(chip)]->start(rig.participants).expect("rpc start");
   }
   rig.client = std::make_unique<tcsvc::KvClient>(*rig.cl, *rig.nodes[0],
                                                  std::move(map), kv_cfg);
@@ -82,10 +123,10 @@ struct PointResult {
 /// One measured run at `load_cfg.offered_rps` on a fresh cluster. When
 /// `fault_after` is set, the hot key's primary is killed that long into
 /// the measured window (keepalives judge it dead, its replica promotes).
-PointResult run_point(const tcsvc::LoadConfig& load_cfg,
+PointResult run_point(const std::string& shape, const tcsvc::LoadConfig& load_cfg,
                       const tcsvc::KvConfig& kv_cfg,
                       std::optional<Picoseconds> fault_after) {
-  Rig rig = make_rig(kv_cfg);
+  Rig rig = make_rig(shape, kv_cfg);
   tcsvc::LoadGenerator gen(*rig.cl, *rig.client, load_cfg);
 
   const tcsvc::ShardMap& map = rig.client->shard_map();
@@ -94,7 +135,14 @@ PointResult run_point(const tcsvc::LoadConfig& load_cfg,
   const int promoted = map.replica(hot_shard);
 
   if (fault_after.has_value()) {
-    rig.cl->start_keepalives(Picoseconds::from_us(2.0), Picoseconds::from_us(10.0));
+    // Keepalive domain = the chips that serve or judge: the other chips
+    // have nothing to say about shard health, and a beat round is a
+    // sequential store per monitored peer.
+    for (int p : rig.participants) {
+      rig.cl->driver(p).start_keepalive(Picoseconds::from_us(2.0),
+                                        Picoseconds::from_us(10.0),
+                                        rig.participants);
+    }
   }
 
   PointResult out;
@@ -114,16 +162,18 @@ PointResult run_point(const tcsvc::LoadConfig& load_cfg,
     co_await gen.run();
     if (fault_after.has_value()) {
       out.epoch_delta = rig.nodes[0]->endpoint(promoted)->epoch() - epoch0;
-      rig.cl->stop_keepalives();
+      for (int p : rig.participants) rig.cl->driver(p).stop_keepalive();
     }
-    for (auto& node : rig.nodes) node->stop();
+    for (auto& node : rig.nodes) {
+      if (node) node->stop();
+    }
   });
   rig.cl->engine().run();
 
   out.rep = gen.report();
   out.client_stats = rig.client->stats();
   out.rpc_stats = rig.nodes[0]->stats();
-  for (int chip = 1; chip < rig.cl->num_nodes(); ++chip) {
+  for (int chip : rig.servers) {
     const tcsvc::KvStats& s = rig.services[static_cast<std::size_t>(chip)]->stats();
     out.failover_serves += s.failover_serves;
     out.degraded_writes += s.degraded_writes;
@@ -170,12 +220,200 @@ BenchReport::Fields row_fields(double offered_rps, const PointResult& r, bool fa
   return f;
 }
 
+/// Torus-only preamble: ping-pong from chip 0 to representative Supernodes
+/// at increasing dimension-ordered distance, and the cross-section figures
+/// (bisection wire count times the negotiated per-link rate).
+void torus_fabric_rows(BenchReport& report) {
+  auto cl = make_torus3d(kTorusDim, kTorusDim, kTorusDim);
+  const topology::ClusterPlan& plan = cl->plan();
+
+  double link_bps = 0.0;
+  for (std::size_t i = 0; i < plan.wires().size(); ++i) {
+    if (plan.wires()[i].tccluster) {
+      link_bps = cl->machine().link(static_cast<int>(i)).side_a().regs().rate()
+                     .bytes_per_second();
+      break;
+    }
+  }
+  const int bisection = plan.bisection_wires();
+  report.config("bisection_wires", static_cast<double>(bisection));
+  report.config("link_gbytes_per_s", link_bps / 1e9);
+  report.config("bisection_gbytes_per_s", bisection * link_bps / 1e9);
+  std::printf("\nfabric: %d chips, bisection %d wires x %.2f GB/s = %.1f GB/s\n",
+              plan.config().num_chips(), bisection, link_bps / 1e9,
+              bisection * link_bps / 1e9);
+
+  std::printf("per-hop latency (chip 0 -> first chip of Supernode):\n");
+  constexpr int kIters = 50;
+  for (int sn : {1, 5, 21, 42}) {  // 1, 2, 3, 6 dimension-ordered hops
+    const int peer = plan.supernodes()[static_cast<std::size_t>(sn)].chips[0];
+    const int hops = plan.external_hops(0, sn).value();
+    Samples per_iter;
+    const double lat = pingpong_ns(*cl, 0, peer, 48, kIters, &per_iter);
+    std::printf("  sn%-3d %d hops: %7.0f ns (p99 %7.0f)\n", sn, hops, lat,
+                per_iter.percentile(99.0));
+    BenchReport::Fields f = {BenchReport::str("row", "per_hop_latency"),
+                             BenchReport::num("target_sn", sn),
+                             BenchReport::num("hops", hops),
+                             BenchReport::num("half_rtt_ns", lat)};
+    for (auto& s : BenchReport::summary_fields(per_iter)) f.push_back(std::move(s));
+    report.add_row(std::move(f));
+  }
+}
+
+struct PlaneCutResult {
+  std::uint64_t acked = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t post_fault_acked = 0;
+  std::uint64_t dead_primary_acked = 0;  ///< post-cut writes that failed over
+  std::uint64_t epoch_delta = 0;
+  double recover_us = 0.0;  ///< cut -> first acked write to a dead primary's shard
+};
+
+/// The acceptance scenario at scale: every Supernode in z-plane 3 dies at
+/// once (drivers hung, RPC stopped, every touching wire down). Survivors
+/// reroute around the cut and writing continues; afterwards every
+/// acknowledged (key, value) must be readable from the surviving copy.
+PlaneCutResult run_plane_cut(const tcsvc::KvConfig& kv_cfg) {
+  Rig rig = make_rig("torus3d", kv_cfg);
+  sim::Engine& engine = rig.cl->engine();
+  const tcsvc::ShardMap& map = rig.client->shard_map();
+  const topology::ClusterPlan& plan = rig.cl->plan();
+
+  std::set<int> dead_chips;
+  const int cut_z = kTorusDim - 1;
+  for (int sn = cut_z * kTorusDim * kTorusDim;
+       sn < (cut_z + 1) * kTorusDim * kTorusDim; ++sn) {
+    for (int chip : plan.supernodes()[static_cast<std::size_t>(sn)].chips) {
+      dead_chips.insert(chip);
+    }
+  }
+
+  // Scoped keepalives (see run_point); a beat round across the torus takes
+  // a few microseconds, so the verdict timeout gets extra headroom.
+  for (int p : rig.participants) {
+    rig.cl->driver(p).start_keepalive(Picoseconds::from_us(2.0),
+                                      Picoseconds::from_us(20.0),
+                                      rig.participants);
+  }
+
+  auto value_of = [](const std::string& tag, int i) {
+    const std::string s = tag + std::to_string(i);
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+  };
+
+  PlaneCutResult out;
+  std::map<std::string, std::vector<std::uint8_t>> acked;
+  bool done = false;
+  engine.spawn_fn([&]() -> sim::Task<void> {
+    // Phase 1: healthy writes across enough keys to land on every shard —
+    // in particular on shards whose primary lives in the doomed plane.
+    std::vector<std::string> dead_primary_keys;
+    for (int i = 0; i < 96; ++i) {
+      const std::string key = "k" + std::to_string(i);
+      const auto value = value_of("pre", i);
+      auto r = co_await rig.client->put(key, value);
+      if (r.ok()) {
+        acked[key] = value;
+        if (dead_chips.count(map.primary(map.shard_of(key))) != 0) {
+          dead_primary_keys.push_back(key);
+        }
+      }
+    }
+    TCC_ASSERT(!dead_primary_keys.empty(),
+               "the cut plane must own some primaries for the test to bite");
+
+    const int promoted = map.replica(map.shard_of(dead_primary_keys.front()));
+    const std::uint64_t epoch0 = rig.nodes[0]->endpoint(promoted)->epoch();
+
+    // The cut: the whole z-plane at once — drivers stop heartbeating, RPC
+    // pumps halt, and every wire touching the plane drops carrier.
+    for (int chip : dead_chips) {
+      rig.cl->driver(chip).set_hung(true);
+      if (rig.nodes[static_cast<std::size_t>(chip)]) {
+        rig.nodes[static_cast<std::size_t>(chip)]->stop();
+      }
+    }
+    for (std::size_t i = 0; i < plan.wires().size(); ++i) {
+      const topology::WireSpec& w = plan.wires()[i];
+      // The cut severs cables (external tccluster wires); the dead plane's
+      // internal coherent fabric is irrelevant once its chips hang.
+      if (!w.tccluster) continue;
+      if (dead_chips.count(w.a.chip) != 0 || dead_chips.count(w.b.chip) != 0) {
+        rig.cl->machine().link(static_cast<int>(i)).force_down("plane cut");
+      }
+    }
+    const Picoseconds cut_at = engine.now();
+    rig.cl->reroute_around_failed_links(topology::RouteAroundPolicy::kBestEffort)
+        .expect("reroute around plane cut");
+
+    // Phase 2: keep writing through the blackout — half the writes target
+    // shards whose primary just died (they must fail over to the replica
+    // in a surviving plane), half exercise untouched shards.
+    for (int i = 0; i < 48; ++i) {
+      const std::string key = (i % 2 == 0 && !dead_primary_keys.empty())
+          ? dead_primary_keys[static_cast<std::size_t>(i / 2) % dead_primary_keys.size()]
+          : "post" + std::to_string(i);
+      const auto value = value_of("post", i);
+      auto r = co_await rig.client->put(key, value,
+                                        engine.now() + Picoseconds::from_us(400.0));
+      if (r.ok()) {
+        acked[key] = value;
+        ++out.post_fault_acked;
+        if (dead_chips.count(map.primary(map.shard_of(key))) != 0) {
+          if (out.dead_primary_acked == 0) {
+            out.recover_us = (engine.now() - cut_at).microseconds();
+          }
+          ++out.dead_primary_acked;
+        }
+      }
+    }
+    out.epoch_delta = rig.nodes[0]->endpoint(promoted)->epoch() - epoch0;
+
+    for (int p : rig.participants) rig.cl->driver(p).stop_keepalive();
+    for (auto& node : rig.nodes) {
+      if (node) node->stop();
+    }
+    done = true;
+  });
+  engine.run();
+  TCC_ASSERT(done, "plane-cut script must run to completion");
+
+  // No acknowledged write lost: every acked (key, value) is present on the
+  // chip now acting as the key's primary.
+  out.acked = acked.size();
+  for (const auto& [key, value] : acked) {
+    const int shard = map.shard_of(key);
+    int owner = map.primary(shard);
+    if (dead_chips.count(owner) != 0) owner = map.replica(shard);
+    if (owner < 0 || dead_chips.count(owner) != 0) {
+      ++out.lost;
+      continue;
+    }
+    auto copy = rig.services[static_cast<std::size_t>(owner)]->peek(key);
+    if (!copy.has_value()) {
+      ++out.lost;
+    } else if (*copy != value) {
+      ++out.stale;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_header("kv serving: open-loop load sweep + failover on the 4-node ring",
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::string shape = flag_string(argc, argv, "--shape", "ring");
+  const bool torus = shape == "torus3d";
+
+  print_header(torus ? "kv serving: open-loop load + plane-cut failover on the "
+                       "4x4x4 torus (256 chips)"
+                     : "kv serving: open-loop load sweep + failover on the "
+                       "4-node ring",
                "serving-tier scenario (beyond the paper's MPI benches)");
-  // Keepalive dead-peer WARNs are the expected mechanism in the fault run.
+  // Keepalive dead-peer WARNs are the expected mechanism in the fault runs.
   Log::set_level(LogLevel::kError);
 
   const bool smoke = flag_bool(argc, argv, "--smoke");
@@ -188,6 +426,8 @@ int main(int argc, char** argv) {
   std::vector<double> loads;
   if (smoke) {
     loads = {100e3, 500e3};
+  } else if (torus) {
+    loads = {100e3, 250e3, 500e3, 1e6};
   } else {
     loads = {100e3, 250e3, 500e3, 1e6, 1.5e6, 2e6};
   }
@@ -199,8 +439,8 @@ int main(int argc, char** argv) {
   load_cfg.duration = Picoseconds::from_us(duration_us);
 
   BenchReport report("kv_serving", "p99_latency", "us");
-  report.config("topology", std::string("ring-4"));
-  report.config("servers", 3.0);
+  report.config("topology", torus ? std::string("torus3d-4x4x4") : std::string("ring-4"));
+  report.config("servers", torus ? 8.0 : 3.0);
   report.config("shards", static_cast<double>(kv_cfg.shards));
   report.config("keys", static_cast<double>(keys));
   report.config("duration_us", duration_us);
@@ -209,6 +449,8 @@ int main(int argc, char** argv) {
   report.config("value_bytes", static_cast<double>(load_cfg.value_bytes));
   report.config("request_credits", static_cast<double>(tcsvc::RpcConfig{}.request_credits));
   report.config("smoke", smoke ? 1.0 : 0.0);
+
+  if (torus) torus_fabric_rows(report);
 
   std::printf("\n%9s  %7s  %9s  %6s  %12s  %8s  %8s  %8s  %8s  %6s\n",
               "off_krps", "offered", "completed", "failed", "goodput_krps",
@@ -231,7 +473,7 @@ int main(int argc, char** argv) {
     // Backpressure polls above the knee dominate sim time; a coarser poll
     // is invisible next to the millisecond-scale queueing delay there.
     kv_cfg.retry_backoff = Picoseconds::from_us(10.0);
-    PointResult r = run_point(load_cfg, kv_cfg, std::nullopt);
+    PointResult r = run_point(shape, load_cfg, kv_cfg, std::nullopt);
     print_row(rps, r, "");
     report.add_row(row_fields(rps, r, /*fault=*/false));
     tcsvc::LoadReport rep = r.rep;
@@ -239,34 +481,80 @@ int main(int argc, char** argv) {
     total_failed += rep.failed;
   }
 
-  // Fault-injected run: moderate load, primary killed a third into the
-  // window. The short attempt budget is restored — giving up on the dead
-  // primary and flipping to the replica is exactly the mechanism under
-  // test. Failed requests here are requests whose deadline expired during
-  // the detection gap — the generous overall budget should cover it.
-  load_cfg.offered_rps = 250e3;
-  load_cfg.request_deadline = Picoseconds::from_us(2.0 * duration_us + 500.0);
-  kv_cfg.op_deadline = load_cfg.request_deadline;
-  kv_cfg.attempt_deadline = tcsvc::KvConfig{}.attempt_deadline;
-  kv_cfg.retry_backoff = tcsvc::KvConfig{}.retry_backoff;
-  const Picoseconds fault_after = Picoseconds::from_us(duration_us / 3.0);
-  PointResult fr = run_point(load_cfg, kv_cfg, fault_after);
-  print_row(load_cfg.offered_rps, fr, "<- primary killed mid-run");
-  report.add_row(row_fields(load_cfg.offered_rps, fr, /*fault=*/true));
-  std::printf("\nfailover: epoch_delta=%llu (at most one membership epoch), "
-              "failover_serves=%llu, rerouted=%llu, degraded_writes=%llu\n",
-              static_cast<unsigned long long>(fr.epoch_delta),
-              static_cast<unsigned long long>(fr.failover_serves),
-              static_cast<unsigned long long>(fr.client_stats.failover_routes),
-              static_cast<unsigned long long>(fr.degraded_writes));
+  std::uint64_t plane_cut_lost = 0;
+  if (torus) {
+    // Plane cut at scale, with the per-op deadlines back at their tight
+    // defaults — giving up on a dead primary and flipping to its replica
+    // is exactly the mechanism under test.
+    tcsvc::KvConfig cut_cfg;
+    PlaneCutResult pc = run_plane_cut(cut_cfg);
+    plane_cut_lost = pc.lost + pc.stale;
+    std::printf("\nplane cut (z=%d, 64 chips): %llu acked writes, %llu lost, "
+                "%llu stale; %llu post-cut acks (%llu failed over), first "
+                "failover ack %.1f us after the cut, epoch_delta=%llu\n",
+                kTorusDim - 1, static_cast<unsigned long long>(pc.acked),
+                static_cast<unsigned long long>(pc.lost),
+                static_cast<unsigned long long>(pc.stale),
+                static_cast<unsigned long long>(pc.post_fault_acked),
+                static_cast<unsigned long long>(pc.dead_primary_acked),
+                pc.recover_us, static_cast<unsigned long long>(pc.epoch_delta));
+    report.add_row({BenchReport::str("row", "plane_cut"),
+                    BenchReport::num("acked", static_cast<double>(pc.acked)),
+                    BenchReport::num("lost", static_cast<double>(pc.lost)),
+                    BenchReport::num("stale", static_cast<double>(pc.stale)),
+                    BenchReport::num("post_fault_acked",
+                                     static_cast<double>(pc.post_fault_acked)),
+                    BenchReport::num("dead_primary_acked",
+                                     static_cast<double>(pc.dead_primary_acked)),
+                    BenchReport::num("recover_us", pc.recover_us),
+                    BenchReport::num("epoch_delta",
+                                     static_cast<double>(pc.epoch_delta))});
+    if (pc.dead_primary_acked == 0) {
+      std::printf("FAIL: no write failed over to a surviving replica\n");
+      plane_cut_lost += 1;
+    }
+  } else {
+    // Fault-injected run: moderate load, primary killed a third into the
+    // window. The short attempt budget is restored — giving up on the dead
+    // primary and flipping to the replica is exactly the mechanism under
+    // test. Failed requests here are requests whose deadline expired during
+    // the detection gap — the generous overall budget should cover it.
+    load_cfg.offered_rps = 250e3;
+    load_cfg.request_deadline = Picoseconds::from_us(2.0 * duration_us + 500.0);
+    kv_cfg.op_deadline = load_cfg.request_deadline;
+    kv_cfg.attempt_deadline = tcsvc::KvConfig{}.attempt_deadline;
+    kv_cfg.retry_backoff = tcsvc::KvConfig{}.retry_backoff;
+    const Picoseconds fault_after = Picoseconds::from_us(duration_us / 3.0);
+    PointResult fr = run_point(shape, load_cfg, kv_cfg, fault_after);
+    print_row(load_cfg.offered_rps, fr, "<- primary killed mid-run");
+    report.add_row(row_fields(load_cfg.offered_rps, fr, /*fault=*/true));
+    std::printf("\nfailover: epoch_delta=%llu (at most one membership epoch), "
+                "failover_serves=%llu, rerouted=%llu, degraded_writes=%llu\n",
+                static_cast<unsigned long long>(fr.epoch_delta),
+                static_cast<unsigned long long>(fr.failover_serves),
+                static_cast<unsigned long long>(fr.client_stats.failover_routes),
+                static_cast<unsigned long long>(fr.degraded_writes));
+  }
 
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  report.config("wall_s", wall_s);
   report.write(out_path);
+  std::printf("wall time: %.2f s\n", wall_s);
 
   if (total_failed != 0) {
     std::printf("FAIL: %llu requests failed in the fault-free sweep\n",
                 static_cast<unsigned long long>(total_failed));
     return 1;
   }
-  std::printf("fault-free sweep: zero failed requests\n");
+  if (plane_cut_lost != 0) {
+    std::printf("FAIL: the plane cut lost %llu acknowledged writes\n",
+                static_cast<unsigned long long>(plane_cut_lost));
+    return 1;
+  }
+  std::printf(torus ? "fault-free sweep clean; plane cut lost zero "
+                      "acknowledged writes\n"
+                    : "fault-free sweep: zero failed requests\n");
   return 0;
 }

@@ -101,6 +101,73 @@ int main(int argc, char** argv) {
                     BenchReport::num("alltoall_256b_us", alltoall)});
   }
 
+  // 64-rank 3-D torus: 2x2x4 Supernodes of four chips each — the staged
+  // bring-up path, with collectives spanning dimension-ordered multi-hop
+  // routes instead of single-ring neighbours.
+  std::printf("\n-- 3-D torus, 64 ranks (2x2x4 Supernodes, k=4) --\n");
+  {
+    {
+      // Fabric figures and per-hop latency on a dedicated instance (the
+      // collective runs below make their own message-library connections).
+      auto probe = make_torus3d(2, 2, 4);
+      const topology::ClusterPlan& plan = probe->plan();
+      double link_bps = 0.0;
+      for (std::size_t i = 0; i < plan.wires().size(); ++i) {
+        if (plan.wires()[i].tccluster) {
+          link_bps = probe->machine().link(static_cast<int>(i)).side_a().regs()
+                         .rate().bytes_per_second();
+          break;
+        }
+      }
+      const int bisection = plan.bisection_wires();
+      report.config("torus_nodes", 64.0);
+      report.config("torus_bisection_wires", static_cast<double>(bisection));
+      report.config("torus_bisection_gbytes_per_s", bisection * link_bps / 1e9);
+      std::printf("bisection: %d wires x %.2f GB/s = %.1f GB/s\n", bisection,
+                  link_bps / 1e9, bisection * link_bps / 1e9);
+      for (int sn : {1, 5, 11}) {  // 1, 2, 4 dimension-ordered hops
+        const int peer = plan.supernodes()[static_cast<std::size_t>(sn)].chips[0];
+        const int hops = plan.external_hops(0, sn).value();
+        Samples per_iter;
+        const double lat = pingpong_ns(*probe, 0, peer, 48, 50, &per_iter);
+        std::printf("per-hop: sn%-3d %d hops: %6.0f ns (p99 %6.0f)\n", sn, hops,
+                    lat, per_iter.percentile(99.0));
+        BenchReport::Fields f = {BenchReport::str("kind", "torus_per_hop"),
+                                 BenchReport::num("hops", hops),
+                                 BenchReport::num("half_rtt_ns", lat)};
+        for (auto& s : BenchReport::summary_fields(per_iter)) f.push_back(std::move(s));
+        report.add_row(std::move(f));
+      }
+    }
+
+    auto cl = make_torus3d(2, 2, 4);
+    const double barrier = collective_us(*cl, 10, [](middleware::Communicator& c, int)
+                                             -> sim::Task<void> {
+      (co_await c.barrier()).expect("barrier");
+    });
+    auto cl2 = make_torus3d(2, 2, 4);
+    const double allreduce = collective_us(
+        *cl2, 10, [](middleware::Communicator& c, int i) -> sim::Task<void> {
+          (void)(co_await c.allreduce_u64(static_cast<std::uint64_t>(i),
+                                          middleware::ReduceOp::kSum))
+              .expect("allreduce");
+        });
+    auto cl3 = make_torus3d(2, 2, 4);
+    const double bcast = collective_us(
+        *cl3, 10, [](middleware::Communicator& c, int) -> sim::Task<void> {
+          std::vector<std::uint8_t> data;
+          if (c.rank() == 0) data.assign(1024, 0x42);
+          (co_await c.bcast(data, 0)).expect("bcast");
+        });
+    std::printf("%7d %14.2f %16.2f %14.2f\n", 64, barrier, allreduce, bcast);
+    report.add_sample(barrier);
+    report.add_row({BenchReport::str("kind", "torus3d_2x2x4"),
+                    BenchReport::num("nodes", 64),
+                    BenchReport::num("barrier_us", barrier),
+                    BenchReport::num("allreduce_us", allreduce),
+                    BenchReport::num("bcast_1k_us", bcast)});
+  }
+
   // PGAS op costs on a 4-node ring.
   std::printf("\n-- tcpgas op latency (4 nodes) --\n");
   {

@@ -4,8 +4,24 @@
 // process to different processor sockets using numactl ... each hop
 // increases the end-to-end latency by less than 50 ns." We reproduce it on a
 // chain: ping-pong node 0 <-> node k for k = 1..7 and report the per-hop
-// increment; a ring shows the shortest-path effect.
+// increment; a ring shows the shortest-path effect and a small 3-D torus the
+// dimension-ordered path. Every row carries exact per-iteration percentiles
+// (count/mean/p50/p99/min/max) in the schema-versioned BENCH json.
 #include "bench_util.hpp"
+
+namespace {
+
+/// One table + json row: headline half-RTT plus the per-iteration
+/// distribution from `per_iter`.
+tcc::bench::BenchReport::Fields row_with_percentiles(
+    tcc::bench::BenchReport::Fields head, tcc::Samples& per_iter) {
+  for (auto& f : tcc::bench::BenchReport::summary_fields(per_iter)) {
+    head.push_back(std::move(f));
+  }
+  return head;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace tcc;
@@ -23,7 +39,8 @@ int main(int argc, char** argv) {
   chain.expect("create chain");
   chain.value()->boot().expect("boot chain");
 
-  std::printf("%6s %16s %14s\n", "hops", "half-RTT ns", "delta ns/hop");
+  std::printf("%6s %16s %14s %10s %10s\n", "hops", "half-RTT ns", "delta ns/hop",
+              "p50 ns", "p99 ns");
   constexpr int kIters = 100;
   BenchReport report("multihop_latency", "half_rtt", "ns");
   report.config("iters", kIters);
@@ -31,12 +48,18 @@ int main(int argc, char** argv) {
   report.config("chain_nodes", 8);
   double prev = 0.0;
   for (int k = 1; k <= 7; ++k) {
-    const double lat = pingpong_ns(*chain.value(), 0, k, 48, kIters);
-    std::printf("%6d %16.0f %14.0f%s\n", k, lat, k == 1 ? 0.0 : lat - prev,
+    Samples per_iter;
+    const double lat = pingpong_ns(*chain.value(), 0, k, 48, kIters, &per_iter);
+    std::printf("%6d %16.0f %14.0f %10.0f %10.0f%s\n", k, lat,
+                k == 1 ? 0.0 : lat - prev, per_iter.percentile(50.0),
+                per_iter.percentile(99.0),
                 k > 1 && (lat - prev) < 50.0 ? "   (<50 ns: ok)" : "");
     report.add_sample(lat);
-    report.add_row({BenchReport::num("hops", k), BenchReport::num("half_rtt_ns", lat),
-                    BenchReport::num("delta_ns_per_hop", k == 1 ? 0.0 : lat - prev)});
+    report.add_row(row_with_percentiles(
+        {BenchReport::str("rig", "chain"), BenchReport::num("hops", k),
+         BenchReport::num("half_rtt_ns", lat),
+         BenchReport::num("delta_ns_per_hop", k == 1 ? 0.0 : lat - prev)},
+        per_iter));
     prev = lat;
   }
 
@@ -49,14 +72,40 @@ int main(int argc, char** argv) {
   auto ring = cluster::TcCluster::create(r);
   ring.expect("create ring");
   ring.value()->boot().expect("boot ring");
-  const double wrap = pingpong_ns(*ring.value(), 0, 7, 48, kIters);
-  const double four = pingpong_ns(*ring.value(), 0, 4, 48, kIters);
+  Samples wrap_iters, four_iters;
+  const double wrap = pingpong_ns(*ring.value(), 0, 7, 48, kIters, &wrap_iters);
+  const double four = pingpong_ns(*ring.value(), 0, 4, 48, kIters, &four_iters);
   std::printf("\nring check: 0->7 (1 hop via wraparound) = %.0f ns, "
               "0->4 (4 hops) = %.0f ns\n", wrap, four);
-  report.add_row({BenchReport::str("note", "ring wraparound 0->7"),
-                  BenchReport::num("hops", 1), BenchReport::num("half_rtt_ns", wrap)});
-  report.add_row({BenchReport::str("note", "ring 0->4"), BenchReport::num("hops", 4),
-                  BenchReport::num("half_rtt_ns", four)});
+  report.add_row(row_with_percentiles(
+      {BenchReport::str("rig", "ring"), BenchReport::str("note", "wraparound 0->7"),
+       BenchReport::num("hops", 1), BenchReport::num("half_rtt_ns", wrap)},
+      wrap_iters));
+  report.add_row(row_with_percentiles(
+      {BenchReport::str("rig", "ring"), BenchReport::str("note", "0->4"),
+       BenchReport::num("hops", 4), BenchReport::num("half_rtt_ns", four)},
+      four_iters));
+
+  // 3-D torus: dimension-ordered (Z, then Y, then X) Supernode hops. On a
+  // 2x2x2 of 4-chip Supernodes, Supernodes 1/3/7 sit 1/2/3 external hops
+  // from Supernode 0.
+  auto torus = make_torus3d(2, 2, 2);
+  const topology::ClusterPlan& plan = torus->plan();
+  std::printf("\ntorus3d 2x2x2 (k=4, %d chips), from chip 0:\n",
+              plan.config().num_chips());
+  for (int sn : {1, 3, 7}) {
+    const int peer = plan.supernodes()[static_cast<std::size_t>(sn)].chips[0];
+    const int hops = plan.external_hops(0, sn).value();
+    Samples per_iter;
+    const double lat = pingpong_ns(*torus, 0, peer, 48, kIters, &per_iter);
+    std::printf("  sn%d (chip %2d, %d external hops): %8.0f ns  p99 %8.0f ns\n",
+                sn, peer, hops, lat, per_iter.percentile(99.0));
+    report.add_sample(lat);
+    report.add_row(row_with_percentiles(
+        {BenchReport::str("rig", "torus3d_2x2x2"), BenchReport::num("hops", hops),
+         BenchReport::num("target_sn", sn), BenchReport::num("half_rtt_ns", lat)},
+        per_iter));
+  }
   report.write(flag_value(argc, argv, "--bench-out="));
 
   std::printf("\npaper check: per-hop increment below 50 ns — low enough that\n"

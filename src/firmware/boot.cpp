@@ -1,6 +1,7 @@
 #include "firmware/boot.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "common/log.hpp"
@@ -58,6 +59,78 @@ Status BootSequencer::train_all(bool warm) {
   return {};
 }
 
+bool BootSequencer::staged() const {
+  return options_.staged_bringup.value_or(
+      static_cast<int>(machine_.plan().supernodes().size()) >= kStagedBringupThreshold);
+}
+
+Status BootSequencer::plan_check() const {
+  const topology::ClusterPlan& plan = machine_.plan();
+  for (const topology::ChipPlan& cp : plan.chips()) {
+    // Register budgets, counted the way northbridge-init will program them
+    // (the ROM decode window costs the southbridge-attached chips one MMIO
+    // pair; every chip spends one DRAM pair on its own memory).
+    const int mmio_used = static_cast<int>(cp.mmio.size()) +
+                          (cp.southbridge_port.has_value() ? 1 : 0);
+    if (mmio_used > opteron::kNumMmioRanges) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        strprintf("plan check: chip %d needs %d MMIO range pairs",
+                                  cp.chip, mmio_used));
+    }
+    const int dram_used = 1 + static_cast<int>(cp.peer_dram.size()) +
+                          static_cast<int>(cp.dram_routes.size());
+    if (dram_used > opteron::kNumDramRanges) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        strprintf("plan check: chip %d needs %d DRAM range pairs",
+                                  cp.chip, dram_used));
+    }
+    if (static_cast<int>(cp.adaptive.size()) > opteron::kNumMmioRanges) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        strprintf("plan check: chip %d needs %d adaptive entries",
+                                  cp.chip, static_cast<int>(cp.adaptive.size())));
+    }
+    // Every DRAM-pair spill route must name a NodeID whose routing-table
+    // entry sends requests out the intended egress port.
+    for (const auto& dr : cp.dram_routes) {
+      if (dr.node_id < 0 || dr.node_id >= opteron::kMaxCoherentNodes ||
+          cp.route_to_member[static_cast<std::size_t>(dr.node_id)] != dr.port) {
+        return make_error(
+            ErrorCode::kConfigConflict,
+            strprintf("plan check: chip %d spill alias NodeID %d does not route "
+                      "to port %d",
+                      cp.chip, dr.node_id, dr.port));
+      }
+    }
+    // Decode windows must be disjoint: one address, one egress decision.
+    std::vector<AddrRange> windows;
+    windows.push_back(cp.dram);
+    for (const auto& peer : cp.peer_dram) windows.push_back(peer.range);
+    for (const auto& dr : cp.dram_routes) windows.push_back(dr.range);
+    for (const auto& m : cp.mmio) windows.push_back(m.range);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      for (std::size_t j = i + 1; j < windows.size(); ++j) {
+        const bool overlap = windows[i].base.value() < windows[j].end().value() &&
+                             windows[j].base.value() < windows[i].end().value();
+        if (overlap) {
+          return make_error(ErrorCode::kConfigConflict,
+                            strprintf("plan check: chip %d has overlapping decode "
+                                      "windows [%#llx,%#llx) and [%#llx,%#llx)",
+                                      cp.chip,
+                                      static_cast<unsigned long long>(
+                                          windows[i].base.value()),
+                                      static_cast<unsigned long long>(
+                                          windows[i].end().value()),
+                                      static_cast<unsigned long long>(
+                                          windows[j].base.value()),
+                                      static_cast<unsigned long long>(
+                                          windows[j].end().value())));
+        }
+      }
+    }
+  }
+  return {};
+}
+
 template <typename StageFn>
 sim::Task<Status> BootSequencer::run_stage(BootStage stage, StageFn fn) {
   const int num_sn = static_cast<int>(machine_.plan().supernodes().size());
@@ -79,6 +152,20 @@ sim::Task<Status> BootSequencer::run_stage(BootStage stage, StageFn fn) {
 }
 
 sim::Task<Status> BootSequencer::boot() {
+  // -- Staged bring-up: validate the plan before touching the machine -------
+  if (staged()) {
+    StageRecord rec{BootStage::kPlanCheck, machine_.engine().now(),
+                    machine_.engine().now(), ""};
+    Status check = plan_check();
+    rec.note = check.ok()
+                   ? strprintf("%d Supernodes / %d chips validated",
+                               static_cast<int>(machine_.plan().supernodes().size()),
+                               machine_.num_chips())
+                   : check.error().to_string();
+    trace_.push_back(std::move(rec));
+    if (!check.ok()) co_return check;
+  }
+
   // -- Cold reset edge: low-level link init happens in hardware -------------
   Status st = co_await run_stage(BootStage::kColdReset, &BootSequencer::stage_cold_reset);
   if (!st.ok()) co_return st;
@@ -115,7 +202,20 @@ sim::Task<Status> BootSequencer::boot() {
     for (int c = 0; c < machine_.num_chips(); ++c) {
       machine_.chip(c).warm_reset();
     }
-    train_all(/*warm=*/true);
+    if (staged()) {
+      // Staged bring-up trains only the intra-Supernode fabric and the
+      // southbridges here; external TCCluster links come up plane by plane
+      // right after (the kLinkTrainPlane records).
+      const auto& wires = machine_.plan().wires();
+      for (int i = 0; i < machine_.num_links(); ++i) {
+        if (!wires[static_cast<std::size_t>(i)].tccluster) machine_.link(i).train();
+      }
+      for (std::size_t s = 0; s < machine_.plan().supernodes().size(); ++s) {
+        machine_.southbridge_link(static_cast<int>(s)).train();
+      }
+    } else {
+      train_all(/*warm=*/true);
+    }
     co_await machine_.engine().delay(ht::kLinkTrainingTime);
     // Hardware default map back in place so the BSP can keep fetching.
     for (const topology::ChipPlan& cp : machine_.plan().chips()) {
@@ -126,15 +226,65 @@ sim::Task<Status> BootSequencer::boot() {
       }
     }
     // Verify the trick worked: every TCCluster link must now be non-coherent.
-    for (ht::HtLink* l : machine_.tccluster_links()) {
-      if (l->side_a().regs().kind != ht::LinkKind::kNonCoherent) {
-        rec.note = "TCCluster link still coherent after warm reset";
-        trace_.push_back(std::move(rec));
-        co_return make_error(ErrorCode::kFailedPrecondition, rec.note);
+    // (Staged bring-up verifies per plane below, after each plane trains.)
+    if (!staged()) {
+      for (ht::HtLink* l : machine_.tccluster_links()) {
+        if (l->side_a().regs().kind != ht::LinkKind::kNonCoherent) {
+          rec.note = "TCCluster link still coherent after warm reset";
+          trace_.push_back(std::move(rec));
+          co_return make_error(ErrorCode::kFailedPrecondition, rec.note);
+        }
       }
     }
     rec.end = machine_.engine().now();
     trace_.push_back(std::move(rec));
+  }
+
+  // -- Staged bring-up: train external links one plane at a time ------------
+  if (staged()) {
+    const topology::ClusterPlan& plan = machine_.plan();
+    // The plane axis is the outermost dimension with extent > 1.
+    int outer_dim = 0;
+    for (int d = 2; d >= 1 && outer_dim == 0; --d) {
+      for (std::size_t s = 0; s < plan.supernodes().size(); ++s) {
+        if (plan.supernode_coords(static_cast<int>(s))[static_cast<std::size_t>(d)] !=
+            0) {
+          outer_dim = d;
+          break;
+        }
+      }
+    }
+    // Each external wire belongs to the plane of its lower endpoint (wrap
+    // wires close the last plane back to the first).
+    std::map<int, std::vector<int>> planes;
+    const auto& wires = plan.wires();
+    for (int i = 0; i < machine_.num_links(); ++i) {
+      const topology::WireSpec& w = wires[static_cast<std::size_t>(i)];
+      if (!w.tccluster) continue;
+      const int sn_a = plan.chips()[static_cast<std::size_t>(w.a.chip)].supernode;
+      planes[plan.supernode_coords(sn_a)[static_cast<std::size_t>(outer_dim)]]
+          .push_back(i);
+    }
+    for (const auto& [coord, link_ids] : planes) {
+      StageRecord rec{BootStage::kLinkTrainPlane, machine_.engine().now(),
+                      Picoseconds::zero(), ""};
+      for (int i : link_ids) machine_.link(i).train();
+      co_await machine_.engine().delay(ht::kLinkTrainingTime);
+      for (int i : link_ids) {
+        if (machine_.link(i).side_a().regs().kind != ht::LinkKind::kNonCoherent) {
+          const std::string note =
+              strprintf("plane %d: TCCluster link %d still coherent", coord, i);
+          rec.end = machine_.engine().now();
+          rec.note = note;
+          trace_.push_back(std::move(rec));
+          co_return make_error(ErrorCode::kFailedPrecondition, note);
+        }
+      }
+      rec.end = machine_.engine().now();
+      rec.note = strprintf("plane %d: %d links trained", coord,
+                           static_cast<int>(link_ids.size()));
+      trace_.push_back(std::move(rec));
+    }
   }
 
   st = co_await run_stage(BootStage::kNorthbridgeInit,
@@ -153,6 +303,16 @@ sim::Task<Status> BootSequencer::boot() {
   if (!st.ok()) co_return st;
   st = co_await run_stage(BootStage::kLoadOperatingSystem, &BootSequencer::stage_load_os);
   if (!st.ok()) co_return st;
+
+  // -- Staged bring-up: publish the first membership epoch ------------------
+  if (staged()) {
+    const Picoseconds now = machine_.engine().now();
+    trace_.push_back(StageRecord{
+        BootStage::kMembershipEpoch, now, now,
+        strprintf("epoch 0: %d Supernodes / %d chips joined",
+                  static_cast<int>(machine_.plan().supernodes().size()),
+                  machine_.num_chips())});
+  }
 
   booted_ = true;
   co_return Status{};
@@ -224,41 +384,54 @@ sim::Task<Status> BootSequencer::stage_coherent_enumeration(int sn) {
   // sentinel exactly as §IV.E describes. The paper's patch: "only performs
   // coherent link enumeration for the nodes within a Supernode" — stock
   // coreboot would walk the still-coherent TCCluster links too.
+  //
+  // Pre-order traversal: each newly found node is explored before the
+  // current node's next port. On the canonical internal wiring (ports
+  // allocated in member order) this lands NodeID m on member m — including
+  // around the k=4 ring, where scan-all-ports labelling would hand the
+  // BSP's two neighbours NodeIDs 1 and 2.
   std::vector<int> dfs_order;
-  std::vector<int> stack{snp.chips[0]};
+  struct Frame {
+    int chip;
+    int port;
+  };
+  std::vector<Frame> stack{Frame{snp.chips[0], 0}};
   machine_.chip(snp.chips[0]).nb().regs().node_id = 0;
   dfs_order.push_back(snp.chips[0]);
   while (!stack.empty()) {
-    const int cur = stack.back();
-    stack.pop_back();
-    const topology::ChipPlan& cp = machine_.plan().chips()[static_cast<std::size_t>(cur)];
-    for (int port = 0; port < opteron::kMaxLinks; ++port) {
-      ht::HtEndpoint& ep = machine_.chip(cur).endpoint(port);
-      if (!ep.regs().init_complete || ep.regs().kind != ht::LinkKind::kCoherent) continue;
-      const bool is_tcc_wire = (cp.tccluster_ports >> port) & 1u;
-      if (is_tcc_wire && !options_.stock_firmware) continue;  // the paper's patch
-      auto peer = machine_.peer_of(topology::PortRef{cur, port});
-      if (!peer) continue;
-      // Each register access across the fabric costs a config cycle.
-      co_await machine_.engine().delay(Picoseconds::from_ns(200.0));
-      opteron::NorthbridgeRegs& peer_regs = machine_.chip(peer->chip).nb().regs();
-      if (!members.contains(peer->chip)) {
-        // Stock firmware walked across a (still-coherent) TCCluster link and
-        // found a node of ANOTHER Supernode — possibly already claimed by
-        // that Supernode's own racing BSP. Either way the coherent fabric
-        // is corrupt.
-        co_return make_error(
-            ErrorCode::kConfigConflict,
-            strprintf("sn%d: stock coherent enumeration escaped the Supernode "
-                      "through a TCCluster link and found foreign node chip%d — "
-                      "two BSPs now fight over one coherent fabric",
-                      sn, peer->chip));
-      }
-      if (peer_regs.node_id != opteron::kUnassignedNodeId) continue;  // visited
-      peer_regs.node_id = static_cast<int>(dfs_order.size());
-      dfs_order.push_back(peer->chip);
-      stack.push_back(peer->chip);
+    Frame& f = stack.back();
+    if (f.port >= opteron::kMaxLinks) {
+      stack.pop_back();
+      continue;
     }
+    const int cur = f.chip;
+    const int port = f.port++;
+    const topology::ChipPlan& cp = machine_.plan().chips()[static_cast<std::size_t>(cur)];
+    ht::HtEndpoint& ep = machine_.chip(cur).endpoint(port);
+    if (!ep.regs().init_complete || ep.regs().kind != ht::LinkKind::kCoherent) continue;
+    const bool is_tcc_wire = (cp.tccluster_ports >> port) & 1u;
+    if (is_tcc_wire && !options_.stock_firmware) continue;  // the paper's patch
+    auto peer = machine_.peer_of(topology::PortRef{cur, port});
+    if (!peer) continue;
+    // Each register access across the fabric costs a config cycle.
+    co_await machine_.engine().delay(Picoseconds::from_ns(200.0));
+    opteron::NorthbridgeRegs& peer_regs = machine_.chip(peer->chip).nb().regs();
+    if (!members.contains(peer->chip)) {
+      // Stock firmware walked across a (still-coherent) TCCluster link and
+      // found a node of ANOTHER Supernode — possibly already claimed by
+      // that Supernode's own racing BSP. Either way the coherent fabric
+      // is corrupt.
+      co_return make_error(
+          ErrorCode::kConfigConflict,
+          strprintf("sn%d: stock coherent enumeration escaped the Supernode "
+                    "through a TCCluster link and found foreign node chip%d — "
+                    "two BSPs now fight over one coherent fabric",
+                    sn, peer->chip));
+    }
+    if (peer_regs.node_id != opteron::kUnassignedNodeId) continue;  // visited
+    peer_regs.node_id = static_cast<int>(dfs_order.size());
+    dfs_order.push_back(peer->chip);
+    stack.push_back(Frame{peer->chip, 0});
   }
 
   if (static_cast<int>(dfs_order.size()) != static_cast<int>(snp.chips.size())) {
@@ -322,6 +495,20 @@ sim::Task<Status> BootSequencer::stage_northbridge_init(int sn) {
         co_return s;
       }
     }
+    // DRAM-pair spill routes: remote intervals that did not fit the MMIO
+    // register file, homed at a routed (pseudo-)NodeID alias instead. The
+    // routing-table write below gives the alias its egress port.
+    for (const topology::ChipPlan::DramRoute& dr : cp.dram_routes) {
+      if (Status s = regs.add_dram_range(dr.range, dr.node_id); !s.ok()) co_return s;
+    }
+    if (machine_.plan().config().adaptive_routing) {
+      for (const topology::ChipPlan::AdaptiveHint& ah : cp.adaptive) {
+        if (Status s = regs.add_adaptive_route(ah.range, ah.primary_port, ah.alt_port);
+            !s.ok()) {
+          co_return s;
+        }
+      }
+    }
     for (int member = 0; member < 8; ++member) {
       const int port = cp.route_to_member[static_cast<std::size_t>(member)];
       regs.routes[static_cast<std::size_t>(member)] =
@@ -353,10 +540,22 @@ sim::Task<Status> BootSequencer::stage_cpu_msr_init(int sn) {
         !s.ok()) {
       co_return s;
     }
-    // Remote apertures are write-combining so stores become max-sized HT
-    // packets (§V "CPU MSR Init", §VI).
-    for (const topology::MmioPlan& m : cp.mmio) {
-      if (Status s = chip.set_mtrr_all_cores(m.range, opteron::MemType::kWriteCombining);
+    // Remote memory is write-combining so stores become max-sized HT packets
+    // (§V "CPU MSR Init", §VI). Two complement entries — everything below
+    // and above the local Supernode window — cover every remote interval,
+    // including DRAM-pair spill routes, in O(1) MTRR entries at any scale.
+    const AddrRange global = machine_.plan().global_range();
+    if (global.base < snp.range.base) {
+      const AddrRange below{global.base, snp.range.base.value() - global.base.value()};
+      if (Status s = chip.set_mtrr_all_cores(below, opteron::MemType::kWriteCombining);
+          !s.ok()) {
+        co_return s;
+      }
+    }
+    if (snp.range.end() < global.end()) {
+      const AddrRange above{snp.range.end(),
+                            global.end().value() - snp.range.end().value()};
+      if (Status s = chip.set_mtrr_all_cores(above, opteron::MemType::kWriteCombining);
           !s.ok()) {
         co_return s;
       }

@@ -9,6 +9,7 @@
 // why the CAR exit matters.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,12 +35,24 @@ struct BootOptions {
   /// registers-only boot, for tests that don't care about timing.
   bool model_code_fetch = true;
 
+  /// Staged large-cluster bring-up: validate the plan against the register
+  /// budgets before touching the machine, train external TCCluster links one
+  /// plane at a time (grouped by the outermost topology dimension), and
+  /// publish a membership-epoch record once every Supernode is up. Adds
+  /// kPlanCheck / kLinkTrainPlane / kMembershipEpoch records around the
+  /// standard §V trace. Defaults to on at kStagedBringupThreshold+
+  /// Supernodes, off below.
+  std::optional<bool> staged_bringup;
+
   /// Run UNMODIFIED coreboot behaviour instead of the paper's patches:
   /// coherent enumeration walks across the (still-coherent) TCCluster links
   /// and non-coherent enumeration probes them for IO devices. Boot fails —
   /// this is exactly why the paper rewrote those stages.
   bool stock_firmware = false;
 };
+
+/// Supernode count at which staged bring-up turns on by default.
+inline constexpr int kStagedBringupThreshold = 16;
 
 /// Timing/outcome record of one boot stage.
 struct StageRecord {
@@ -89,6 +102,13 @@ class BootSequencer {
 
   /// Train every link in the machine (cold or warm reset edge).
   Status train_all(bool warm);
+
+  /// Whether this boot uses the staged large-cluster bring-up path.
+  [[nodiscard]] bool staged() const;
+
+  /// Offline plan validation for staged bring-up (register budgets,
+  /// interval disjointness) — runs before the machine is touched.
+  [[nodiscard]] Status plan_check() const;
 
   Machine& machine_;
   BootOptions options_;

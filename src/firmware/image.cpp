@@ -19,6 +19,9 @@ const char* to_string(BootStage s) {
     case BootStage::kNonCoherentEnumeration: return "non-coherent-enumeration";
     case BootStage::kPostInitialization: return "post-initialization";
     case BootStage::kLoadOperatingSystem: return "load-operating-system";
+    case BootStage::kPlanCheck: return "plan-check";
+    case BootStage::kLinkTrainPlane: return "link-train-plane";
+    case BootStage::kMembershipEpoch: return "membership-epoch";
   }
   return "?";
 }

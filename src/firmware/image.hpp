@@ -26,7 +26,14 @@ enum class BootStage : std::uint8_t {
   kNonCoherentEnumeration,
   kPostInitialization,
   kLoadOperatingSystem,
+  // Staged large-cluster bring-up records (BootOptions::staged_bringup).
+  // These are trace-only: they carry no code blob in the image, so the
+  // stage directory below stays at kNumBootStages entries.
+  kPlanCheck,
+  kLinkTrainPlane,
+  kMembershipEpoch,
 };
+/// Stages with a code blob in the image (the §V sequence).
 inline constexpr int kNumBootStages = 11;
 
 [[nodiscard]] const char* to_string(BootStage s);

@@ -73,6 +73,26 @@ Status Machine::apply_routing(const topology::ClusterPlan& degraded) {
         return s;
       }
     }
+    // DRAM-pair spill routes point at remote Supernodes, so they change with
+    // the routing too: drop every DRAM entry outside the local Supernode and
+    // install the degraded plan's spill set.
+    const AddrRange local =
+        degraded.supernodes()[static_cast<std::size_t>(cp.supernode)].range;
+    for (auto& d : regs.dram) {
+      if (d.enabled && !local.contains(d.range.base)) d = opteron::DramRangeReg{};
+    }
+    for (const topology::ChipPlan::DramRoute& dr : cp.dram_routes) {
+      if (Status s = regs.add_dram_range(dr.range, dr.node_id); !s.ok()) return s;
+    }
+    // Adaptive escape hints are computed against the healthy topology; the
+    // degraded plan carries a fresh (possibly empty) set.
+    regs.adaptive.fill(opteron::AdaptiveRouteReg{});
+    for (const topology::ChipPlan::AdaptiveHint& ah : cp.adaptive) {
+      if (Status s = regs.add_adaptive_route(ah.range, ah.primary_port, ah.alt_port);
+          !s.ok()) {
+        return s;
+      }
+    }
     for (int member = 0; member < opteron::kMaxCoherentNodes; ++member) {
       const int port = cp.route_to_member[static_cast<std::size_t>(member)];
       regs.routes[static_cast<std::size_t>(member)] =

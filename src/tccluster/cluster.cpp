@@ -64,13 +64,13 @@ Status TcCluster::inject(const FaultEvent& fault) {
   return injector_->schedule(fault);
 }
 
-Status TcCluster::reroute_around_failed_links() {
+Status TcCluster::reroute_around_failed_links(topology::RouteAroundPolicy policy) {
   std::vector<std::size_t> failed;
   for (int i = 0; i < machine_->num_links(); ++i) {
     if (!machine_->link(i).up()) failed.push_back(static_cast<std::size_t>(i));
   }
   if (failed.empty()) return {};
-  auto degraded = plan().route_around(failed);
+  auto degraded = plan().route_around(failed, policy);
   if (!degraded.ok()) return degraded.error();
   return machine_->apply_routing(degraded.value());
 }

@@ -111,9 +111,13 @@ class TcCluster {
 
   /// Recompute routing around every plan wire currently down (failed or
   /// forced) and reprogram the northbridges — the firmware reaction to a
-  /// dead cable. No-op (success) when every wire is up. Fails with
-  /// kUnavailable when the dead wires partition the cluster.
-  Status reroute_around_failed_links();
+  /// dead cable. No-op (success) when every wire is up. Under the default
+  /// strict policy, fails with kUnavailable when the dead wires partition
+  /// the cluster; under kBestEffort, survivors are reprogrammed anyway and
+  /// unreachable Supernodes answer kUnavailable per address (plane-cut
+  /// recovery: the rest of the torus keeps serving).
+  Status reroute_around_failed_links(
+      topology::RouteAroundPolicy policy = topology::RouteAroundPolicy::kStrict);
 
   /// Start/stop the driver keepalive on every node (peer-death detection;
   /// see TcDriver::start_keepalive). Stop before expecting engine().run()

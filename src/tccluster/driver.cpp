@@ -140,13 +140,26 @@ Status TcDriver::load() {
   return {};
 }
 
-void TcDriver::start_keepalive(Picoseconds interval, Picoseconds timeout) {
+void TcDriver::start_keepalive(Picoseconds interval, Picoseconds timeout,
+                               std::vector<int> domain) {
   TCC_ASSERT(loaded_, "start_keepalive() needs a loaded driver");
   if (ka_running_) return;
   ka_running_ = true;
   ka_stop_ = false;
   ka_interval_ = interval;
   ka_timeout_ = timeout;
+  ka_domain_.clear();
+  if (domain.empty()) {
+    for (int peer = 0; peer < machine_.num_chips(); ++peer) {
+      if (peer != chip_) ka_domain_.push_back(peer);
+    }
+  } else {
+    for (int peer : domain) {
+      TCC_ASSERT(peer >= 0 && peer < machine_.num_chips(),
+                 "keepalive domain chip out of range");
+      if (peer != chip_) ka_domain_.push_back(peer);
+    }
+  }
   peers_.assign(static_cast<std::size_t>(machine_.num_chips()),
                 PeerHealth{true, 0, machine_.engine().now()});
   machine_.engine().spawn(keepalive_process());
@@ -168,8 +181,7 @@ sim::Task<void> TcDriver::keepalive_process() {
       // store never arrives — exactly the lost beat the peer's timeout
       // detects; nothing to handle here.
       ++ka_beat_;
-      for (int peer = 0; peer < machine_.num_chips(); ++peer) {
-        if (peer == chip_) continue;
+      for (int peer : ka_domain_) {
         const PhysAddr dst =
             ring(peer, chip_, RingChannel::kApp).base + kHeartbeatOffset;
         (void)co_await core.store_u64(dst, ka_beat_);
@@ -177,8 +189,7 @@ sim::Task<void> TcDriver::keepalive_process() {
       (void)co_await core.sfence();  // beats must not linger in a WC buffer
       TCC_METRIC(driver_metrics().keepalives_sent.inc());
     }
-    for (int peer = 0; peer < machine_.num_chips(); ++peer) {
-      if (peer == chip_) continue;
+    for (int peer : ka_domain_) {
       const PhysAddr src =
           ring(chip_, peer, RingChannel::kApp).base + kHeartbeatOffset;
       auto beat = co_await core.load_u64(src);

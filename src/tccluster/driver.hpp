@@ -137,7 +137,15 @@ class TcDriver {
   /// dead (tcmsg alone cannot tell — it has no retransmit and polls forever).
   /// The process runs until stop_keepalive(), so tests driving engine.run()
   /// to completion must stop it (or use run_until).
-  void start_keepalive(Picoseconds interval, Picoseconds timeout);
+  ///
+  /// `domain` bounds the monitoring set: beats go to (and verdicts form
+  /// about) only those chips. Empty means every chip — fine on a handful
+  /// of nodes, but a beat round is a sequential remote store per peer, so
+  /// on a large fabric an all-to-all round cannot even finish within a
+  /// tight interval. Services name the peers they actually judge instead;
+  /// chips outside the domain stay optimistically alive.
+  void start_keepalive(Picoseconds interval, Picoseconds timeout,
+                       std::vector<int> domain = {});
   void stop_keepalive() {
     ka_stop_ = true;
     // If the process is mid-sleep, cut it short so it observes the stop flag
@@ -182,6 +190,7 @@ class TcDriver {
   Picoseconds ka_timeout_{};
   std::uint64_t ka_beat_ = 0;
   std::vector<PeerHealth> peers_;  // indexed by chip; empty until started
+  std::vector<int> ka_domain_;     // chips beaten/judged; see start_keepalive()
 };
 
 }  // namespace tcc::cluster

@@ -37,8 +37,9 @@ std::uint64_t hrw_score(std::uint64_t seed, int shard, int server) {
 }
 }  // namespace
 
-ShardMap::ShardMap(std::vector<int> servers, int shards, std::uint64_t seed)
-    : servers_(std::move(servers)), seed_(seed) {
+ShardMap::ShardMap(std::vector<int> servers, int shards, std::uint64_t seed,
+                   std::map<int, int> fault_domains)
+    : servers_(std::move(servers)), seed_(seed), domains_(std::move(fault_domains)) {
   TCC_ASSERT(!servers_.empty(), "ShardMap needs at least one server");
   TCC_ASSERT(shards > 0, "ShardMap needs at least one shard");
   std::sort(servers_.begin(), servers_.end());
@@ -60,6 +61,23 @@ ShardMap::ShardMap(std::vector<int> servers, int shards, std::uint64_t seed)
         second_score = score;
       }
     }
+    // Domain-aware replica: prefer the best-scored server outside the
+    // primary's fault domain, so a domain loss (a torus plane cut) never
+    // takes both copies. Falls back to the overall runner-up when every
+    // other server shares the primary's domain.
+    if (!domains_.empty() && second >= 0 && domain_of(second) == domain_of(best)) {
+      int alt = -1;
+      std::uint64_t alt_score = 0;
+      for (int server : servers_) {
+        if (server == best || domain_of(server) == domain_of(best)) continue;
+        const std::uint64_t score = hrw_score(seed_, s, server);
+        if (alt < 0 || score > alt_score) {
+          alt = server;
+          alt_score = score;
+        }
+      }
+      if (alt >= 0) second = alt;
+    }
     primary_[static_cast<std::size_t>(s)] = best;
     replica_[static_cast<std::size_t>(s)] = second;
   }
@@ -67,7 +85,25 @@ ShardMap::ShardMap(std::vector<int> servers, int shards, std::uint64_t seed)
 
 ShardMap ShardMap::from_plan(const topology::ClusterPlan& plan,
                              std::vector<int> servers, int shards) {
-  return ShardMap(std::move(servers), shards, plan.config().seed);
+  // A server's fault domain is its Supernode's coordinate along the
+  // outermost nontrivial dimension (the z-plane of a 3-D torus, the row of
+  // a 2-D shape, the Supernode index of a 1-D one).
+  int outer_dim = 0;
+  for (int d = 2; d >= 1 && outer_dim == 0; --d) {
+    for (std::size_t s = 0; s < plan.supernodes().size(); ++s) {
+      if (plan.supernode_coords(static_cast<int>(s))[static_cast<std::size_t>(d)] != 0) {
+        outer_dim = d;
+        break;
+      }
+    }
+  }
+  std::map<int, int> domains;
+  for (int chip : servers) {
+    const int sn = plan.chips()[static_cast<std::size_t>(chip)].supernode;
+    domains[chip] =
+        plan.supernode_coords(sn)[static_cast<std::size_t>(outer_dim)];
+  }
+  return ShardMap(std::move(servers), shards, plan.config().seed, std::move(domains));
 }
 
 int ShardMap::shard_of(std::string_view key) const {
@@ -80,6 +116,11 @@ int ShardMap::primary(int shard) const {
 
 int ShardMap::replica(int shard) const {
   return replica_.at(static_cast<std::size_t>(shard));
+}
+
+int ShardMap::domain_of(int chip) const {
+  const auto it = domains_.find(chip);
+  return it == domains_.end() ? -1 : it->second;
 }
 
 int ShardMap::partner_of(int shard, int chip) const {

@@ -57,11 +57,20 @@ inline constexpr std::uint16_t kKvReplicate = 3;
 class ShardMap {
  public:
   /// `servers` are the serving chips (ascending); `seed` decorrelates the
-  /// rendezvous scores from the key hash.
-  ShardMap(std::vector<int> servers, int shards, std::uint64_t seed);
+  /// rendezvous scores from the key hash. `fault_domains` (chip -> domain)
+  /// optionally makes placement domain-aware: each shard's replica becomes
+  /// the best-scored server in a *different* domain than its primary, so no
+  /// single domain holds both copies. When no out-of-domain server exists
+  /// (or the map is empty) the overall runner-up is kept — the original
+  /// domain-blind behaviour.
+  ShardMap(std::vector<int> servers, int shards, std::uint64_t seed,
+           std::map<int, int> fault_domains = {});
 
   /// Placement seeded from the cluster plan's master seed, so the shard
-  /// layout is as reproducible as every other derived stream.
+  /// layout is as reproducible as every other derived stream. Fault domains
+  /// come from the plan too: a server's domain is its Supernode's coordinate
+  /// along the outermost topology dimension (the z-plane of a 3-D torus), so
+  /// a plane cut never takes both copies of a shard.
   static ShardMap from_plan(const topology::ClusterPlan& plan,
                             std::vector<int> servers, int shards);
 
@@ -75,12 +84,16 @@ class ShardMap {
   /// The other member of a shard's (primary, replica) pair, or -1.
   [[nodiscard]] int partner_of(int shard, int chip) const;
 
+  /// Fault domain of a server chip, or -1 when placement is domain-blind.
+  [[nodiscard]] int domain_of(int chip) const;
+
   /// Printable placement table (examples, diag).
   [[nodiscard]] std::string describe() const;
 
  private:
   std::vector<int> servers_;
   std::uint64_t seed_;
+  std::map<int, int> domains_;
   std::vector<int> primary_;
   std::vector<int> replica_;
 };

@@ -12,46 +12,122 @@ namespace {
 
 constexpr int kPortsPerChip = 4;  // Opteron: four HT links (§III)
 constexpr int kMmioRegisterBudget = 8;
+constexpr int kDramRegisterBudget = 8;
+// NodeID 7 is the pre-enumeration "unassigned" sentinel (§IV.B); pseudo
+// NodeIDs for spill routes stay below it.
+constexpr int kMaxRouteAlias = 7;
 
-/// Directions a Supernode at position `s` needs external ports for.
-std::vector<Direction> needed_directions(const ClusterConfig& cfg, int s) {
-  std::vector<Direction> dirs;
+/// One grid dimension of the shape. Dimension d owns the Direction pair
+/// (2d, 2d+1) = (negative, positive); routing settles the HIGHEST dimension
+/// first (Z, then Y, then X), which with the row-major Supernode layout
+/// (index = x + nx*(y + ny*z)) keeps each direction's target set a small
+/// number of contiguous index runs.
+struct Dim {
+  int size = 1;
+  bool wrap = false;
+};
+
+struct Dims {
+  std::array<Dim, 3> d{};
+  int count = 0;
+};
+
+Dims dims_of(const ClusterConfig& cfg) {
+  Dims out;
   switch (cfg.shape) {
     case ClusterShape::kCable:
-      dirs.push_back(s == 0 ? Direction::kEast : Direction::kWest);
+      out.d[0] = Dim{2, false};
+      out.count = 1;
       break;
     case ClusterShape::kChain:
-      if (s > 0) dirs.push_back(Direction::kWest);
-      if (s < cfg.nx - 1) dirs.push_back(Direction::kEast);
+      out.d[0] = Dim{cfg.nx, false};
+      out.count = 1;
       break;
     case ClusterShape::kRing:
-      dirs.push_back(Direction::kWest);
-      dirs.push_back(Direction::kEast);
+      out.d[0] = Dim{cfg.nx, true};
+      out.count = 1;
       break;
-    case ClusterShape::kMesh2D: {
-      const int x = s % cfg.nx;
-      const int y = s / cfg.nx;
-      if (x > 0) dirs.push_back(Direction::kWest);
-      if (x < cfg.nx - 1) dirs.push_back(Direction::kEast);
-      if (y > 0) dirs.push_back(Direction::kNorth);
-      if (y < cfg.ny - 1) dirs.push_back(Direction::kSouth);
+    case ClusterShape::kMesh2D:
+      out.d[0] = Dim{cfg.nx, false};
+      out.d[1] = Dim{cfg.ny, false};
+      out.count = 2;
       break;
-    }
     case ClusterShape::kTorus2D:
-      if (cfg.nx > 1) {
-        dirs.push_back(Direction::kWest);
-        dirs.push_back(Direction::kEast);
-      }
-      if (cfg.ny > 1) {
-        dirs.push_back(Direction::kNorth);
-        dirs.push_back(Direction::kSouth);
-      }
+      out.d[0] = Dim{cfg.nx, true};
+      out.d[1] = Dim{cfg.ny, true};
+      out.count = 2;
       break;
+    case ClusterShape::kTorus3D:
+      out.d[0] = Dim{cfg.nx, true};
+      out.d[1] = Dim{cfg.ny, true};
+      out.d[2] = Dim{cfg.nz, true};
+      out.count = 3;
+      break;
+  }
+  return out;
+}
+
+std::array<int, 3> coords_of(const Dims& dims, int s) {
+  std::array<int, 3> c{0, 0, 0};
+  for (int d = 0; d < dims.count; ++d) {
+    c[static_cast<std::size_t>(d)] = s % dims.d[static_cast<std::size_t>(d)].size;
+    s /= dims.d[static_cast<std::size_t>(d)].size;
+  }
+  return c;
+}
+
+int index_of(const Dims& dims, std::array<int, 3> c) {
+  int s = 0;
+  for (int d = dims.count - 1; d >= 0; --d) {
+    s = s * dims.d[static_cast<std::size_t>(d)].size + c[static_cast<std::size_t>(d)];
+  }
+  return s;
+}
+
+constexpr Direction negative_dir(int dim) { return static_cast<Direction>(2 * dim); }
+constexpr Direction positive_dir(int dim) { return static_cast<Direction>(2 * dim + 1); }
+
+/// Minimal direction along dimension `dim` from coordinate `from` to `to`,
+/// or nullopt when the coordinates already agree. On a wrapped dimension the
+/// shorter way around wins, ties towards the positive direction; every hop
+/// taken this way strictly decreases the remaining cyclic distance, which is
+/// the loop-freedom argument for both the dimension-ordered tables and the
+/// adaptive escapes.
+std::optional<Direction> dim_direction(const Dims& dims, int dim, int from, int to) {
+  if (from == to) return std::nullopt;
+  const Dim& d = dims.d[static_cast<std::size_t>(dim)];
+  if (!d.wrap) {
+    return to < from ? negative_dir(dim) : positive_dir(dim);
+  }
+  const int down = ((to - from) % d.size + d.size) % d.size;
+  const int up = d.size - down;
+  return down <= up ? positive_dir(dim) : negative_dir(dim);
+}
+
+/// Directions a Supernode at position `s` needs external ports for, in
+/// dimension order (negative before positive, X before Y before Z).
+std::vector<Direction> needed_directions(const ClusterConfig& cfg, int s) {
+  std::vector<Direction> dirs;
+  if (cfg.shape == ClusterShape::kCable) {
+    dirs.push_back(s == 0 ? Direction::kEast : Direction::kWest);
+    return dirs;
+  }
+  const Dims dims = dims_of(cfg);
+  const auto c = coords_of(dims, s);
+  for (int d = 0; d < dims.count; ++d) {
+    const Dim& dd = dims.d[static_cast<std::size_t>(d)];
+    if (dd.size <= 1) continue;
+    if (dd.wrap) {
+      dirs.push_back(negative_dir(d));
+      dirs.push_back(positive_dir(d));
+    } else {
+      if (c[static_cast<std::size_t>(d)] > 0) dirs.push_back(negative_dir(d));
+      if (c[static_cast<std::size_t>(d)] < dd.size - 1) dirs.push_back(positive_dir(d));
+    }
   }
   return dirs;
 }
 
-/// For Supernode `s`, the egress direction for traffic to Supernode `t`.
 /// SplitMix64 finalizer: spreads a structured key over the full 64-bit space
 /// so per-wire fault streams are decorrelated even for adjacent wire indices.
 std::uint64_t mix64(std::uint64_t z) {
@@ -61,40 +137,116 @@ std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
+/// For Supernode `s`, the egress direction for traffic to Supernode `t`:
+/// dimension order, highest (outermost) dimension first.
 Direction direction_for(const ClusterConfig& cfg, int s, int t) {
-  switch (cfg.shape) {
-    case ClusterShape::kCable:
-    case ClusterShape::kChain:
-      return t < s ? Direction::kWest : Direction::kEast;
-    case ClusterShape::kRing: {
-      const int n = cfg.nx;
-      const int right = ((t - s) % n + n) % n;
-      const int left = n - right;
-      return right <= left ? Direction::kEast : Direction::kWest;  // tie -> East
-    }
-    case ClusterShape::kMesh2D: {
-      const int y = s / cfg.nx;
-      const int ty = t / cfg.nx;
-      // Y-then-X dimension order: settle the row first.
-      if (ty < y) return Direction::kNorth;
-      if (ty > y) return Direction::kSouth;
-      return (t % cfg.nx) < (s % cfg.nx) ? Direction::kWest : Direction::kEast;
-    }
-    case ClusterShape::kTorus2D: {
-      const int y = s / cfg.nx;
-      const int ty = t / cfg.nx;
-      if (ty != y) {
-        // Shortest way around the vertical ring; ties go South.
-        const int down = ((ty - y) % cfg.ny + cfg.ny) % cfg.ny;
-        const int up = cfg.ny - down;
-        return down <= up ? Direction::kSouth : Direction::kNorth;
-      }
-      const int right = ((t - s) % cfg.nx + cfg.nx) % cfg.nx;
-      const int left = cfg.nx - right;
-      return right <= left ? Direction::kEast : Direction::kWest;
+  if (cfg.shape == ClusterShape::kCable) {
+    return t < s ? Direction::kWest : Direction::kEast;
+  }
+  const Dims dims = dims_of(cfg);
+  const auto cs = coords_of(dims, s);
+  const auto ct = coords_of(dims, t);
+  for (int d = dims.count - 1; d >= 0; --d) {
+    if (auto dir = dim_direction(dims, d, cs[static_cast<std::size_t>(d)],
+                                 ct[static_cast<std::size_t>(d)])) {
+      return *dir;
     }
   }
-  return Direction::kEast;
+  return Direction::kEast;  // unreachable: t == s
+}
+
+/// One resolved routed interval on a specific chip.
+struct ChipSegment {
+  AddrRange bytes;
+  int port = -1;
+};
+
+/// Distribute a chip's remote intervals across its MMIO base/limit pairs,
+/// spilling overflow into spare DRAM base/limit pairs (§IV.C gives both
+/// register files the same base/limit shape; a DRAM pair whose dst_node
+/// aliases an egress port routes exactly like an MMIO pair, because every
+/// hop re-looks the address up in the receiving chip's own tables).
+///
+/// Shared by build() and route_around() so healthy and degraded plans obey
+/// the same register budgets.
+Status assign_chip_ranges(ChipPlan& cp, const std::vector<ChipSegment>& segs, int k) {
+  cp.mmio.clear();
+  cp.dram_routes.clear();
+  // Alias slots [k, 7) belong exclusively to spill routes; reset them so a
+  // route_around recomputation starts from a clean file.
+  for (int a = k; a < kMaxRouteAlias; ++a) {
+    cp.route_to_member[static_cast<std::size_t>(a)] = ChipPlan::kSelfRoute;
+  }
+
+  // The BSP chip spends one MMIO register pair on the boot-ROM window; every
+  // chip spends one DRAM pair on its own window and one per Supernode peer.
+  const int mmio_budget = kMmioRegisterBudget - (cp.is_bsp ? 1 : 0);
+  const int dram_budget = kDramRegisterBudget - k;
+  const int total = static_cast<int>(segs.size());
+  if (total <= mmio_budget) {
+    for (const ChipSegment& seg : segs) cp.mmio.push_back(MmioPlan{seg.bytes, seg.port});
+    return {};
+  }
+  const int spill_count = total - mmio_budget;
+  if (spill_count > dram_budget) {
+    return make_error(
+        ErrorCode::kResourceExhausted,
+        strprintf("chip %d needs %d routed intervals, but only %d MMIO base/limit "
+                  "pairs%s and %d spare DRAM pairs are available",
+                  cp.chip, total, mmio_budget,
+                  cp.is_bsp ? " (one is the BSP's ROM window)" : "", dram_budget));
+  }
+
+  // Pick the spill set: prefer intervals whose egress is an internal
+  // coherent port — those reuse a member NodeID as the routes[] alias and
+  // cost no pseudo-NodeID — then smaller intervals first.
+  std::vector<int> order(segs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  auto spill_key = [&](int i) {
+    const ChipSegment& seg = segs[static_cast<std::size_t>(i)];
+    const bool internal = ((cp.coherent_ports >> seg.port) & 1u) != 0;
+    return std::make_tuple(internal ? 0 : 1, seg.bytes.size, i);
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return spill_key(a) < spill_key(b); });
+  std::vector<bool> spilled(segs.size(), false);
+  for (int i = 0; i < spill_count; ++i) spilled[static_cast<std::size_t>(order[i])] = true;
+
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const ChipSegment& seg = segs[i];
+    if (!spilled[i]) {
+      cp.mmio.push_back(MmioPlan{seg.bytes, seg.port});
+      continue;
+    }
+    // Find a routes[] alias whose request link is the segment's egress: a
+    // real member first, then an already-allocated pseudo-NodeID, then a
+    // fresh pseudo-NodeID.
+    int alias = -1;
+    for (int m = 0; m < kMaxRouteAlias; ++m) {
+      if (m == cp.node_id) continue;
+      if (cp.route_to_member[static_cast<std::size_t>(m)] == seg.port) {
+        alias = m;
+        break;
+      }
+    }
+    if (alias < 0) {
+      for (int a = k; a < kMaxRouteAlias; ++a) {
+        if (cp.route_to_member[static_cast<std::size_t>(a)] == ChipPlan::kSelfRoute) {
+          alias = a;
+          cp.route_to_member[static_cast<std::size_t>(a)] = seg.port;
+          break;
+        }
+      }
+    }
+    if (alias < 0) {
+      return make_error(ErrorCode::kResourceExhausted,
+                        strprintf("chip %d: no free pseudo-NodeID for a spilled "
+                                  "interval (all %d route entries in use)",
+                                  cp.chip, kMaxRouteAlias));
+    }
+    cp.dram_routes.push_back(ChipPlan::DramRoute{seg.bytes, alias, seg.port});
+  }
+  return {};
 }
 
 }  // namespace
@@ -106,8 +258,19 @@ const char* to_string(ClusterShape s) {
     case ClusterShape::kRing: return "ring";
     case ClusterShape::kMesh2D: return "mesh2d";
     case ClusterShape::kTorus2D: return "torus2d";
+    case ClusterShape::kTorus3D: return "torus3d";
   }
   return "?";
+}
+
+Result<ClusterShape> shape_from_string(const std::string& name) {
+  for (ClusterShape s : {ClusterShape::kCable, ClusterShape::kChain, ClusterShape::kRing,
+                         ClusterShape::kMesh2D, ClusterShape::kTorus2D,
+                         ClusterShape::kTorus3D}) {
+    if (name == to_string(s)) return s;
+  }
+  return make_error(ErrorCode::kInvalidArgument,
+                    strprintf("unknown cluster shape '%s'", name.c_str()));
 }
 
 const char* to_string(Direction d) {
@@ -116,6 +279,8 @@ const char* to_string(Direction d) {
     case Direction::kEast: return "east";
     case Direction::kNorth: return "north";
     case Direction::kSouth: return "south";
+    case Direction::kUp: return "up";
+    case Direction::kDown: return "down";
   }
   return "?";
 }
@@ -127,25 +292,42 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
     return make_error(ErrorCode::kInvalidArgument,
                       "supernode_size must be 1, 2 or 4");
   }
-  if (config.nx < 1 || config.ny < 1) {
+  if (config.nx < 1 || config.ny < 1 || config.nz < 1) {
     return make_error(ErrorCode::kInvalidArgument, "cluster dimensions must be >= 1");
   }
   if (config.shape == ClusterShape::kCable && config.nx != 2) {
     return make_error(ErrorCode::kInvalidArgument, "a cable cluster has exactly 2 nodes");
   }
-  if (!config.is_2d() && config.ny != 1) {
+  if (!config.is_2d() && !config.is_3d() && config.ny != 1) {
     return make_error(ErrorCode::kInvalidArgument,
                       "ny > 1 requires a 2-D shape (mesh or torus)");
+  }
+  if (!config.is_3d() && config.nz != 1) {
+    return make_error(ErrorCode::kInvalidArgument, "nz > 1 requires the torus3d shape");
   }
   if (config.num_supernodes() < 2) {
     return make_error(ErrorCode::kInvalidArgument, "a cluster needs at least 2 Supernodes");
   }
-  if (config.is_2d() && config.nx > 1 && config.ny > 1 && config.supernode_size < 2) {
-    return make_error(
-        ErrorCode::kConfigConflict,
-        "a 2-D mesh/torus needs supernode_size >= 2: one Opteron has four HT links, "
-        "and four mesh directions plus the southbridge do not fit (this is why "
-        "§IV.E introduces Supernodes)");
+  {
+    const Dims dims = dims_of(config);
+    int wide_dims = 0;
+    for (int d = 0; d < dims.count; ++d) {
+      if (dims.d[static_cast<std::size_t>(d)].size > 1) ++wide_dims;
+    }
+    if (wide_dims >= 2 && config.supernode_size < 2) {
+      return make_error(
+          ErrorCode::kConfigConflict,
+          "a 2-D mesh/torus needs supernode_size >= 2: one Opteron has four HT links, "
+          "and four mesh directions plus the southbridge do not fit (this is why "
+          "§IV.E introduces Supernodes)");
+    }
+    if (wide_dims >= 3 && config.supernode_size < 4) {
+      return make_error(
+          ErrorCode::kConfigConflict,
+          "a 3-D torus needs supernode_size == 4: six directions plus the "
+          "southbridge need seven free HT ports, and smaller Supernodes only "
+          "have five");
+    }
   }
   if (config.dram_per_chip < 1_MiB || config.dram_per_chip % 4096 != 0) {
     return make_error(ErrorCode::kInvalidArgument,
@@ -165,6 +347,7 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
 
   const int k = config.supernode_size;
   const int num_sn = config.num_supernodes();
+  const Dims dims = dims_of(config);
   const std::uint64_t sn_bytes = static_cast<std::uint64_t>(k) * config.dram_per_chip;
 
   // ---- chips, Supernodes, internal wiring --------------------------------
@@ -282,6 +465,10 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
   }
 
   // ---- external wiring -----------------------------------------------------
+  // Generic over dimensions: every Supernode wires its positive direction in
+  // each dimension to the neighbour's negative port. On a wrapped dimension
+  // of size 2 this produces two parallel wires per pair (one per direction),
+  // matching a real double-linked ring.
   auto ext = [&](int s, Direction d) -> const std::optional<PortRef>& {
     return plan.supernodes_[static_cast<std::size_t>(s)].external[static_cast<std::size_t>(d)];
   };
@@ -294,72 +481,29 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
     plan.wires_.push_back(WireSpec{*pa, *pb, /*tccluster=*/true, config.external_medium});
     return {};
   };
-  switch (config.shape) {
-    case ClusterShape::kCable:
-      for (int l = 0; l < config.cable_links; ++l) {
-        plan.wires_.push_back(WireSpec{plan.supernodes_[0].cable_ports[static_cast<std::size_t>(l)],
-                                       plan.supernodes_[1].cable_ports[static_cast<std::size_t>(l)],
-                                       /*tccluster=*/true, config.external_medium});
-      }
-      break;
-    case ClusterShape::kChain:
-      for (int s = 0; s + 1 < num_sn; ++s) {
-        if (Status st = wire_external(s, Direction::kEast, s + 1, Direction::kWest);
+  if (config.shape == ClusterShape::kCable) {
+    for (int l = 0; l < config.cable_links; ++l) {
+      plan.wires_.push_back(WireSpec{plan.supernodes_[0].cable_ports[static_cast<std::size_t>(l)],
+                                     plan.supernodes_[1].cable_ports[static_cast<std::size_t>(l)],
+                                     /*tccluster=*/true, config.external_medium});
+    }
+  } else {
+    for (int s = 0; s < num_sn; ++s) {
+      const auto c = coords_of(dims, s);
+      for (int d = 0; d < dims.count; ++d) {
+        const Dim& dd = dims.d[static_cast<std::size_t>(d)];
+        if (dd.size <= 1) continue;
+        if (!dd.wrap && c[static_cast<std::size_t>(d)] + 1 >= dd.size) continue;
+        auto cn = c;
+        cn[static_cast<std::size_t>(d)] =
+            (c[static_cast<std::size_t>(d)] + 1) % dd.size;
+        const int t = index_of(dims, cn);
+        if (Status st = wire_external(s, positive_dir(d), t, negative_dir(d));
             !st.ok()) {
           return st.error();
         }
       }
-      break;
-    case ClusterShape::kRing:
-      for (int s = 0; s < num_sn; ++s) {
-        if (Status st =
-                wire_external(s, Direction::kEast, (s + 1) % num_sn, Direction::kWest);
-            !st.ok()) {
-          return st.error();
-        }
-      }
-      break;
-    case ClusterShape::kMesh2D:
-      for (int y = 0; y < config.ny; ++y) {
-        for (int x = 0; x < config.nx; ++x) {
-          const int s = y * config.nx + x;
-          if (x + 1 < config.nx) {
-            if (Status st = wire_external(s, Direction::kEast, s + 1, Direction::kWest);
-                !st.ok()) {
-              return st.error();
-            }
-          }
-          if (y + 1 < config.ny) {
-            if (Status st =
-                    wire_external(s, Direction::kSouth, s + config.nx, Direction::kNorth);
-                !st.ok()) {
-              return st.error();
-            }
-          }
-        }
-      }
-      break;
-    case ClusterShape::kTorus2D:
-      for (int y = 0; y < config.ny; ++y) {
-        for (int x = 0; x < config.nx; ++x) {
-          const int s = y * config.nx + x;
-          if (config.nx > 1) {
-            const int east = y * config.nx + (x + 1) % config.nx;
-            if (Status st = wire_external(s, Direction::kEast, east, Direction::kWest);
-                !st.ok()) {
-              return st.error();
-            }
-          }
-          if (config.ny > 1) {
-            const int south = ((y + 1) % config.ny) * config.nx + x;
-            if (Status st = wire_external(s, Direction::kSouth, south, Direction::kNorth);
-                !st.ok()) {
-              return st.error();
-            }
-          }
-        }
-      }
-      break;
+    }
   }
 
   // ---- per-wire fault seeds ------------------------------------------------
@@ -378,6 +522,9 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
   // ---- per-chip address maps ----------------------------------------------
   for (int s = 0; s < num_sn; ++s) {
     // Group remote Supernodes into contiguous runs sharing one direction.
+    // Dimension-ordered direction choice keeps this small: each wrapped
+    // dimension contributes at most 3 linear runs, so a 3-D torus needs at
+    // most 9 — anything past the MMIO register file spills to DRAM pairs.
     struct Run {
       int first, last;  // inclusive Supernode range
       Direction dir;
@@ -393,6 +540,7 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
       }
     }
     const SupernodePlan& sn = plan.supernodes_[static_cast<std::size_t>(s)];
+    const auto cs = coords_of(dims, s);
 
     // Resolve runs to (byte range, external port) segments. On a cable the
     // single remote run is striped across the aggregated links (§V).
@@ -400,7 +548,23 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
       AddrRange bytes;
       PortRef port;
     };
+    // Adaptive escape hints, collected separately at SUB-run granularity:
+    // an escape hop must be minimal for every target it covers, or a packet
+    // could be pushed off its shortest path and livelock. At whole-run
+    // granularity such a direction rarely exists — a Z-routed run spans
+    // targets whose minimal Y (or X) direction flips sign partway through —
+    // so each run is split wherever the per-target minimal alternate
+    // changes (the row-major layout keeps those groups contiguous). Each
+    // sub-run's escape hop still strictly decreases the remaining torus
+    // distance for every covered target, preserving the no-livelock
+    // argument.
+    struct Escape {
+      AddrRange bytes;
+      PortRef primary;
+      PortRef alt;
+    };
     std::vector<Segment> segments;
+    std::vector<Escape> escapes;
     for (const Run& run : runs) {
       const AddrRange bytes{
           PhysAddr{config.global_base + static_cast<std::uint64_t>(run.first) * sn_bytes},
@@ -421,18 +585,44 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
         const auto& port = sn.external[static_cast<std::size_t>(run.dir)];
         TCC_ASSERT(port.has_value(), "direction in use but no external port planned");
         segments.push_back(Segment{bytes, *port});
+        if (config.adaptive_routing) {
+          const int primary_dim = static_cast<int>(run.dir) / 2;
+          // Minimal alternate direction for one target: the outermost
+          // non-primary dimension still in disagreement.
+          auto alt_for = [&](int t) -> std::optional<Direction> {
+            const auto ct = coords_of(dims, t);
+            for (int d = dims.count - 1; d >= 0; --d) {
+              if (d == primary_dim) continue;
+              if (auto dir = dim_direction(dims, d, cs[static_cast<std::size_t>(d)],
+                                           ct[static_cast<std::size_t>(d)])) {
+                if (sn.external[static_cast<std::size_t>(*dir)]) return dir;
+              }
+            }
+            return std::nullopt;
+          };
+          int sub_first = run.first;
+          std::optional<Direction> sub_dir = alt_for(run.first);
+          auto flush = [&](int sub_last) {
+            if (!sub_dir) return;
+            escapes.push_back(Escape{
+                AddrRange{PhysAddr{config.global_base +
+                                   static_cast<std::uint64_t>(sub_first) * sn_bytes},
+                          static_cast<std::uint64_t>(sub_last - sub_first + 1) * sn_bytes},
+                *port, *sn.external[static_cast<std::size_t>(*sub_dir)]});
+          };
+          for (int t = run.first + 1; t <= run.last; ++t) {
+            const auto dir = alt_for(t);
+            if (dir != sub_dir) {
+              flush(t - 1);
+              sub_first = t;
+              sub_dir = dir;
+            }
+          }
+          flush(run.last);
+        }
       }
     }
 
-    // The BSP chip spends one MMIO register pair on the boot-ROM window.
-    const int budget_bsp = kMmioRegisterBudget - 1;
-    if (static_cast<int>(segments.size()) > budget_bsp) {
-      return make_error(ErrorCode::kResourceExhausted,
-                        strprintf("Supernode %d needs %d MMIO intervals, but only %d "
-                                  "base/limit register pairs remain next to the BSP's "
-                                  "ROM window",
-                                  s, static_cast<int>(segments.size()), budget_bsp));
-    }
     for (int m = 0; m < k; ++m) {
       ChipPlan& cp = plan.chips_[static_cast<std::size_t>(sn.chips[static_cast<std::size_t>(m)])];
 
@@ -444,19 +634,34 @@ Result<ClusterPlan> ClusterPlan::build(const ClusterConfig& config) {
         cp.peer_dram.push_back(ChipPlan::PeerDram{peer.dram, peer.node_id});
       }
 
-      // MMIO intervals: egress on the member owning the segment's port, or
-      // towards that member over the internal fabric.
+      // Egress on the member owning the segment's port, or towards that
+      // member over the internal fabric.
+      auto resolve = [&](const PortRef& port) {
+        if (port.chip == cp.chip) return port.port;
+        const int owner_member = plan.chips_[static_cast<std::size_t>(port.chip)].member;
+        const int egress = cp.route_to_member[static_cast<std::size_t>(owner_member)];
+        TCC_ASSERT(egress >= 0, "no internal route to the port-owning member");
+        return egress;
+      };
+      std::vector<ChipSegment> chip_segments;
+      chip_segments.reserve(segments.size());
       for (const Segment& seg : segments) {
-        int egress;
-        if (seg.port.chip == cp.chip) {
-          egress = seg.port.port;
-        } else {
-          const int owner_member =
-              plan.chips_[static_cast<std::size_t>(seg.port.chip)].member;
-          egress = cp.route_to_member[static_cast<std::size_t>(owner_member)];
-          TCC_ASSERT(egress >= 0, "no internal route to the port-owning member");
-        }
-        cp.mmio.push_back(MmioPlan{seg.bytes, egress});
+        chip_segments.push_back(ChipSegment{seg.bytes, resolve(seg.port)});
+      }
+      if (Status st = assign_chip_ranges(cp, chip_segments, k); !st.ok()) {
+        return st.error();
+      }
+      for (const Escape& esc : escapes) {
+        // Only the chip owning the alternate external port gets the hint:
+        // an escape must actually bypass the congested egress over a
+        // different wire, not bounce the packet around the local coherent
+        // fabric.
+        if (esc.alt.chip != cp.chip) continue;
+        const int primary = resolve(esc.primary);
+        if (esc.alt.port == primary) continue;  // same egress: no diversity
+        if (static_cast<int>(cp.adaptive.size()) >= kMmioRegisterBudget) break;
+        cp.adaptive.push_back(
+            ChipPlan::AdaptiveHint{esc.bytes, primary, esc.alt.port});
       }
     }
   }
@@ -486,6 +691,10 @@ Result<int> ClusterPlan::chip_of(PhysAddr addr) const {
   return static_cast<int>((addr.value() - config_.global_base) / config_.dram_per_chip);
 }
 
+std::array<int, 3> ClusterPlan::supernode_coords(int supernode) const {
+  return coords_of(dims_of(config_), supernode);
+}
+
 Result<std::optional<int>> ClusterPlan::next_hop(int chip, PhysAddr addr) const {
   if (chip < 0 || chip >= static_cast<int>(chips_.size())) {
     return make_error(ErrorCode::kOutOfRange, "bad chip index");
@@ -501,8 +710,22 @@ Result<std::optional<int>> ClusterPlan::next_hop(int chip, PhysAddr addr) const 
       return std::optional<int>{port};
     }
   }
+  for (const auto& dr : cp.dram_routes) {
+    if (dr.range.contains(addr)) return std::optional<int>{dr.port};
+  }
   for (const auto& m : cp.mmio) {
     if (m.range.contains(addr)) return std::optional<int>{m.port};
+  }
+  if (!cp.unreachable_supernodes.empty()) {
+    if (auto sn = supernode_of(addr); sn.ok()) {
+      if (std::find(cp.unreachable_supernodes.begin(), cp.unreachable_supernodes.end(),
+                    sn.value()) != cp.unreachable_supernodes.end()) {
+        return make_error(ErrorCode::kUnavailable,
+                          strprintf("chip %d: Supernode %d is unreachable after "
+                                    "route-around",
+                                    chip, sn.value()));
+      }
+    }
   }
   return make_error(ErrorCode::kOutOfRange,
                     strprintf("chip %d: address 0x%llx matches no range", chip,
@@ -536,11 +759,12 @@ Result<std::vector<int>> ClusterPlan::trace_route(int chip, PhysAddr addr,
 }
 
 Result<ClusterPlan> ClusterPlan::route_around(
-    const std::vector<std::size_t>& failed_wires) const {
+    const std::vector<std::size_t>& failed_wires, RouteAroundPolicy policy) const {
   constexpr int kInf = 1 << 30;
   const int n = static_cast<int>(chips_.size());
   const int num_sn = static_cast<int>(supernodes_.size());
   const int k = config_.supernode_size;
+  const bool best_effort = policy == RouteAroundPolicy::kBestEffort;
 
   std::vector<bool> dead(wires_.size(), false);
   for (std::size_t i : failed_wires) {
@@ -567,21 +791,18 @@ Result<ClusterPlan> ClusterPlan::route_around(
         Edge{w.a.chip, !w.tccluster};
   }
 
-  // Multi-source BFS distance from `targets` over surviving wires. With
-  // internal_only, only intra-Supernode coherent links participate.
-  auto bfs = [&](const std::vector<int>& targets, bool internal_only) {
+  // BFS distance from `target` over surviving intra-Supernode coherent
+  // links (external routing is planned at Supernode granularity below).
+  auto bfs = [&](int target) {
     std::vector<int> dist(static_cast<std::size_t>(n), kInf);
-    std::deque<int> q;
-    for (int t : targets) {
-      dist[static_cast<std::size_t>(t)] = 0;
-      q.push_back(t);
-    }
+    std::deque<int> q{target};
+    dist[static_cast<std::size_t>(target)] = 0;
     while (!q.empty()) {
       const int c = q.front();
       q.pop_front();
       for (int p = 0; p < kPortsPerChip; ++p) {
         const Edge& e = adj[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
-        if (e.peer < 0 || (internal_only && !e.internal)) continue;
+        if (e.peer < 0 || !e.internal) continue;
         if (dist[static_cast<std::size_t>(e.peer)] != kInf) continue;
         dist[static_cast<std::size_t>(e.peer)] = dist[static_cast<std::size_t>(c)] + 1;
         q.push_back(e.peer);
@@ -589,13 +810,13 @@ Result<ClusterPlan> ClusterPlan::route_around(
     }
     return dist;
   };
-  // Lowest-numbered port on `c` one step closer to the BFS targets. Every
-  // chip routing strictly downhill on the same distance field is what makes
-  // the degraded tables loop-free.
-  auto downhill_port = [&](const std::vector<int>& dist, int c, bool internal_only) {
+  // Lowest-numbered coherent port on `c` one step closer to the BFS target.
+  // Every chip routing strictly downhill on the same distance field is what
+  // makes the degraded tables loop-free.
+  auto downhill_port = [&](const std::vector<int>& dist, int c) {
     for (int p = 0; p < kPortsPerChip; ++p) {
       const Edge& e = adj[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)];
-      if (e.peer < 0 || (internal_only && !e.internal)) continue;
+      if (e.peer < 0 || !e.internal) continue;
       if (dist[static_cast<std::size_t>(e.peer)] ==
           dist[static_cast<std::size_t>(c)] - 1) {
         return p;
@@ -605,6 +826,13 @@ Result<ClusterPlan> ClusterPlan::route_around(
   };
 
   ClusterPlan degraded = *this;
+  for (ChipPlan& cp : degraded.chips_) {
+    cp.unreachable_supernodes.clear();
+    // Adaptive escape hints encode alternate minimal paths of the HEALTHY
+    // fabric; after a reroute their minimality argument no longer holds, so
+    // degraded plans run pure dimension-order detours.
+    cp.adaptive.clear();
+  }
   std::string unreachable;
   auto note_unreachable = [&](const std::string& what) {
     if (!unreachable.empty()) unreachable += "; ";
@@ -613,10 +841,12 @@ Result<ClusterPlan> ClusterPlan::route_around(
 
   // Intra-Supernode coherent routes (a failed internal wire on a 4-ring has
   // a detour the other way around; on a pair it partitions the Supernode).
+  // A split coherent fabric is fatal even in best-effort mode: the Supernode
+  // is no longer a machine, not merely an unreachable network destination.
   for (const SupernodePlan& sn : supernodes_) {
     for (int m = 0; m < k; ++m) {
       const int target = sn.chips[static_cast<std::size_t>(m)];
-      const auto dist = bfs({target}, /*internal_only=*/true);
+      const auto dist = bfs(target);
       for (int m2 = 0; m2 < k; ++m2) {
         if (m2 == m) continue;
         const int c = sn.chips[static_cast<std::size_t>(m2)];
@@ -626,28 +856,102 @@ Result<ClusterPlan> ClusterPlan::route_around(
                                      c, m, sn.index));
           continue;
         }
-        cp.route_to_member[static_cast<std::size_t>(m)] =
-            downhill_port(dist, c, /*internal_only=*/true);
+        cp.route_to_member[static_cast<std::size_t>(m)] = downhill_port(dist, c);
       }
     }
   }
+  if (best_effort && !unreachable.empty()) {
+    return make_error(ErrorCode::kUnavailable,
+                      "failed links partition the cluster: " + unreachable);
+  }
 
-  // Remote-Supernode egress: reach ANY chip of the target Supernode — once
-  // inside, peer-DRAM windows and the coherent routes above sink the packet.
-  std::vector<std::vector<int>> egress(
-      static_cast<std::size_t>(num_sn), std::vector<int>(static_cast<std::size_t>(n), -1));
+  // Remote-Supernode egress, planned at Supernode granularity. A BFS over
+  // the surviving external topology picks one egress wire per
+  // (source, target) Supernode pair; among the steps one Supernode closer
+  // to the target, the dimension-order preference wins (highest dimension
+  // first, positive before negative). On an intact fabric that reproduces
+  // build()'s dimension-ordered choice exactly, and after a cut it keeps
+  // target -> egress piecewise-constant over contiguous index runs —
+  // per-chip BFS tie-breaking here used to fragment a plane cut's
+  // survivors past their base/limit register budgets.
+  struct SnEdge {
+    int to = -1;
+    PortRef port;  ///< local wire endpoint
+    int rank = 0;  ///< dimension-order preference, lower wins
+  };
+  std::vector<std::vector<SnEdge>> sn_adj(static_cast<std::size_t>(num_sn));
+  {
+    const Dims dims = dims_of(config_);
+    auto step_rank = [&](int s, int nbr) {
+      const auto cs = coords_of(dims, s);
+      const auto cn = coords_of(dims, nbr);
+      for (int d = dims.count - 1; d >= 0; --d) {
+        const auto dd = static_cast<std::size_t>(d);
+        if (cs[dd] == cn[dd]) continue;
+        const bool positive = (cs[dd] + 1) % dims.d[dd].size == cn[dd];
+        return 2 * (dims.count - 1 - d) + (positive ? 0 : 1);
+      }
+      return 2 * dims.count;  // parallel cable link: no grid direction
+    };
+    for (std::size_t i = 0; i < wires_.size(); ++i) {
+      if (dead[i] || !wires_[i].tccluster) continue;
+      const WireSpec& w = wires_[i];
+      const int sa = chips_[static_cast<std::size_t>(w.a.chip)].supernode;
+      const int sb = chips_[static_cast<std::size_t>(w.b.chip)].supernode;
+      sn_adj[static_cast<std::size_t>(sa)].push_back(SnEdge{sb, w.a, step_rank(sa, sb)});
+      sn_adj[static_cast<std::size_t>(sb)].push_back(SnEdge{sa, w.b, step_rank(sb, sa)});
+    }
+  }
+
+  std::vector<PortRef> egress(
+      static_cast<std::size_t>(num_sn) * static_cast<std::size_t>(num_sn));
+  auto egress_at = [&](int t, int s) -> PortRef& {
+    return egress[static_cast<std::size_t>(t) * static_cast<std::size_t>(num_sn) +
+                  static_cast<std::size_t>(s)];
+  };
+  std::vector<int> sn_dist(static_cast<std::size_t>(num_sn));
   for (int t = 0; t < num_sn; ++t) {
-    const auto dist = bfs(supernodes_[static_cast<std::size_t>(t)].chips,
-                          /*internal_only=*/false);
-    for (int c = 0; c < n; ++c) {
-      if (chips_[static_cast<std::size_t>(c)].supernode == t) continue;
-      if (dist[static_cast<std::size_t>(c)] == kInf) {
-        note_unreachable(
-            strprintf("chip %d cannot reach Supernode %d (partition)", c, t));
+    std::fill(sn_dist.begin(), sn_dist.end(), kInf);
+    std::deque<int> q{t};
+    sn_dist[static_cast<std::size_t>(t)] = 0;
+    while (!q.empty()) {
+      const int s = q.front();
+      q.pop_front();
+      for (const SnEdge& e : sn_adj[static_cast<std::size_t>(s)]) {
+        if (sn_dist[static_cast<std::size_t>(e.to)] != kInf) continue;
+        sn_dist[static_cast<std::size_t>(e.to)] =
+            sn_dist[static_cast<std::size_t>(s)] + 1;
+        q.push_back(e.to);
+      }
+    }
+    for (int s = 0; s < num_sn; ++s) {
+      if (s == t) continue;
+      if (sn_dist[static_cast<std::size_t>(s)] == kInf) {
+        if (best_effort) {
+          for (int chip : supernodes_[static_cast<std::size_t>(s)].chips) {
+            degraded.chips_[static_cast<std::size_t>(chip)]
+                .unreachable_supernodes.push_back(t);
+          }
+        } else {
+          note_unreachable(
+              strprintf("Supernode %d cannot reach Supernode %d (partition)", s, t));
+        }
         continue;
       }
-      egress[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)] =
-          downhill_port(dist, c, /*internal_only=*/false);
+      const SnEdge* best = nullptr;
+      for (const SnEdge& e : sn_adj[static_cast<std::size_t>(s)]) {
+        if (sn_dist[static_cast<std::size_t>(e.to)] !=
+            sn_dist[static_cast<std::size_t>(s)] - 1) {
+          continue;
+        }
+        if (!best ||
+            std::make_tuple(e.rank, e.port.chip, e.port.port) <
+                std::make_tuple(best->rank, best->port.chip, best->port.port)) {
+          best = &e;
+        }
+      }
+      TCC_ASSERT(best != nullptr, "finite Supernode distance but no downhill step");
+      egress_at(t, s) = best->port;
     }
   }
   if (!unreachable.empty()) {
@@ -655,40 +959,51 @@ Result<ClusterPlan> ClusterPlan::route_around(
                       "failed links partition the cluster: " + unreachable);
   }
 
-  // Rebuild each chip's MMIO intervals: contiguous Supernode runs sharing an
-  // egress port merge into one base/limit pair, exactly as in build().
+  // Rebuild each chip's routed intervals: contiguous Supernode runs whose
+  // egress resolves to the same local port merge into one base/limit pair,
+  // exactly as in build(); unreachable Supernodes (best-effort only) are
+  // simply left out, so their addresses fall through to next_hop()'s
+  // kUnavailable answer.
   const std::uint64_t sn_bytes =
       static_cast<std::uint64_t>(k) * config_.dram_per_chip;
   for (int c = 0; c < n; ++c) {
     ChipPlan& cp = degraded.chips_[static_cast<std::size_t>(c)];
-    cp.mmio.clear();
+    // The Supernode-level wire endpoint resolves to this chip's own port:
+    // the wire's port when this chip owns it, else the (degraded) internal
+    // route towards the owning member.
+    auto resolve = [&](const PortRef& pr) {
+      if (pr.chip == cp.chip) return pr.port;
+      const int owner_member = chips_[static_cast<std::size_t>(pr.chip)].member;
+      const int p = cp.route_to_member[static_cast<std::size_t>(owner_member)];
+      TCC_ASSERT(p >= 0, "no internal route to the port-owning member");
+      return p;
+    };
     struct Run {
       int first, last, port;
     };
     std::vector<Run> runs;
     for (int t = 0; t < num_sn; ++t) {
       if (t == cp.supernode) continue;
-      const int port = egress[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+      const PortRef pr = egress_at(t, cp.supernode);
+      if (pr.chip < 0) continue;  // unreachable (best-effort): no interval
+      const int port = resolve(pr);
       if (!runs.empty() && runs.back().last == t - 1 && runs.back().port == port) {
         runs.back().last = t;
       } else {
         runs.push_back(Run{t, t, port});
       }
     }
+    std::vector<ChipSegment> segments;
+    segments.reserve(runs.size());
     for (const Run& r : runs) {
-      cp.mmio.push_back(MmioPlan{
+      segments.push_back(ChipSegment{
           AddrRange{PhysAddr{config_.global_base +
                              static_cast<std::uint64_t>(r.first) * sn_bytes},
                     static_cast<std::uint64_t>(r.last - r.first + 1) * sn_bytes},
           r.port});
     }
-    const int budget = kMmioRegisterBudget - (cp.is_bsp ? 1 : 0);
-    if (static_cast<int>(cp.mmio.size()) > budget) {
-      return make_error(
-          ErrorCode::kResourceExhausted,
-          strprintf("degraded routing on chip %d needs %d MMIO intervals but only "
-                    "%d register pairs are available",
-                    c, static_cast<int>(cp.mmio.size()), budget));
+    if (Status st = assign_chip_ranges(cp, segments, k); !st.ok()) {
+      return st.error();
     }
   }
   return degraded;
@@ -710,6 +1025,33 @@ Result<int> ClusterPlan::external_hops(int from_supernode, int to_supernode) con
     if (a != b) ++hops;
   }
   return hops;
+}
+
+int ClusterPlan::bisection_wires() const {
+  const Dims dims = dims_of(config_);
+  int best = 0;
+  bool first = true;
+  for (int d = 0; d < dims.count; ++d) {
+    const Dim& dd = dims.d[static_cast<std::size_t>(d)];
+    if (dd.size <= 1) continue;
+    // Split the dimension at size/2 and count external wires whose endpoint
+    // Supernodes land on opposite sides (wrap wires cross naturally).
+    const int half = dd.size / 2;
+    int crossing = 0;
+    for (const WireSpec& w : wires_) {
+      if (!w.tccluster) continue;
+      const int sa = chips_[static_cast<std::size_t>(w.a.chip)].supernode;
+      const int sb = chips_[static_cast<std::size_t>(w.b.chip)].supernode;
+      const int ca = coords_of(dims, sa)[static_cast<std::size_t>(d)];
+      const int cb = coords_of(dims, sb)[static_cast<std::size_t>(d)];
+      if ((ca < half) != (cb < half)) ++crossing;
+    }
+    if (first || crossing < best) {
+      best = crossing;
+      first = false;
+    }
+  }
+  return best;
 }
 
 }  // namespace tcc::topology

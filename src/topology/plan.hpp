@@ -7,6 +7,12 @@
 // later writes into the simulated chips. Keeping it pure lets the routing
 // properties be tested exhaustively on large clusters without simulating
 // them.
+//
+// Routing is dimension-ordered: a packet settles the outermost dimension
+// first (Z, then Y, then X), taking the shortest way around each wrapped
+// ring with ties broken towards the positive direction. Every hop strictly
+// decreases the remaining cyclic distance, which is what makes the interval
+// tables loop-free on tori (see docs/ARCHITECTURE.md, "Torus fabric").
 #pragma once
 
 #include <array>
@@ -31,13 +37,29 @@ enum class ClusterShape {
   kTorus2D,  // 2-D torus: mesh + wraparound, shortest path per dimension.
              // Needs up to 8 MMIO intervals per chip (wrapping splits each
              // direction's row/column set into two address runs).
+  kTorus3D,  // 3-D torus of Supernodes (nx x ny x nz), Z-then-Y-then-X
+             // dimension order. The wrap splits can need up to 9 intervals;
+             // overflow spills into spare DRAM base/limit pairs routed via
+             // pseudo-NodeIDs (see ChipPlan::dram_routes).
 };
 
 [[nodiscard]] const char* to_string(ClusterShape s);
 
-/// Logical external port directions on a Supernode.
-enum class Direction : std::uint8_t { kWest = 0, kEast = 1, kNorth = 2, kSouth = 3 };
-inline constexpr int kNumDirections = 4;
+/// Parse a shape name as printed by to_string ("cable", "ring", "torus3d"...).
+[[nodiscard]] Result<ClusterShape> shape_from_string(const std::string& name);
+
+/// Logical external port directions on a Supernode. Each dimension d owns
+/// the pair (2d, 2d+1) = (negative, positive): X is West/East, Y is
+/// North/South, Z is Up/Down.
+enum class Direction : std::uint8_t {
+  kWest = 0,
+  kEast = 1,
+  kNorth = 2,
+  kSouth = 3,
+  kUp = 4,
+  kDown = 5,
+};
+inline constexpr int kNumDirections = 6;
 
 [[nodiscard]] const char* to_string(Direction d);
 
@@ -45,9 +67,11 @@ struct ClusterConfig {
   ClusterShape shape = ClusterShape::kCable;
   int nx = 2;  ///< nodes along X (chain/ring length, mesh width)
   int ny = 1;  ///< mesh height
+  int nz = 1;  ///< torus3d depth
   /// Chips per Supernode (1, 2 or 4). A mesh needs >= 2: a single Opteron
   /// has four HT links, and four mesh directions plus the southbridge do
-  /// not fit — the very reason §IV.E introduces Supernodes.
+  /// not fit — the very reason §IV.E introduces Supernodes. A 3-D torus
+  /// needs 4: six directions plus the southbridge need seven free ports.
   int supernode_size = 1;
   /// Parallel links on a cable cluster (§V: the Tyan board has two HT links
   /// between the sockets "which can be aggregated to a dual link"). The
@@ -64,11 +88,21 @@ struct ClusterConfig {
   ht::LinkFreq link_freq = ht::LinkFreq::kHt800;
   ht::LinkMedium external_medium{.length_inches = 24.0, .coax_cable = true};
   ht::LinkMedium internal_medium{.length_inches = 6.0, .coax_cable = false};
+  /// Opt-in adaptive escape routing: the planner additionally emits, per
+  /// MMIO interval that has one, an alternate *minimal* egress port valid
+  /// for every address in the interval. The northbridge takes the alternate
+  /// only when the primary egress queue would block, so escapes stay
+  /// livelock-free (every hop still strictly decreases distance).
+  bool adaptive_routing = false;
 
   [[nodiscard]] bool is_2d() const {
     return shape == ClusterShape::kMesh2D || shape == ClusterShape::kTorus2D;
   }
-  [[nodiscard]] int num_supernodes() const { return is_2d() ? nx * ny : nx; }
+  [[nodiscard]] bool is_3d() const { return shape == ClusterShape::kTorus3D; }
+  [[nodiscard]] int num_supernodes() const {
+    if (is_3d()) return nx * ny * nz;
+    return is_2d() ? nx * ny : nx;
+  }
   [[nodiscard]] int num_chips() const { return num_supernodes() * supernode_size; }
 };
 
@@ -112,7 +146,37 @@ struct ChipPlan {
   };
   std::vector<PeerDram> peer_dram;
 
+  /// Remote intervals that did not fit in the MMIO register file (a 3-D
+  /// torus wrap can need up to 9 intervals against 7 or 8 MMIO pairs).
+  /// Each spills into a spare DRAM base/limit pair whose dst_node names an
+  /// alias in route_to_member — either a real member whose route already
+  /// points at the desired egress, or a pseudo-NodeID in
+  /// [supernode_size, 7) allocated just to carry the port. The packet is
+  /// re-looked-up by address at every hop, so the alias is purely a local
+  /// indirection to an egress port.
+  struct DramRoute {
+    AddrRange range;
+    int node_id = -1;  ///< routes[] alias whose request_link is `port`
+    int port = -1;     ///< resolved egress port (for pure next_hop eval)
+  };
+  std::vector<DramRoute> dram_routes;
+
+  /// Opt-in adaptive escape hints (ClusterConfig::adaptive_routing): an
+  /// alternate egress that is minimal for *every* address in `range`.
+  struct AdaptiveHint {
+    AddrRange range;
+    int primary_port = -1;
+    int alt_port = -1;
+  };
+  std::vector<AdaptiveHint> adaptive;
+
+  /// Supernodes this chip cannot reach after a best-effort route_around.
+  /// next_hop() answers kUnavailable for their addresses. Empty on healthy
+  /// plans and on strict route_around results.
+  std::vector<int> unreachable_supernodes;
+
   /// Coherent routing table: member NodeID -> egress port (kSelfRoute = us).
+  /// Entries at [supernode_size, 7) may carry pseudo-NodeID spill routes.
   static constexpr int kSelfRoute = -1;
   std::array<int, 8> route_to_member{kSelfRoute, kSelfRoute, kSelfRoute, kSelfRoute,
                                      kSelfRoute, kSelfRoute, kSelfRoute, kSelfRoute};
@@ -134,6 +198,19 @@ struct SupernodePlan {
   /// Cable clusters only: the parallel aggregated links (§V), in stripe
   /// order. external[East/West] mirrors entry 0.
   std::vector<PortRef> cable_ports;
+};
+
+/// route_around failure policy.
+enum class RouteAroundPolicy {
+  /// Any unreachable chip fails the whole recomputation with kUnavailable
+  /// (the original behaviour — a degraded plan is all-or-nothing).
+  kStrict,
+  /// Drop unreachable Supernodes from the surviving chips' interval tables
+  /// instead of failing: each surviving chip records them in
+  /// unreachable_supernodes and next_hop() answers kUnavailable for their
+  /// addresses. Only a partition *between survivors* (or a split coherent
+  /// fabric inside a Supernode) still fails the call.
+  kBestEffort,
 };
 
 /// The full cluster plan.
@@ -159,10 +236,15 @@ class ClusterPlan {
   /// Which chip's DRAM window contains `addr`.
   [[nodiscard]] Result<int> chip_of(PhysAddr addr) const;
 
+  /// Grid coordinates of a Supernode: {x, y, z} (unused dimensions are 0).
+  [[nodiscard]] std::array<int, 3> supernode_coords(int supernode) const;
+
   /// Pure next-hop evaluation of the *planned* tables: from `chip`, where
   /// does a request to `addr` go? Used by the property tests to prove
   /// deadlock-free delivery without simulating. Returns the egress port, or
-  /// nullopt when the chip sinks the request locally.
+  /// nullopt when the chip sinks the request locally. Answers kUnavailable
+  /// when `addr` belongs to a Supernode this chip recorded as unreachable
+  /// (best-effort route_around).
   [[nodiscard]] Result<std::optional<int>> next_hop(int chip, PhysAddr addr) const;
 
   /// Follow next_hop() through the wire list until the packet sinks.
@@ -175,15 +257,23 @@ class ClusterPlan {
   /// links only), for the multi-hop latency bench.
   [[nodiscard]] Result<int> external_hops(int from_supernode, int to_supernode) const;
 
+  /// External wires crossing the narrowest axis bisection of the fabric —
+  /// the wire count behind the bisection-bandwidth figure. Multiply by the
+  /// negotiated per-link rate to get bytes/s.
+  [[nodiscard]] int bisection_wires() const;
+
   /// Recompute routing with the given wires (indices into wires()) treated
   /// as dead. Returns a degraded plan whose route_to_member tables and MMIO
   /// intervals steer every chip around the failures along shortest surviving
-  /// paths — the physical wire list is left intact. Fails with kUnavailable
-  /// when the failures partition the cluster (naming the unreachable chips)
-  /// and kResourceExhausted when a detour needs more MMIO base/limit pairs
-  /// than the 8-register budget.
+  /// paths — the physical wire list is left intact. Under kStrict, fails
+  /// with kUnavailable when the failures partition the cluster (naming the
+  /// unreachable chips); under kBestEffort, unreachable Supernodes are
+  /// dropped from the surviving tables instead (see RouteAroundPolicy).
+  /// Fails with kResourceExhausted when a detour needs more base/limit
+  /// pairs than the register budget.
   [[nodiscard]] Result<ClusterPlan> route_around(
-      const std::vector<std::size_t>& failed_wires) const;
+      const std::vector<std::size_t>& failed_wires,
+      RouteAroundPolicy policy = RouteAroundPolicy::kStrict) const;
 
  private:
   ClusterPlan() = default;

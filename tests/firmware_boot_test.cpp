@@ -111,7 +111,9 @@ TEST(Boot, StockFirmwareEscapesTheSupernodeDuringCoherentEnumeration) {
   auto plan = topology::ClusterPlan::build(cable());
   ASSERT_TRUE(plan.ok());
   Machine machine(engine, std::move(plan.value()));
-  BootSequencer boot(machine, BootOptions{.stock_firmware = true});
+  BootOptions opts;
+  opts.stock_firmware = true;
+  BootSequencer boot(machine, opts);
   Status st = boot.run();
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error().code, ErrorCode::kConfigConflict);
@@ -123,7 +125,9 @@ TEST(Boot, UnsynchronizedWarmResetFailsLinkTraining) {
   auto plan = topology::ClusterPlan::build(cable());
   ASSERT_TRUE(plan.ok());
   Machine machine(engine, std::move(plan.value()));
-  BootSequencer boot(machine, BootOptions{.synchronized_reset = false});
+  BootOptions opts;
+  opts.synchronized_reset = false;
+  BootSequencer boot(machine, opts);
   Status st = boot.run();
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error().code, ErrorCode::kFailedPrecondition);
@@ -139,7 +143,9 @@ TEST(Boot, CableSignalIntegrityCapsRequestedFrequency) {
   auto plan = topology::ClusterPlan::build(cable());
   ASSERT_TRUE(plan.ok());
   Machine machine(engine, std::move(plan.value()));
-  BootSequencer boot(machine, BootOptions{.tccluster_freq = ht::LinkFreq::kHt2600});
+  BootOptions opts;
+  opts.tccluster_freq = ht::LinkFreq::kHt2600;
+  BootSequencer boot(machine, opts);
   ASSERT_TRUE(boot.run().ok());
   for (ht::HtLink* l : machine.tccluster_links()) {
     EXPECT_EQ(l->side_a().regs().freq, ht::LinkFreq::kHt800);
@@ -186,6 +192,65 @@ TEST(Boot, RingOfFourBoots) {
   Status st = boot.run();
   ASSERT_TRUE(st.ok()) << st.error().to_string();
   EXPECT_TRUE(boot.booted());
+}
+
+TEST(Boot, StagedBringupAugmentsTheTrace) {
+  topology::ClusterConfig c;
+  c.shape = topology::ClusterShape::kTorus3D;
+  c.nx = 2;
+  c.ny = 2;
+  c.nz = 2;
+  c.supernode_size = 4;
+  c.dram_per_chip = 1_MiB;
+
+  sim::Engine engine;
+  auto plan = topology::ClusterPlan::build(c);
+  ASSERT_TRUE(plan.ok());
+  Machine machine(engine, std::move(plan.value()));
+  BootOptions opts;
+  opts.staged_bringup = true;  // 8 Supernodes: below the auto threshold, opt in
+  BootSequencer boot(machine, opts);
+  Status st = boot.run();
+  ASSERT_TRUE(st.ok()) << st.error().to_string();
+  EXPECT_TRUE(boot.booted());
+
+  // kPlanCheck leads, kMembershipEpoch closes, one kLinkTrainPlane per
+  // z-plane, and the 11 §V stages appear in enum order in between.
+  const auto& tr = boot.trace();
+  ASSERT_GE(tr.size(), static_cast<std::size_t>(kNumBootStages) + 4);
+  EXPECT_EQ(tr.front().stage, BootStage::kPlanCheck);
+  EXPECT_NE(tr.front().note.find("validated"), std::string::npos);
+  EXPECT_EQ(tr.back().stage, BootStage::kMembershipEpoch);
+  EXPECT_NE(tr.back().note.find("epoch 0"), std::string::npos);
+
+  int plane_records = 0;
+  std::vector<BootStage> core;
+  for (const StageRecord& r : tr) {
+    if (r.stage == BootStage::kLinkTrainPlane) {
+      ++plane_records;
+      EXPECT_NE(r.note.find("links trained"), std::string::npos);
+    } else if (r.stage != BootStage::kPlanCheck &&
+               r.stage != BootStage::kMembershipEpoch) {
+      core.push_back(r.stage);
+    }
+  }
+  EXPECT_EQ(plane_records, 2);  // nz = 2
+  ASSERT_EQ(core.size(), static_cast<std::size_t>(kNumBootStages));
+  for (std::size_t i = 0; i < core.size(); ++i) {
+    EXPECT_EQ(core[i], static_cast<BootStage>(i));
+  }
+  for (std::size_t i = 1; i < tr.size(); ++i) {
+    EXPECT_GE(tr[i].start, tr[i - 1].start) << "stage " << i;
+  }
+
+  // Without the opt-in, a rig this small keeps the plain 11-record trace.
+  sim::Engine engine2;
+  auto plan2 = topology::ClusterPlan::build(c);
+  ASSERT_TRUE(plan2.ok());
+  Machine machine2(engine2, std::move(plan2.value()));
+  BootSequencer boot2(machine2);
+  ASSERT_TRUE(boot2.run().ok());
+  EXPECT_EQ(boot2.trace().size(), static_cast<std::size_t>(kNumBootStages));
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Gate the torus-smoke run (kv_serving --shape=torus3d) in CI.
+
+Usage: check_torus_smoke.py BENCH_kv_serving.json [baseline.json]
+
+The run boots the 4x4x4 torus of 4-chip Supernodes (256 chips, staged
+bring-up), sweeps a short open-loop load, and cuts a whole z-plane. This
+checker asserts the correctness side of that JSON — zero failed requests in
+the fault-free sweep, zero acknowledged writes lost to the plane cut, the
+fabric figures present and sane — and gates the run's wall clock against
+the checked-in baseline. Wall time is the one quantity here that depends on
+runner hardware, so the budget is deliberately loose (TOLERANCE below): the
+gate exists to catch the simulation going quadratic at scale (a reintroduced
+all-to-all protocol loop, a scheduler regression), not 20% jitter.
+"""
+
+import json
+import math
+import pathlib
+import sys
+
+TOLERANCE = 1.5  # fail when wall_s exceeds baseline by more than 2.5x
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "torus_smoke_baseline.json"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    baseline_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+
+    doc = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    assert doc.get("schema_version") == 1, doc.get("schema_version")
+    assert doc.get("bench") == "kv_serving", doc.get("bench")
+    cfg = doc["config"]
+    assert cfg.get("topology") == "torus3d-4x4x4", cfg.get("topology")
+
+    failures = []
+
+    # Fabric figures: the bisection cross-section must be present and finite.
+    for key in ("bisection_wires", "link_gbytes_per_s", "bisection_gbytes_per_s"):
+        v = float(cfg.get(key, float("nan")))
+        if not (math.isfinite(v) and v > 0):
+            failures.append(f"config.{key}: missing or non-positive ({v})")
+
+    rows = doc["series"]
+    per_hop = [r for r in rows if r.get("row") == "per_hop_latency"]
+    plane_cut = [r for r in rows if r.get("row") == "plane_cut"]
+    sweep = [r for r in rows if "offered_rps" in r]
+
+    # Per-hop latency: several distances, finite, monotone in hop count.
+    if len(per_hop) < 3:
+        failures.append(f"per-hop rows: expected >=3, got {len(per_hop)}")
+    else:
+        by_hops = sorted(per_hop, key=lambda r: r["hops"])
+        for a, b in zip(by_hops, by_hops[1:]):
+            la, lb = float(a["half_rtt_ns"]), float(b["half_rtt_ns"])
+            if not (math.isfinite(la) and math.isfinite(lb)):
+                failures.append("per-hop latency not finite")
+            elif a["hops"] < b["hops"] and lb <= la:
+                failures.append(
+                    f"latency not increasing with hops: {a['hops']}h={la:.0f}ns "
+                    f"vs {b['hops']}h={lb:.0f}ns")
+        summary = ", ".join(
+            "{}h={:.0f}ns".format(r["hops"], r["half_rtt_ns"]) for r in by_hops)
+        print(f"per-hop: {summary}")
+
+    # The sweep must complete every request.
+    if not sweep:
+        failures.append("no sweep rows")
+    for r in sweep:
+        if r.get("failed", 1) != 0:
+            failures.append(f"sweep at {r['offered_rps']:.0f} rps: {r['failed']} failed")
+
+    # The plane cut must lose nothing and must actually exercise failover.
+    if len(plane_cut) != 1:
+        failures.append(f"plane-cut rows: expected 1, got {len(plane_cut)}")
+    else:
+        pc = plane_cut[0]
+        if pc["lost"] != 0 or pc["stale"] != 0:
+            failures.append(f"plane cut lost {pc['lost']} / stale {pc['stale']} acked writes")
+        if pc["dead_primary_acked"] <= 0:
+            failures.append("plane cut: no write failed over to a surviving replica")
+        if pc["epoch_delta"] > 1:
+            failures.append(f"plane cut: failover took {pc['epoch_delta']} membership epochs")
+        print(f"plane cut: {pc['acked']:.0f} acked, {pc['lost']:.0f} lost, "
+              f"{pc['dead_primary_acked']:.0f} failed over, "
+              f"first failover ack after {pc['recover_us']:.1f} us")
+
+    # Wall clock vs baseline: the scale canary.
+    wall = float(cfg.get("wall_s", float("nan")))
+    base = float(baseline["wall_s"])
+    ceiling = base * (1.0 + TOLERANCE)
+    verdict = "OK" if wall <= ceiling else "REGRESSION"
+    print(f"wall clock {wall:6.2f} s  baseline {base:.2f} s  ceiling {ceiling:.2f} s  {verdict}")
+    if not (math.isfinite(wall) and wall <= ceiling):
+        failures.append(f"wall_s {wall:.2f} exceeds ceiling {ceiling:.2f} "
+                        f"(baseline {base:.2f} + {TOLERANCE:.0%})")
+
+    if failures:
+        print("\ntorus smoke gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("torus smoke gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
