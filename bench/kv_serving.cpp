@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <optional>
@@ -38,7 +39,9 @@
 
 #include "bench_util.hpp"
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "tcsvc/load.hpp"
+#include "tcsvc/membership.hpp"
 
 using namespace tcc;
 using namespace tcc::bench;
@@ -401,17 +404,349 @@ PlaneCutResult run_plane_cut(const tcsvc::KvConfig& kv_cfg) {
   return out;
 }
 
+// ---------------------------------------------------------- --rebalance --
+
+/// Elastic-membership rig: one persistent cluster living through the full
+/// lifecycle. On the ring it is a 6-chip ring (chip 0 the client and the
+/// membership coordinator, chips 1..3 the founding servers, chip 4 the
+/// joiner); --shape=torus3d swaps in a 2x2x2 torus of 4-chip Supernodes
+/// (32 chips) with the client and servers on Supernode-leading chips, so
+/// the rebalance streams cross real dimension-ordered routes.
+struct RebalanceRig {
+  std::unique_ptr<cluster::TcCluster> cl;
+  std::vector<int> servers;  ///< founding serving set
+  int joiner = -1;
+  std::vector<int> participants;  ///< client + servers + joiner
+  std::vector<std::unique_ptr<tcsvc::RpcNode>> nodes;
+  std::vector<std::unique_ptr<tcsvc::KvService>> services;
+  std::vector<std::unique_ptr<tcsvc::MembershipAgent>> agents;
+  std::unique_ptr<tcsvc::KvClient> client;
+  std::unique_ptr<tcsvc::MembershipCoordinator> coord;
+
+  [[nodiscard]] std::uint64_t entries_streamed() const {
+    std::uint64_t sum = 0;
+    for (const auto& a : agents) {
+      if (a) sum += a->stats().entries_out;
+    }
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t dual_writes() const {
+    std::uint64_t sum = 0;
+    for (const auto& a : agents) {
+      if (a) sum += a->stats().dual_writes;
+    }
+    return sum;
+  }
+};
+
+RebalanceRig make_rebalance_rig(const std::string& shape,
+                                const tcsvc::KvConfig& kv_cfg) {
+  RebalanceRig rig;
+  if (shape == "torus3d") {
+    rig.cl = make_torus3d(2, 2, 2);  // 8 Supernodes x 4 chips
+    const auto& sns = rig.cl->plan().supernodes();
+    for (int sn : {1, 2, 3}) rig.servers.push_back(sns[static_cast<std::size_t>(sn)].chips[0]);
+    rig.joiner = sns[4].chips[0];
+  } else {
+    cluster::TcCluster::Options o;
+    o.topology.shape = topology::ClusterShape::kRing;
+    o.topology.nx = 6;
+    o.topology.dram_per_chip = 64_MiB;
+    o.boot.model_code_fetch = false;
+    rig.cl = cluster::TcCluster::create(o).value();
+    rig.cl->boot().expect("boot");
+    rig.servers = {1, 2, 3};
+    rig.joiner = 4;
+  }
+  rig.participants.push_back(0);
+  for (int s : rig.servers) rig.participants.push_back(s);
+  rig.participants.push_back(rig.joiner);
+
+  auto map = tcsvc::ShardMap::from_plan(rig.cl->plan(), rig.servers, kv_cfg.shards);
+  const int n = rig.cl->num_nodes();
+  rig.nodes.resize(static_cast<std::size_t>(n));
+  rig.services.resize(static_cast<std::size_t>(n));
+  rig.agents.resize(static_cast<std::size_t>(n));
+  for (int chip : rig.participants) {
+    rig.nodes[static_cast<std::size_t>(chip)] =
+        std::make_unique<tcsvc::RpcNode>(*rig.cl, chip);
+  }
+  for (int chip : rig.participants) {
+    if (chip == 0) continue;  // the client chip never serves
+    rig.services[static_cast<std::size_t>(chip)] = std::make_unique<tcsvc::KvService>(
+        *rig.cl, *rig.nodes[static_cast<std::size_t>(chip)], map, kv_cfg);
+    rig.services[static_cast<std::size_t>(chip)]->start();
+  }
+  rig.client = std::make_unique<tcsvc::KvClient>(*rig.cl, *rig.nodes[0], map, kv_cfg);
+  for (int chip : rig.participants) {
+    auto& agent = rig.agents[static_cast<std::size_t>(chip)];
+    agent = std::make_unique<tcsvc::MembershipAgent>(
+        *rig.cl, *rig.nodes[static_cast<std::size_t>(chip)], map);
+    agent->start();
+    agent->attach_service(rig.services[static_cast<std::size_t>(chip)].get());
+  }
+  rig.agents[0]->attach_client(rig.client.get());
+  rig.coord = std::make_unique<tcsvc::MembershipCoordinator>(*rig.cl, *rig.agents[0],
+                                                             rig.participants);
+  rig.coord->start();
+  for (int chip : rig.participants) {
+    rig.nodes[static_cast<std::size_t>(chip)]->start(rig.participants).expect("rpc start");
+  }
+  for (int p : rig.participants) {
+    rig.cl->driver(p).start_keepalive(Picoseconds::from_us(2.0),
+                                      Picoseconds::from_us(10.0),
+                                      rig.participants);
+  }
+  return rig;
+}
+
+struct RebalancePhase {
+  std::string name;
+  tcsvc::LoadReport rep;
+  bool op_ok = true;
+  double op_us = 0.0;  ///< membership op latency (join/leave RPC, kill -> commit)
+  std::uint64_t epoch = 0;
+  std::uint64_t entries_streamed = 0;  ///< delta over the phase
+  std::uint64_t dual_writes = 0;
+};
+
+/// The full lifecycle under a persistent open-loop Zipfian load plus a
+/// closed-loop acked-write ledger: steady baseline, then a live join, a
+/// planned drain, and a permanent kill (auto-heal evicts and re-seeds),
+/// each a fresh measurement window with the membership event a third in.
+/// Returns one row per phase plus the final read-back (lost/stale counts).
+int run_rebalance(const std::string& shape, bool smoke, std::uint64_t keys,
+                  BenchReport& report, const std::string& out_path,
+                  const std::chrono::steady_clock::time_point wall_start) {
+  tcsvc::KvConfig kv_cfg;
+  RebalanceRig rig = make_rebalance_rig(shape, kv_cfg);
+  sim::Engine& eng = rig.cl->engine();
+
+  const double window_us = smoke ? 250.0 : 600.0;
+  tcsvc::LoadConfig load_cfg;
+  load_cfg.offered_rps = 250e3;
+  load_cfg.keys = keys;
+  load_cfg.duration = Picoseconds::from_us(window_us);
+  // Generous per-request budget: a request launched right at the kill must
+  // be able to ride out verdict latency plus the eviction rebalance.
+  load_cfg.request_deadline = Picoseconds::from_us(500.0);
+
+  report.config("rebalance", 1.0);
+  report.config("window_us", window_us);
+  report.config("rebalance_rps", load_cfg.offered_rps);
+  report.config("error_budget", load_cfg.slo.error_budget);
+
+  // The acked-write ledger (see the chaos soak): monotone per-write
+  // counters, so an ambiguous timeout can only leave the store newer than
+  // the ledger, never older.
+  std::map<std::string, std::uint64_t> acked;
+  std::uint64_t write_seq = 0;
+  bool stop_writer = false;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    Rng rng(0x1ed6e5);
+    tcsvc::ZipfianGenerator zipf(48, 0.9);
+    while (!stop_writer) {
+      const std::string key = "w" + std::to_string(zipf.next(rng));
+      const std::uint64_t counter = ++write_seq;
+      std::uint8_t buf[8];
+      std::memcpy(buf, &counter, 8);
+      auto r = co_await rig.client->put(key, buf,
+                                        eng.now() + Picoseconds::from_us(400.0));
+      if (r.ok()) acked[key] = counter;
+      co_await eng.delay(Picoseconds::from_ns(
+          1000.0 + static_cast<double>(rng.next_below(2000))));
+    }
+  });
+
+  const int drained = rig.servers[2];  // planned leave
+  const int victim = rig.servers[1];   // permanent kill -> auto-evict
+  std::vector<RebalancePhase> phases;
+  bool script_done = false;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    const char* names[] = {"steady", "join", "drain", "kill"};
+    for (int pi = 0; pi < 4; ++pi) {
+      RebalancePhase phase;
+      phase.name = names[pi];
+      const std::uint64_t streamed0 = rig.entries_streamed();
+      const std::uint64_t dual0 = rig.dual_writes();
+      load_cfg.seed = 17 + static_cast<std::uint64_t>(pi);
+      tcsvc::LoadGenerator gen(*rig.cl, *rig.client, load_cfg);
+      if (pi == 0) (co_await gen.prefill()).expect("prefill");
+
+      bool op_done = (pi == 0);
+      eng.spawn_fn([&]() -> sim::Task<void> {
+        co_await eng.delay(Picoseconds::from_us(window_us / 3.0));
+        const Picoseconds t0 = eng.now();
+        const std::uint64_t epoch_target = static_cast<std::uint64_t>(pi);
+        if (phase.name == "join") {
+          Status s = co_await rig.agents[static_cast<std::size_t>(rig.joiner)]
+                         ->request_join(0);
+          phase.op_ok = s.ok();
+        } else if (phase.name == "drain") {
+          Status s = co_await rig.agents[static_cast<std::size_t>(drained)]
+                         ->request_leave(0);
+          phase.op_ok = s.ok();
+        } else if (phase.name == "kill") {
+          rig.cl->driver(victim).set_hung(true);
+          rig.nodes[static_cast<std::size_t>(victim)]->stop();
+          // Auto-heal owns the rest; the op "completes" at the commit.
+          const Picoseconds give_up = eng.now() + Picoseconds::from_us(2000.0);
+          while (rig.agents[0]->epoch() < epoch_target && eng.now() < give_up) {
+            co_await eng.delay(Picoseconds::from_us(5.0));
+          }
+          phase.op_ok = rig.agents[0]->epoch() >= epoch_target;
+        }
+        phase.op_us = (eng.now() - t0).microseconds();
+        op_done = true;
+      });
+
+      co_await gen.run();
+      while (!op_done) co_await eng.delay(Picoseconds::from_us(5.0));
+      phase.rep = gen.report();
+      phase.epoch = rig.agents[0]->epoch();
+      phase.entries_streamed = rig.entries_streamed() - streamed0;
+      phase.dual_writes = rig.dual_writes() - dual0;
+      phases.push_back(std::move(phase));
+    }
+    stop_writer = true;
+    co_await eng.delay(Picoseconds::from_us(500.0));  // drain the last put
+    for (int p : rig.participants) rig.cl->driver(p).stop_keepalive();
+    for (auto& node : rig.nodes) {
+      if (node) node->stop();
+    }
+    script_done = true;
+  });
+  eng.run();
+  TCC_ASSERT(script_done, "rebalance script must run to completion");
+
+  // Read-back against the final committed placement: an acked write is lost
+  // if either pair member misses the key, stale if it holds a counter older
+  // than the last acked one.
+  std::uint64_t lost = 0, stale = 0;
+  const tcsvc::ShardMap& final_map = rig.agents[0]->map();
+  for (const auto& [key, counter] : acked) {
+    const int shard = final_map.shard_of(key);
+    for (const int owner : {final_map.primary(shard), final_map.replica(shard)}) {
+      const auto* svc = owner >= 0
+          ? rig.services[static_cast<std::size_t>(owner)].get() : nullptr;
+      const auto copy = svc != nullptr ? svc->peek(key) : std::nullopt;
+      if (!copy.has_value() || copy->size() != 8) {
+        ++lost;
+        continue;
+      }
+      std::uint64_t stored = 0;
+      std::memcpy(&stored, copy->data(), 8);
+      if (stored < counter) ++stale;
+    }
+  }
+
+  std::printf("\n%7s  %7s  %9s  %6s  %8s  %8s  %8s  %9s  %6s  %9s  %6s  %5s\n",
+              "phase", "offered", "completed", "failed", "p50_us", "p99_us",
+              "slo_viol", "burn", "epoch", "streamed", "dualw", "op_us");
+  const double steady_p99 = [&] {
+    tcsvc::LoadReport rep = phases[0].rep;
+    return rep.latency_ns.percentile(99.0) / 1e3;
+  }();
+  bool ops_ok = true;
+  std::uint64_t serving_failed = 0;
+  for (RebalancePhase& phase : phases) {
+    tcsvc::LoadReport rep = phase.rep;
+    const double p99_us = rep.latency_ns.percentile(99.0) / 1e3;
+    // SLO error-budget burn: 1.0 = this window used its entire budget.
+    const double burn = static_cast<double>(rep.slo_violations) /
+        std::max(1.0, load_cfg.slo.error_budget * static_cast<double>(rep.offered));
+    std::printf("%7s  %7llu  %9llu  %6llu  %8.2f  %8.2f  %8llu  %9.2f  %6llu  %9llu  %6llu  %5.0f\n",
+                phase.name.c_str(), static_cast<unsigned long long>(rep.offered),
+                static_cast<unsigned long long>(rep.completed),
+                static_cast<unsigned long long>(rep.failed),
+                rep.latency_ns.percentile(50.0) / 1e3, p99_us,
+                static_cast<unsigned long long>(rep.slo_violations), burn,
+                static_cast<unsigned long long>(phase.epoch),
+                static_cast<unsigned long long>(phase.entries_streamed),
+                static_cast<unsigned long long>(phase.dual_writes), phase.op_us);
+    report.add_row({BenchReport::str("row", "rebalance_phase"),
+                    BenchReport::str("phase", phase.name),
+                    BenchReport::num("offered", static_cast<double>(rep.offered)),
+                    BenchReport::num("completed", static_cast<double>(rep.completed)),
+                    BenchReport::num("failed", static_cast<double>(rep.failed)),
+                    BenchReport::num("p50_us", rep.latency_ns.percentile(50.0) / 1e3),
+                    BenchReport::num("p99_us", p99_us),
+                    BenchReport::num("p999_us", rep.latency_ns.percentile(99.9) / 1e3),
+                    BenchReport::num("slo_violations",
+                                     static_cast<double>(rep.slo_violations)),
+                    BenchReport::num("budget_burn", burn),
+                    BenchReport::num("p99_vs_steady",
+                                     steady_p99 > 0.0 ? p99_us / steady_p99 : 0.0),
+                    BenchReport::num("epoch", static_cast<double>(phase.epoch)),
+                    BenchReport::num("entries_streamed",
+                                     static_cast<double>(phase.entries_streamed)),
+                    BenchReport::num("dual_writes",
+                                     static_cast<double>(phase.dual_writes)),
+                    BenchReport::num("op_us", phase.op_us),
+                    BenchReport::num("op_ok", phase.op_ok ? 1.0 : 0.0)});
+    report.add_sample(p99_us);
+    ops_ok = ops_ok && phase.op_ok;
+    if (phase.name != "kill") serving_failed += rep.failed;
+  }
+  const auto& cs = rig.coord->stats();
+  std::printf("\nledger: %llu acked keys, %llu lost, %llu stale; coordinator: "
+              "%llu rebalances (%llu join, %llu leave, %llu evict, %llu failed)\n",
+              static_cast<unsigned long long>(acked.size()),
+              static_cast<unsigned long long>(lost),
+              static_cast<unsigned long long>(stale),
+              static_cast<unsigned long long>(cs.rebalances),
+              static_cast<unsigned long long>(cs.joins),
+              static_cast<unsigned long long>(cs.leaves),
+              static_cast<unsigned long long>(cs.evictions),
+              static_cast<unsigned long long>(cs.failed));
+  report.add_row({BenchReport::str("row", "rebalance_readback"),
+                  BenchReport::num("acked", static_cast<double>(acked.size())),
+                  BenchReport::num("lost", static_cast<double>(lost)),
+                  BenchReport::num("stale", static_cast<double>(stale)),
+                  BenchReport::num("rebalances", static_cast<double>(cs.rebalances)),
+                  BenchReport::num("coord_failed", static_cast<double>(cs.failed))});
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  report.config("wall_s", wall_s);
+  report.write(out_path);
+  std::printf("wall time: %.2f s\n", wall_s);
+
+  if (lost != 0 || stale != 0) {
+    std::printf("FAIL: rebalance lifecycle lost %llu / rolled back %llu "
+                "acknowledged writes\n", static_cast<unsigned long long>(lost),
+                static_cast<unsigned long long>(stale));
+    return 1;
+  }
+  if (!ops_ok || cs.failed != 0) {
+    std::printf("FAIL: a membership operation did not complete\n");
+    return 1;
+  }
+  if (serving_failed != 0) {
+    std::printf("FAIL: %llu requests failed outside the kill window\n",
+                static_cast<unsigned long long>(serving_failed));
+    return 1;
+  }
+  std::printf("join + drain + kill under load: zero acknowledged writes lost\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::string shape = flag_string(argc, argv, "--shape", "ring");
   const bool torus = shape == "torus3d";
+  const bool rebalance = flag_bool(argc, argv, "--rebalance");
 
-  print_header(torus ? "kv serving: open-loop load + plane-cut failover on the "
-                       "4x4x4 torus (256 chips)"
-                     : "kv serving: open-loop load sweep + failover on the "
-                       "4-node ring",
+  print_header(rebalance
+                   ? "kv serving: elastic membership (join/drain/kill) under "
+                     "open-loop load"
+                   : torus ? "kv serving: open-loop load + plane-cut failover on "
+                             "the 4x4x4 torus (256 chips)"
+                           : "kv serving: open-loop load sweep + failover on the "
+                             "4-node ring",
                "serving-tier scenario (beyond the paper's MPI benches)");
   // Keepalive dead-peer WARNs are the expected mechanism in the fault runs.
   Log::set_level(LogLevel::kError);
@@ -422,6 +757,15 @@ int main(int argc, char** argv) {
   const std::uint64_t keys = static_cast<std::uint64_t>(
       flag_int(argc, argv, "--keys=", smoke ? 64 : 256));
   const std::string out_path = flag_value(argc, argv, "--bench-out=");
+
+  if (rebalance) {
+    BenchReport report("kv_serving", "p99_latency", "us");
+    report.config("topology", torus ? std::string("torus3d-2x2x2")
+                                    : std::string("ring-6"));
+    report.config("keys", static_cast<double>(keys));
+    report.config("smoke", smoke ? 1.0 : 0.0);
+    return run_rebalance(shape, smoke, keys, report, out_path, wall_start);
+  }
 
   std::vector<double> loads;
   if (smoke) {

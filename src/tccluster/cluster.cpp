@@ -83,4 +83,18 @@ void TcCluster::stop_keepalives() {
   for (auto& d : drivers_) d->stop_keepalive();
 }
 
+int TcCluster::add_diag_section(std::function<std::string()> section) {
+  const int id = next_diag_section_id_++;
+  diag_sections_[id] = std::move(section);
+  return id;
+}
+
+void TcCluster::remove_diag_section(int id) { diag_sections_.erase(id); }
+
+std::string TcCluster::diag_sections() const {
+  std::string out;
+  for (const auto& [id, fn] : diag_sections_) out += fn();
+  return out;
+}
+
 }  // namespace tcc::cluster

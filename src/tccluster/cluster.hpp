@@ -13,7 +13,10 @@
 //   cluster->engine().run();
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "firmware/boot.hpp"
@@ -126,6 +129,17 @@ class TcCluster {
                         Picoseconds timeout = Picoseconds::from_us(10.0));
   void stop_keepalives();
 
+  // ---- diagnostics -------------------------------------------------------
+
+  /// Register a section that diag::health_report appends verbatim (e.g. the
+  /// serving layer's shard-placement table — diag cannot depend on tcsvc, so
+  /// upper layers push their views down through this hook). Returns an id
+  /// for remove_diag_section(); the callback must stay valid until removed.
+  int add_diag_section(std::function<std::string()> section);
+  void remove_diag_section(int id);
+  /// Render every registered section (used by diag::health_report).
+  [[nodiscard]] std::string diag_sections() const;
+
  private:
   TcCluster(Options options, topology::ClusterPlan plan);
 
@@ -138,6 +152,8 @@ class TcCluster {
   std::vector<std::unique_ptr<ReliableLibrary>> rel_libraries_;
   std::vector<std::unique_ptr<ht::LinkTracer>> tracers_;  // one per plan wire
   std::unique_ptr<FaultInjector> injector_;
+  std::map<int, std::function<std::string()>> diag_sections_;
+  int next_diag_section_id_ = 1;
   bool booted_ = false;
 };
 

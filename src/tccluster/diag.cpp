@@ -147,6 +147,9 @@ std::string health_report(TcCluster& cluster) {
           static_cast<unsigned long long>(st.duplicates_dropped));
     }
   }
+  // Upper-layer sections (e.g. tcsvc shard placement) registered through
+  // TcCluster::add_diag_section — diag itself stays below those layers.
+  out += cluster.diag_sections();
   return out;
 }
 

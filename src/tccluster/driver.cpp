@@ -165,6 +165,18 @@ void TcDriver::start_keepalive(Picoseconds interval, Picoseconds timeout,
   machine_.engine().spawn(keepalive_process());
 }
 
+void TcDriver::add_keepalive_peer(int peer_chip) {
+  TCC_ASSERT(peer_chip >= 0 && peer_chip < machine_.num_chips(),
+             "keepalive peer out of range");
+  if (!ka_running_ || peer_chip == chip_) return;
+  for (int peer : ka_domain_) {
+    if (peer == peer_chip) return;
+  }
+  ka_domain_.push_back(peer_chip);
+  peers_[static_cast<std::size_t>(peer_chip)] =
+      PeerHealth{true, 0, machine_.engine().now()};
+}
+
 std::vector<int> TcDriver::dead_peers() const {
   std::vector<int> out;
   for (std::size_t p = 0; p < peers_.size(); ++p) {
@@ -195,17 +207,20 @@ sim::Task<void> TcDriver::keepalive_process() {
       auto beat = co_await core.load_u64(src);
       PeerHealth& ph = peers_[static_cast<std::size_t>(peer)];
       if (beat.ok() && beat.value() != ph.beats_seen) {
-        if (!ph.alive) {
+        const bool was_dead = !ph.alive;
+        if (was_dead) {
           TCC_INFO("tcdriver", "chip %d: peer %d is back", chip_, peer);
         }
         ph.beats_seen = beat.value();
         ph.last_progress = core.now();
         ph.alive = true;
+        if (was_dead && verdict_cb_) verdict_cb_(peer, true);
       } else if (ph.alive && core.now() - ph.last_progress > ka_timeout_) {
         ph.alive = false;
         TCC_METRIC(driver_metrics().peer_timeouts.inc());
         TCC_WARN("tcdriver", "chip %d: peer %d missed heartbeats for %.1f us — dead",
                  chip_, peer, (core.now() - ph.last_progress).microseconds());
+        if (verdict_cb_) verdict_cb_(peer, false);
       }
     }
     // Cancellable sleep: stop_keepalive() wakes us immediately instead of

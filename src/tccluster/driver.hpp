@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -146,6 +147,17 @@ class TcDriver {
   /// chips outside the domain stay optimistically alive.
   void start_keepalive(Picoseconds interval, Picoseconds timeout,
                        std::vector<int> domain = {});
+  /// Grow a running keepalive's monitoring domain (a node admitted after
+  /// start). No-op if already monitored; the new peer starts optimistically
+  /// alive and is beaten from the next round on.
+  void add_keepalive_peer(int peer_chip);
+  /// Verdict edges: invoked whenever the keepalive flips a peer's liveness
+  /// (alive -> dead on a missed-beat timeout, dead -> alive on the first
+  /// fresh beat). Membership layers hook this to evict/readmit. One callback
+  /// per driver; replaces any previous one.
+  void set_verdict_callback(std::function<void(int peer, bool alive)> cb) {
+    verdict_cb_ = std::move(cb);
+  }
   void stop_keepalive() {
     ka_stop_ = true;
     // If the process is mid-sleep, cut it short so it observes the stop flag
@@ -191,6 +203,7 @@ class TcDriver {
   std::uint64_t ka_beat_ = 0;
   std::vector<PeerHealth> peers_;  // indexed by chip; empty until started
   std::vector<int> ka_domain_;     // chips beaten/judged; see start_keepalive()
+  std::function<void(int, bool)> verdict_cb_;  // liveness edges; may be empty
 };
 
 }  // namespace tcc::cluster

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/strings.hpp"
+#include "tcsvc/membership.hpp"
 #include "tcsvc/metrics_internal.hpp"
 
 namespace tcc::tcsvc {
@@ -85,24 +86,8 @@ ShardMap::ShardMap(std::vector<int> servers, int shards, std::uint64_t seed,
 
 ShardMap ShardMap::from_plan(const topology::ClusterPlan& plan,
                              std::vector<int> servers, int shards) {
-  // A server's fault domain is its Supernode's coordinate along the
-  // outermost nontrivial dimension (the z-plane of a 3-D torus, the row of
-  // a 2-D shape, the Supernode index of a 1-D one).
-  int outer_dim = 0;
-  for (int d = 2; d >= 1 && outer_dim == 0; --d) {
-    for (std::size_t s = 0; s < plan.supernodes().size(); ++s) {
-      if (plan.supernode_coords(static_cast<int>(s))[static_cast<std::size_t>(d)] != 0) {
-        outer_dim = d;
-        break;
-      }
-    }
-  }
   std::map<int, int> domains;
-  for (int chip : servers) {
-    const int sn = plan.chips()[static_cast<std::size_t>(chip)].supernode;
-    domains[chip] =
-        plan.supernode_coords(sn)[static_cast<std::size_t>(outer_dim)];
-  }
+  for (int chip : servers) domains[chip] = plan.fault_domain_of(chip);
   return ShardMap(std::move(servers), shards, plan.config().seed, std::move(domains));
 }
 
@@ -222,11 +207,78 @@ void KvService::start() {
               });
 }
 
+const ShardMap& KvService::shard_map() const {
+  return membership_ != nullptr ? membership_->map() : map_;
+}
+
 bool KvService::acting_primary(int shard) const {
+  const ShardMap& m = shard_map();
   const int self = rpc_.chip();
-  const int p = map_.primary(shard);
+  const int p = m.primary(shard);
   if (p == self) return true;
-  return map_.replica(shard) == self && !cluster_.driver(self).peer_alive(p);
+  return m.replica(shard) == self && !cluster_.driver(self).peer_alive(p);
+}
+
+std::vector<KvService::ExportedEntry> KvService::export_shard(
+    int shard, std::string_view after_key, std::uint32_t max_bytes) const {
+  std::vector<ExportedEntry> out;
+  const auto& slot = store_.at(static_cast<std::size_t>(shard));
+  auto it = after_key.empty() ? slot.begin() : slot.upper_bound(after_key);
+  std::uint32_t bytes = 0;
+  for (; it != slot.end(); ++it) {
+    const auto sz = static_cast<std::uint32_t>(it->first.size() +
+                                               it->second.value.size() + 16);
+    if (!out.empty() && bytes + sz > max_bytes) break;
+    out.push_back(ExportedEntry{it->first, it->second.version, it->second.value});
+    bytes += sz;
+  }
+  return out;
+}
+
+void KvService::apply_entry(int shard, std::string_view key,
+                            std::uint64_t version,
+                            std::span<const std::uint8_t> value) {
+  auto& slot = store_.at(static_cast<std::size_t>(shard));
+  auto it = slot.find(key);
+  // Version gate: streamed chunks, dual-written forwards and tcrel replays
+  // may re-deliver the same (key, version) — only newer versions apply.
+  if (it == slot.end() || version > it->second.version) {
+    slot[std::string(key)] = Entry{version, {value.begin(), value.end()}};
+  }
+  auto& next = next_version_[static_cast<std::size_t>(shard)];
+  next = std::max(next, version);
+}
+
+void KvService::reset_shard(int shard) {
+  store_.at(static_cast<std::size_t>(shard)).clear();
+  next_version_[static_cast<std::size_t>(shard)] = 0;
+}
+
+void KvService::drop_unowned() {
+  const ShardMap& m = shard_map();
+  const int self = rpc_.chip();
+  for (int s = 0; s < m.shards(); ++s) {
+    if (m.primary(s) == self || m.replica(s) == self) continue;
+    if (!store_[static_cast<std::size_t>(s)].empty()) reset_shard(s);
+  }
+}
+
+void KvService::clear_degraded_if_restored() {
+  if (stats_.degraded_open == 0) return;
+  const ShardMap& m = shard_map();
+  const int self = rpc_.chip();
+  for (int s = 0; s < m.shards(); ++s) {
+    const int partner = m.partner_of(s, self);
+    if (partner >= 0 && !cluster_.driver(self).peer_alive(partner)) {
+      return;  // an owned shard still lacks a live partner — stay degraded
+    }
+  }
+  // Every shard this node owns is fully replicated again (a rebalance
+  // re-seeded the lost copies), so the degraded window closes; the
+  // cumulative degraded_writes history is preserved.
+  TCC_METRIC(detail::metrics().kv_degraded_open.add(
+      -static_cast<double>(stats_.degraded_open)));
+  stats_.degraded_open = 0;
 }
 
 std::uint64_t KvService::entries() const {
@@ -237,14 +289,14 @@ std::uint64_t KvService::entries() const {
 
 std::optional<std::vector<std::uint8_t>> KvService::peek(
     std::string_view key) const {
-  const auto& shard = store_[static_cast<std::size_t>(map_.shard_of(key))];
+  const auto& shard = store_[static_cast<std::size_t>(shard_map().shard_of(key))];
   auto it = shard.find(key);
   if (it == shard.end()) return std::nullopt;
   return it->second.value;
 }
 
 std::uint64_t KvService::version_of(std::string_view key) const {
-  const auto& shard = store_[static_cast<std::size_t>(map_.shard_of(key))];
+  const auto& shard = store_[static_cast<std::size_t>(shard_map().shard_of(key))];
   auto it = shard.find(key);
   return it == shard.end() ? 0 : it->second.version;
 }
@@ -254,13 +306,13 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_get(
   co_await cluster_.engine().delay(cfg_.get_compute);
   const std::string_view key(reinterpret_cast<const char*>(body.data()),
                              body.size());
-  const int shard = map_.shard_of(key);
+  const int shard = shard_map().shard_of(key);
   if (!acting_primary(shard)) {
     ++stats_.not_primary_rejects;
     TCC_METRIC(detail::metrics().kv_not_primary.inc());
     co_return make_error(ErrorCode::kFailedPrecondition, "not primary for shard");
   }
-  if (map_.primary(shard) != rpc_.chip()) {
+  if (shard_map().primary(shard) != rpc_.chip()) {
     ++stats_.failover_serves;
     TCC_METRIC(detail::metrics().kv_failover_serves.inc());
   }
@@ -284,17 +336,25 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_put(
   if (!decode_put(body, key, value) || key.empty()) {
     co_return make_error(ErrorCode::kInvalidArgument, "malformed put");
   }
-  const int shard = map_.shard_of(key);
+  const int shard = shard_map().shard_of(key);
   if (!acting_primary(shard)) {
     ++stats_.not_primary_rejects;
     TCC_METRIC(detail::metrics().kv_not_primary.inc());
     co_return make_error(ErrorCode::kFailedPrecondition, "not primary for shard");
   }
   const int self = rpc_.chip();
-  if (map_.primary(shard) != self) {
+  if (shard_map().primary(shard) != self) {
     ++stats_.failover_serves;
     TCC_METRIC(detail::metrics().kv_failover_serves.inc());
   }
+  // Capture the replication fan-out NOW, before any suspension point: a
+  // rebalance commit landing mid-handler must not let this write slip
+  // between the snapshot stream (which ended before commit) and the
+  // dual-write (which we are about to perform from this captured list).
+  const int partner = shard_map().partner_of(shard, self);
+  const std::vector<int> forwards =
+      membership_ != nullptr ? membership_->forward_targets(shard)
+                             : std::vector<int>{};
 
   const std::uint64_t version = ++next_version_[static_cast<std::size_t>(shard)];
   store_[static_cast<std::size_t>(shard)][std::string(key)] =
@@ -305,7 +365,6 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_put(
   // Synchronous replication: ack the client only once the partner applied
   // the write — or is already judged dead, in which case the single
   // surviving copy IS the store (counted as a degraded ack).
-  const int partner = map_.partner_of(shard, self);
   if (partner >= 0) {
     if (cluster_.driver(self).peer_alive(partner)) {
       const Picoseconds repl_deadline =
@@ -322,7 +381,9 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_put(
         // The partner died mid-replication; the keepalive verdict arrived
         // first. Ack on the surviving copy.
         ++stats_.degraded_writes;
+        ++stats_.degraded_open;
         TCC_METRIC(detail::metrics().kv_degraded_writes.inc());
+        TCC_METRIC(detail::metrics().kv_degraded_open.add(1.0));
       } else {
         // Partner alive but the sub-call failed (e.g. its deadline expired
         // under load): refuse the ack so the client retries — an acked
@@ -332,8 +393,31 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_put(
       }
     } else {
       ++stats_.degraded_writes;
+      ++stats_.degraded_open;
       TCC_METRIC(detail::metrics().kv_degraded_writes.inc());
+      TCC_METRIC(detail::metrics().kv_degraded_open.add(1.0));
     }
+  }
+
+  // Dual-write during migration: while this node is a rebalance stream
+  // source, the ack additionally requires the write on every future owner —
+  // the snapshot stream only covers keys behind its cursor. Version gating
+  // dedupes entries that travel both paths.
+  for (const int target : forwards) {
+    if (target == self || target == partner) continue;
+    if (!cluster_.driver(self).peer_alive(target)) continue;  // mid-rebalance death
+    CallOptions opts;
+    opts.channel = cfg_.replication_channel;
+    opts.deadline = std::min(ctx.deadline,
+                             cluster_.engine().now() + cfg_.replicate_deadline);
+    auto r = co_await rpc_.call(target, kKvReplicate,
+                                encode_replicate(key, version, value), opts);
+    if (!r.ok() && cluster_.driver(self).peer_alive(target)) {
+      co_return make_error(ErrorCode::kUnavailable,
+                           "dual-write failed: " + r.error().to_string());
+    }
+    membership_->note_dual_write();
+    TCC_METRIC(detail::metrics().rebalance_dual_writes.inc());
   }
   co_return encode_version(version);
 }
@@ -347,16 +431,8 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_replicate(
   if (!decode_replicate(body, key, version, value) || key.empty()) {
     co_return make_error(ErrorCode::kInvalidArgument, "malformed replicate");
   }
-  const int shard = map_.shard_of(key);
-  auto& slot = store_[static_cast<std::size_t>(shard)];
-  auto it = slot.find(key);
-  // Version-gated apply: tcrel replays and client retries re-deliver the
-  // same (key, version) — only newer versions change state.
-  if (it == slot.end() || version > it->second.version) {
-    slot[std::string(key)] = Entry{version, {value.begin(), value.end()}};
-  }
-  auto& next = next_version_[static_cast<std::size_t>(shard)];
-  next = std::max(next, version);
+  const int shard = shard_map().shard_of(key);
+  apply_entry(shard, key, version, value);
   ++stats_.replications_in;
   TCC_METRIC(detail::metrics().kv_replications.inc());
   co_return std::vector<std::uint8_t>{};
@@ -368,23 +444,32 @@ KvClient::KvClient(cluster::TcCluster& cluster, RpcNode& rpc, ShardMap map,
                    KvConfig cfg)
     : cluster_(cluster), rpc_(rpc), map_(std::move(map)), cfg_(cfg) {}
 
+const ShardMap& KvClient::shard_map() const {
+  return membership_ != nullptr ? membership_->map() : map_;
+}
+
 sim::Task<Result<std::vector<std::uint8_t>>> KvClient::request(
     std::uint16_t method, int shard, std::vector<std::uint8_t> payload,
     Picoseconds deadline) {
   sim::Engine& engine = cluster_.engine();
   const int self = rpc_.chip();
-  const int p = map_.primary(shard);
-  const int r = map_.replica(shard);
   auto alive = [&](int chip) {
     return chip == self || cluster_.driver(self).peer_alive(chip);
   };
 
-  int target = p;
-  if (!alive(p) && r >= 0) {
-    target = r;
-    ++stats_.failover_routes;
-  }
+  bool prefer_replica = false;
   for (;;) {
+    // Placement is re-resolved per attempt: a rebalance committing between
+    // attempts (the old owner answers kFailedPrecondition at cutover)
+    // reroutes the very next retry to the new owner.
+    const ShardMap& m = shard_map();
+    const int p = m.primary(shard);
+    const int r = m.replica(shard);
+    int target = p;
+    if ((prefer_replica || !alive(p)) && r >= 0) {
+      target = r;
+      ++stats_.failover_routes;
+    }
     CallOptions opts;
     opts.channel = cfg_.client_channel;
     opts.deadline = std::min(deadline, engine.now() + cfg_.attempt_deadline);
@@ -398,11 +483,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvClient::request(
     }
     if (engine.now() + cfg_.retry_backoff >= deadline) co_return result;
     ++stats_.retries;
-    const int other = (target == p) ? r : p;
-    if (other >= 0) {
-      if (target == p) ++stats_.failover_routes;
-      target = other;
-    }
+    prefer_replica = (target == p);  // alternate copies across attempts
     co_await engine.delay(cfg_.retry_backoff);
   }
 }
@@ -413,7 +494,8 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvClient::get(
   const Picoseconds abs =
       deadline.value_or(cluster_.engine().now() + cfg_.op_deadline);
   std::vector<std::uint8_t> payload(key.begin(), key.end());
-  co_return co_await request(kKvGet, map_.shard_of(key), std::move(payload), abs);
+  co_return co_await request(kKvGet, shard_map().shard_of(key),
+                             std::move(payload), abs);
 }
 
 sim::Task<Result<std::uint64_t>> KvClient::put(
@@ -422,7 +504,7 @@ sim::Task<Result<std::uint64_t>> KvClient::put(
   ++stats_.puts;
   const Picoseconds abs =
       deadline.value_or(cluster_.engine().now() + cfg_.op_deadline);
-  auto result = co_await request(kKvPut, map_.shard_of(key),
+  auto result = co_await request(kKvPut, shard_map().shard_of(key),
                                  encode_put(key, value), abs);
   if (!result.ok()) co_return result.error();
   if (result.value().size() != 8) {

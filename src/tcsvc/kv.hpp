@@ -48,6 +48,8 @@
 
 namespace tcc::tcsvc {
 
+class MembershipAgent;  // membership.hpp (layered above the KV service)
+
 /// RPC method ids of the KV protocol.
 inline constexpr std::uint16_t kKvGet = 1;
 inline constexpr std::uint16_t kKvPut = 2;
@@ -130,7 +132,9 @@ struct KvStats {
   std::uint64_t replications_out = 0;  ///< replicate calls issued as primary
   std::uint64_t replications_in = 0;   ///< replicate frames applied as replica
   std::uint64_t not_primary_rejects = 0;
-  std::uint64_t degraded_writes = 0;   ///< acked with the partner judged dead
+  std::uint64_t degraded_writes = 0;   ///< acked with the partner judged dead (cumulative)
+  std::uint64_t degraded_open = 0;     ///< degraded acks not yet re-replicated; cleared
+                                       ///< once every owned shard has a live partner again
   std::uint64_t failover_serves = 0;   ///< ops served while acting for a dead primary
 };
 
@@ -150,7 +154,40 @@ class KvService {
 
   [[nodiscard]] int chip() const { return rpc_.chip(); }
   [[nodiscard]] const KvStats& stats() const { return stats_; }
-  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+  /// The placement currently in force: the membership agent's map once one
+  /// is attached (it advances with each committed epoch), else the map the
+  /// service was built with.
+  [[nodiscard]] const ShardMap& shard_map() const;
+
+  // ---- membership hooks ---------------------------------------------------
+  /// Attach the node's membership agent: placement becomes epoch-driven and
+  /// acked writes are dual-written to migration targets while this node is a
+  /// rebalance stream source (MembershipAgent::attach_service calls this).
+  void set_membership(MembershipAgent* membership) { membership_ = membership; }
+
+  /// One streamed entry of a shard migration.
+  struct ExportedEntry {
+    std::string key;
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> value;
+  };
+  /// Keys of `shard` strictly after `after_key` (empty = from the start), in
+  /// key order, stopping before `max_bytes` of key+value payload (always at
+  /// least one entry when any remain) — the bounded-chunk export cursor.
+  [[nodiscard]] std::vector<ExportedEntry> export_shard(
+      int shard, std::string_view after_key, std::uint32_t max_bytes) const;
+  /// Version-gated apply of a streamed/forwarded entry (idempotent; also the
+  /// replica write path).
+  void apply_entry(int shard, std::string_view key, std::uint64_t version,
+                   std::span<const std::uint8_t> value);
+  /// Drop every entry of `shard` and restart its version sequence — a
+  /// migration target clears any stale copy before the stream begins.
+  void reset_shard(int shard);
+  /// Post-commit hooks: drop shards this node no longer owns under the new
+  /// map, and close the degraded-write window if every owned shard has a
+  /// live partner again.
+  void drop_unowned();
+  void clear_degraded_if_restored();
 
   // ---- introspection (tests, diag) ---------------------------------------
   [[nodiscard]] std::uint64_t entries() const;
@@ -179,6 +216,7 @@ class KvService {
   RpcNode& rpc_;
   ShardMap map_;
   KvConfig cfg_;
+  MembershipAgent* membership_ = nullptr;
   /// shard -> ordered key map (std::map: deterministic iteration).
   std::vector<std::map<std::string, Entry, std::less<>>> store_;
   /// Highest version assigned or applied per shard; a promoted replica
@@ -211,7 +249,16 @@ class KvClient {
       std::optional<Picoseconds> deadline = std::nullopt);
 
   [[nodiscard]] const KvClientStats& stats() const { return stats_; }
-  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+  /// The placement this client routes by (the membership agent's map when
+  /// attached — see KvService::shard_map()).
+  [[nodiscard]] const ShardMap& shard_map() const;
+
+  /// Attach a membership agent: routing follows committed epochs, and the
+  /// retry loop re-resolves placement per attempt so a cutover that lands
+  /// between attempts reroutes the very next one.
+  void set_membership(const MembershipAgent* membership) {
+    membership_ = membership;
+  }
 
  private:
   [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> request(
@@ -222,6 +269,7 @@ class KvClient {
   RpcNode& rpc_;
   ShardMap map_;
   KvConfig cfg_;
+  const MembershipAgent* membership_ = nullptr;
   KvClientStats stats_;
 };
 

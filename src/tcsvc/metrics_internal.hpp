@@ -44,6 +44,26 @@ struct SvcMetrics {
       telemetry::MetricsRegistry::global().counter("tcsvc.kv.degraded_writes");
   telemetry::Counter& kv_failover_serves =
       telemetry::MetricsRegistry::global().counter("tcsvc.kv.failover_serves");
+  telemetry::Gauge& kv_degraded_open =
+      telemetry::MetricsRegistry::global().gauge("tcsvc.kv.degraded_open");
+  telemetry::Gauge& membership_epoch =
+      telemetry::MetricsRegistry::global().gauge("tcsvc.membership.epoch");
+  telemetry::Counter& membership_joins =
+      telemetry::MetricsRegistry::global().counter("tcsvc.membership.joins");
+  telemetry::Counter& membership_leaves =
+      telemetry::MetricsRegistry::global().counter("tcsvc.membership.leaves");
+  telemetry::Counter& membership_evictions =
+      telemetry::MetricsRegistry::global().counter("tcsvc.membership.evictions");
+  telemetry::Counter& membership_rebalances =
+      telemetry::MetricsRegistry::global().counter("tcsvc.membership.rebalances");
+  telemetry::Counter& rebalance_shards_moved =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rebalance.shards_moved");
+  telemetry::Counter& rebalance_entries_streamed = telemetry::MetricsRegistry::global().counter(
+      "tcsvc.rebalance.entries_streamed");
+  telemetry::Counter& rebalance_chunks =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rebalance.chunks");
+  telemetry::Counter& rebalance_dual_writes =
+      telemetry::MetricsRegistry::global().counter("tcsvc.rebalance.dual_writes");
   telemetry::Counter& load_offered =
       telemetry::MetricsRegistry::global().counter("tcsvc.load.offered");
   telemetry::Counter& load_completed =

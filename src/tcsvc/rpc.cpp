@@ -89,6 +89,19 @@ Status RpcNode::start(std::span<const int> peers) {
   return Status{};
 }
 
+void RpcNode::resume() {
+  if (!stopped_) return;
+  stopped_ = false;
+  for (auto& [peer, ps] : peers_) {
+    if (ps->pump_running) continue;  // still draining its last slice
+    PeerState* raw = ps.get();
+    raw->pump_running = true;
+    const int p = peer;
+    cluster_.engine().spawn_fn(
+        [this, raw, p]() -> sim::Task<void> { co_await pump(raw, p); });
+  }
+}
+
 cluster::ReliableEndpoint* RpcNode::endpoint(int peer) {
   auto it = peers_.find(peer);
   return it == peers_.end() ? nullptr : it->second->ep;

@@ -152,6 +152,12 @@ class RpcNode {
   void stop() { stopped_ = true; }
   [[nodiscard]] bool stopped() const { return stopped_; }
 
+  /// Undo stop(): restart the serve pump toward every known peer. This is
+  /// the warm-reset rejoin path — a node that went dark (hung driver, RPC
+  /// stopped) comes back on the same endpoints; tcrel epoch sync reconciles
+  /// the streams underneath.
+  void resume();
+
   /// Issue one call and wait for the response, a typed error reply, or the
   /// deadline. `peer == chip()` dispatches locally without touching a ring.
   [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> call(

@@ -695,6 +695,22 @@ std::array<int, 3> ClusterPlan::supernode_coords(int supernode) const {
   return coords_of(dims_of(config_), supernode);
 }
 
+int ClusterPlan::fault_domain_of(int chip) const {
+  TCC_ASSERT(chip >= 0 && chip < static_cast<int>(chips_.size()),
+             "fault_domain_of: bad chip index");
+  int outer_dim = 0;
+  for (int d = 2; d >= 1 && outer_dim == 0; --d) {
+    for (std::size_t s = 0; s < supernodes_.size(); ++s) {
+      if (supernode_coords(static_cast<int>(s))[static_cast<std::size_t>(d)] != 0) {
+        outer_dim = d;
+        break;
+      }
+    }
+  }
+  const int sn = chips_[static_cast<std::size_t>(chip)].supernode;
+  return supernode_coords(sn)[static_cast<std::size_t>(outer_dim)];
+}
+
 Result<std::optional<int>> ClusterPlan::next_hop(int chip, PhysAddr addr) const {
   if (chip < 0 || chip >= static_cast<int>(chips_.size())) {
     return make_error(ErrorCode::kOutOfRange, "bad chip index");

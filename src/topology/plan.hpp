@@ -239,6 +239,12 @@ class ClusterPlan {
   /// Grid coordinates of a Supernode: {x, y, z} (unused dimensions are 0).
   [[nodiscard]] std::array<int, 3> supernode_coords(int supernode) const;
 
+  /// Fault domain of a chip: its Supernode's coordinate along the outermost
+  /// nontrivial dimension (the z-plane of a 3-D torus, the row of a 2-D
+  /// shape, the Supernode index of a 1-D one). Placement layers spread
+  /// replicas across domains so one plane cut never takes every copy.
+  [[nodiscard]] int fault_domain_of(int chip) const;
+
   /// Pure next-hop evaluation of the *planned* tables: from `chip`, where
   /// does a request to `addr` go? Used by the property tests to prove
   /// deadlock-free delivery without simulating. Returns the egress port, or

@@ -12,12 +12,18 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "tccluster/cluster.hpp"
 #include "tccluster/diag.hpp"
+#include "tcsvc/kv.hpp"
+#include "tcsvc/load.hpp"
+#include "tcsvc/membership.hpp"
+#include "tcsvc/rpc.hpp"
 
 namespace tcc::cluster {
 namespace {
@@ -176,6 +182,157 @@ void run_soak(std::uint64_t seed) {
 
 TEST(ChaosSoak, ExactlyOnceInOrderUnderScriptedChaos) {
   for (const std::uint64_t seed : soak_seeds()) run_soak(seed);
+}
+
+// ------------------------------------------------------- rebalance soak --
+
+// Elastic-membership soak: a closed-loop Zipfian writer hammers the KV tier
+// while the cluster lives through the full membership lifecycle — a node
+// joins and takes shards, a server is permanently killed (auto-heal evicts
+// it and re-seeds its replicas), and the dead node warm-rejoins into a new
+// epoch. Success is zero lost acknowledged writes: the final committed
+// placement holds every acked key on BOTH pair members, at a write counter
+// no older than the last acked one.
+void run_rebalance_soak(std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kRing;
+  o.topology.nx = 6;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.model_code_fetch = false;
+  auto cl = TcCluster::create(o).value();
+  cl->boot().expect("boot");
+  sim::Engine& eng = cl->engine();
+  cl->start_keepalives(Picoseconds::from_us(2.0), Picoseconds::from_us(10.0));
+
+  const std::vector<int> participants = {0, 1, 2, 3, 4};
+  const int n = cl->num_nodes();
+  auto map = tcsvc::ShardMap::from_plan(cl->plan(), {1, 2, 3}, 16);
+  std::vector<std::unique_ptr<tcsvc::RpcNode>> nodes(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<tcsvc::KvService>> services(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<tcsvc::MembershipAgent>> agents(static_cast<std::size_t>(n));
+  for (int chip : participants) {
+    nodes[static_cast<std::size_t>(chip)] = std::make_unique<tcsvc::RpcNode>(*cl, chip);
+  }
+  for (int chip : {1, 2, 3, 4}) {
+    services[static_cast<std::size_t>(chip)] = std::make_unique<tcsvc::KvService>(
+        *cl, *nodes[static_cast<std::size_t>(chip)], map);
+    services[static_cast<std::size_t>(chip)]->start();
+  }
+  auto client = std::make_unique<tcsvc::KvClient>(*cl, *nodes[0], map);
+  for (int chip : participants) {
+    auto& agent = agents[static_cast<std::size_t>(chip)];
+    agent = std::make_unique<tcsvc::MembershipAgent>(
+        *cl, *nodes[static_cast<std::size_t>(chip)], map);
+    agent->start();
+    agent->attach_service(services[static_cast<std::size_t>(chip)].get());
+  }
+  agents[0]->attach_client(client.get());
+  auto coord = std::make_unique<tcsvc::MembershipCoordinator>(*cl, *agents[0],
+                                                              participants);
+  coord->start();
+  for (int chip : participants) {
+    nodes[static_cast<std::size_t>(chip)]->start(participants).expect("start");
+  }
+
+  // The acked-write ledger: key -> counter of the last ACKED write. Values
+  // carry a global write counter, so an ambiguous timeout (applied but not
+  // acked) can only leave the store NEWER than the ledger, never older.
+  std::map<std::string, std::uint64_t> acked;
+  std::uint64_t write_seq = 0;
+  bool stop_writer = false;
+  bool writer_done = false;
+
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    Rng rng(seed ^ 0x2eba1aceull);
+    tcsvc::ZipfianGenerator zipf(48, 0.9);
+    while (!stop_writer) {
+      const std::string key = "k" + std::to_string(zipf.next(rng));
+      const std::uint64_t counter = ++write_seq;
+      std::uint8_t buf[8];
+      std::memcpy(buf, &counter, 8);
+      auto r = co_await client->put(key, buf,
+                                    eng.now() + Picoseconds::from_us(400.0));
+      if (r.ok()) acked[key] = counter;
+      co_await eng.delay(Picoseconds::from_ns(
+          500.0 + static_cast<double>(rng.next_below(2000))));
+    }
+    writer_done = true;
+  });
+
+  bool orchestrated = false;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    Rng rng(seed ^ 0x0c4e57ull);
+    const int victim = 1 + static_cast<int>(rng.next_below(3));  // a founding server
+
+    // Phase 1: live join under load.
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    Status join = co_await agents[4]->request_join(0);
+    EXPECT_TRUE(join.ok()) << (join.ok() ? "" : join.error().to_string());
+    EXPECT_EQ(agents[0]->epoch(), 1u);
+
+    // Phase 2: permanent kill; auto-heal must evict and re-seed.
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    cl->driver(victim).set_hung(true);
+    nodes[static_cast<std::size_t>(victim)]->stop();
+    const Picoseconds evict_deadline = eng.now() + Picoseconds::from_us(2000.0);
+    while (agents[0]->epoch() < 2 && eng.now() < evict_deadline) {
+      co_await eng.delay(Picoseconds::from_us(10.0));
+    }
+    EXPECT_EQ(agents[0]->epoch(), 2u) << "auto-heal eviction never committed";
+
+    // Phase 3: warm-reset rejoin of the killed node into a fresh epoch.
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    cl->driver(victim).set_hung(false);
+    co_await eng.delay(Picoseconds::from_us(30.0));  // beats resume, peers re-admit
+    nodes[static_cast<std::size_t>(victim)]->resume();
+    Status rejoin = co_await agents[static_cast<std::size_t>(victim)]->request_join(0);
+    EXPECT_TRUE(rejoin.ok()) << (rejoin.ok() ? "" : rejoin.error().to_string());
+    EXPECT_EQ(agents[0]->epoch(), 3u);
+
+    // Let the writer see the final placement, then wind down.
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    stop_writer = true;
+    co_await eng.delay(Picoseconds::from_us(500.0));  // drain the last put
+    orchestrated = true;
+    cl->stop_keepalives();
+    for (auto& node : nodes) {
+      if (node) node->stop();
+    }
+  });
+
+  eng.run();
+  ASSERT_TRUE(orchestrated) << health_report(*cl);
+  ASSERT_TRUE(writer_done);
+  EXPECT_EQ(coord->stats().joins, 2u);
+  EXPECT_EQ(coord->stats().evictions, 1u);
+  EXPECT_EQ(coord->stats().failed, 0u) << health_report(*cl);
+  EXPECT_GT(acked.size(), 8u) << "writer made no progress";
+
+  // Zero lost acknowledged writes: both members of every key's final pair
+  // hold the key at least as new as the last acked counter.
+  const tcsvc::ShardMap& final_map = agents[0]->map();
+  for (const auto& [key, counter] : acked) {
+    const int shard = final_map.shard_of(key);
+    for (const int owner : {final_map.primary(shard), final_map.replica(shard)}) {
+      ASSERT_GE(owner, 0);
+      const auto& svc = services[static_cast<std::size_t>(owner)];
+      ASSERT_TRUE(svc != nullptr);
+      const auto value = svc->peek(key);
+      ASSERT_TRUE(value.has_value())
+          << key << " lost on chip " << owner << " (acked counter " << counter
+          << ")\n" << agents[0]->placement_report();
+      ASSERT_EQ(value->size(), 8u);
+      std::uint64_t stored = 0;
+      std::memcpy(&stored, value->data(), 8);
+      EXPECT_GE(stored, counter)
+          << key << " on chip " << owner << " rolled back past an acked write";
+    }
+  }
+}
+
+TEST(ChaosSoak, ElasticMembershipNoAckedWriteLost) {
+  for (const std::uint64_t seed : soak_seeds()) run_rebalance_soak(seed);
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Gate the rebalance-smoke run (kv_serving --rebalance) in CI.
+
+Usage: check_rebalance.py BENCH_kv_serving.json [baseline.json]
+
+The run drives one persistent cluster through the elastic-membership
+lifecycle under open-loop Zipfian load: a steady baseline window, a live
+join (state streamed to the new node while its shards keep serving), a
+planned drain, and a permanent kill that auto-heal turns into an eviction
+plus replica re-seed. This checker asserts the correctness side of the
+emitted JSON — every membership operation committed, zero acknowledged
+writes lost or rolled back, state actually streamed — and gates the
+serving impact against the checked-in baseline: per-phase p99 inflation
+over the steady window and SLO error-budget burn. The ceilings are
+deliberately loose (p99 over a few-hundred-request smoke window is noisy);
+the gate exists to catch a rebalance that stalls serving or drops writes,
+not 20% jitter.
+"""
+
+import json
+import math
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "rebalance_baseline.json"
+
+PHASES = ("steady", "join", "drain", "kill")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    baseline_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+
+    doc = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    assert doc.get("schema_version") == 1, doc.get("schema_version")
+    assert doc.get("bench") == "kv_serving", doc.get("bench")
+    cfg = doc["config"]
+    assert cfg.get("rebalance") == 1, "not a --rebalance run"
+
+    failures = []
+    rows = doc["series"]
+    by_phase = {r["phase"]: r for r in rows if r.get("row") == "rebalance_phase"}
+    readback = [r for r in rows if r.get("row") == "rebalance_readback"]
+
+    missing = [p for p in PHASES if p not in by_phase]
+    if missing:
+        failures.append(f"missing phase rows: {missing}")
+
+    # Every membership operation must have committed, in order: the epoch
+    # after steady/join/drain/kill is 0/1/2/3.
+    for epoch, name in enumerate(PHASES):
+        r = by_phase.get(name)
+        if r is None:
+            continue
+        if r.get("op_ok") != 1:
+            failures.append(f"{name}: membership operation did not complete")
+        if r.get("epoch") != epoch:
+            failures.append(f"{name}: epoch {r.get('epoch')}, expected {epoch}")
+        if not math.isfinite(float(r.get("p99_us", float("nan")))):
+            failures.append(f"{name}: p99 not finite")
+        if r.get("completed", 0) <= 0:
+            failures.append(f"{name}: no completed requests")
+
+    # Requests may only fail in the kill window (detection gap), and even
+    # there only a bounded handful.
+    for name in ("steady", "join", "drain"):
+        r = by_phase.get(name)
+        if r is not None and r.get("failed", 1) != 0:
+            failures.append(f"{name}: {r['failed']} failed requests")
+    kill = by_phase.get("kill")
+    max_failed_kill = int(baseline["max_failed_kill"])
+    if kill is not None and kill.get("failed", 0) > max_failed_kill:
+        failures.append(
+            f"kill: {kill['failed']} failed requests (allowed {max_failed_kill})")
+
+    # The join and drain must actually move state, and the join must
+    # dual-write (writes landed on migrating shards while streaming).
+    for name in ("join", "drain", "kill"):
+        r = by_phase.get(name)
+        if r is not None and r.get("entries_streamed", 0) <= 0:
+            failures.append(f"{name}: no entries streamed")
+
+    # Serving impact vs the steady window, gated per phase.
+    for name in ("join", "drain", "kill"):
+        r = by_phase.get(name)
+        if r is None:
+            continue
+        ratio = float(r.get("p99_vs_steady", float("inf")))
+        ceiling = float(baseline["max_p99_vs_steady"][name])
+        verdict = "OK" if ratio <= ceiling else "REGRESSION"
+        print(f"{name:6s} p99 inflation {ratio:6.2f}x  ceiling {ceiling:.1f}x  {verdict}")
+        if not (math.isfinite(ratio) and ratio <= ceiling):
+            failures.append(f"{name}: p99 inflated {ratio:.2f}x over steady "
+                            f"(ceiling {ceiling:.1f}x)")
+        burn = float(r.get("budget_burn", float("inf")))
+        burn_ceiling = float(baseline["max_budget_burn"][name])
+        if not (math.isfinite(burn) and burn <= burn_ceiling):
+            failures.append(f"{name}: error-budget burn {burn:.2f} "
+                            f"(ceiling {burn_ceiling:.1f})")
+
+    # Zero lost acknowledged writes, across the whole lifecycle.
+    if len(readback) != 1:
+        failures.append(f"readback rows: expected 1, got {len(readback)}")
+    else:
+        rb = readback[0]
+        if rb.get("lost", 1) != 0 or rb.get("stale", 1) != 0:
+            failures.append(f"readback: {rb.get('lost')} lost / "
+                            f"{rb.get('stale')} stale acked writes")
+        if rb.get("acked", 0) <= 0:
+            failures.append("readback: the ledger writer made no progress")
+        if rb.get("rebalances", 0) < 3:
+            failures.append(f"only {rb.get('rebalances')} rebalances committed")
+        if rb.get("coord_failed", 1) != 0:
+            failures.append(f"{rb.get('coord_failed')} rebalances failed mid-flight")
+        print(f"ledger: {rb.get('acked', 0):.0f} acked, {rb.get('lost', 0):.0f} lost, "
+              f"{rb.get('stale', 0):.0f} stale")
+
+    # Wall clock vs baseline: the scale canary (loose, runner-dependent).
+    wall = float(cfg.get("wall_s", float("nan")))
+    base = float(baseline["wall_s"])
+    ceiling = base * (1.0 + float(baseline["wall_tolerance"]))
+    verdict = "OK" if wall <= ceiling else "REGRESSION"
+    print(f"wall clock {wall:6.2f} s  baseline {base:.2f} s  ceiling {ceiling:.2f} s  {verdict}")
+    if not (math.isfinite(wall) and wall <= ceiling):
+        failures.append(f"wall_s {wall:.2f} exceeds ceiling {ceiling:.2f}")
+
+    if failures:
+        print("\nrebalance gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("rebalance gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
