@@ -1,0 +1,179 @@
+#include "tcstore/mailbox.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "tcstore/metrics_internal.hpp"
+
+namespace tcc::tcstore {
+
+// Wire (kMailboxSend body, little-endian): u16 namelen, u64 seq, name,
+// payload. The sender chip rides the RPC context, not the frame.
+
+namespace {
+
+std::vector<std::uint8_t> encode_send(std::string_view name, std::uint64_t seq,
+                                      std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out(10 + name.size() + payload.size());
+  const auto nlen = static_cast<std::uint16_t>(name.size());
+  std::memcpy(out.data(), &nlen, 2);
+  std::memcpy(out.data() + 2, &seq, 8);
+  std::memcpy(out.data() + 10, name.data(), name.size());
+  std::copy(payload.begin(), payload.end(), out.begin() + 10 + name.size());
+  return out;
+}
+
+bool decode_send(std::span<const std::uint8_t> body, std::string_view& name,
+                 std::uint64_t& seq, std::span<const std::uint8_t>& payload) {
+  if (body.size() < 10) return false;
+  std::uint16_t nlen;
+  std::memcpy(&nlen, body.data(), 2);
+  std::memcpy(&seq, body.data() + 2, 8);
+  if (body.size() < 10u + nlen) return false;
+  name = std::string_view(reinterpret_cast<const char*>(body.data()) + 10, nlen);
+  payload = body.subspan(10u + nlen);
+  return !name.empty();
+}
+
+}  // namespace
+
+// --------------------------------------------------------- MailboxService --
+
+MailboxService::MailboxService(cluster::TcCluster& cluster, tcsvc::RpcNode& rpc,
+                               tcsvc::KvService& kv, MailboxConfig cfg)
+    : cluster_(cluster), rpc_(rpc), kv_(kv), cfg_(cfg) {
+  register_tcstore_metrics();
+}
+
+void MailboxService::start() {
+  rpc_.handle(kMailboxSend,
+              [this](const tcsvc::RpcContext& ctx, std::span<const std::uint8_t> b) {
+                return on_send(ctx, b);
+              });
+}
+
+void MailboxService::open(std::string name, Handler handler) {
+  boxes_[std::move(name)] = std::move(handler);
+}
+
+void MailboxService::close(std::string_view name) {
+  if (auto it = boxes_.find(name); it != boxes_.end()) boxes_.erase(it);
+}
+
+bool MailboxService::is_open(std::string_view name) const {
+  return boxes_.find(name) != boxes_.end();
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> MailboxService::on_send(
+    const tcsvc::RpcContext& ctx, std::span<const std::uint8_t> body) {
+  co_await cluster_.engine().delay(cfg_.deliver_compute);
+  std::string_view name;
+  std::uint64_t seq = 0;
+  std::span<const std::uint8_t> payload;
+  if (!decode_send(body, name, seq, payload)) {
+    co_return make_error(ErrorCode::kProtocolViolation, "malformed mailbox send");
+  }
+  // The home is derived, never stored: the name hashes to a shard, the home
+  // is that shard's acting primary under the committed map.
+  const int shard = kv_.shard_map().shard_of(name);
+  if (!kv_.acting_primary(shard)) {
+    ++stats_.wrong_home_rejects;
+    TCC_METRIC(detail::metrics().mailbox_wrong_home.inc());
+    co_return make_error(ErrorCode::kFailedPrecondition,
+                         "not the home for this mailbox");
+  }
+  const auto box = boxes_.find(name);
+  if (box == boxes_.end()) {
+    ++stats_.dead_letters;
+    TCC_METRIC(detail::metrics().mailbox_dead_letters.inc());
+    co_return make_error(ErrorCode::kNotFound,
+                         strprintf("dead mailbox: %.*s",
+                                   static_cast<int>(name.size()), name.data()));
+  }
+  // FIFO + exactly-once per (sender, mailbox) pair: the client consumes one
+  // seq per message, so anything at or below the delivered high-water mark
+  // is a retry of a message that already landed — ok-ack it without
+  // redelivering. An unknown pair adopts the first seq it sees (the history
+  // lived on the previous home; the client's sequencer never advances past
+  // an undelivered message, so order still holds across the move).
+  auto [it, fresh] =
+      last_seq_.try_emplace({std::string(name), static_cast<std::uint64_t>(ctx.peer)},
+                            0);
+  if (!fresh && seq <= it->second) {
+    ++stats_.duplicates;
+    TCC_METRIC(detail::metrics().mailbox_duplicates.inc());
+    co_return std::vector<std::uint8_t>{};
+  }
+  it->second = seq;
+  box->second(ctx.peer, payload);
+  ++stats_.delivered;
+  TCC_METRIC(detail::metrics().mailbox_delivered.inc());
+  co_return std::vector<std::uint8_t>{};
+}
+
+// ---------------------------------------------------------- MailboxClient --
+
+MailboxClient::MailboxClient(cluster::TcCluster& cluster, tcsvc::RpcNode& rpc,
+                             tcsvc::ShardMap map, MailboxConfig cfg)
+    : cluster_(cluster), rpc_(rpc), map_(std::move(map)), cfg_(cfg) {}
+
+const tcsvc::ShardMap& MailboxClient::shard_map() const {
+  return membership_ != nullptr ? membership_->map() : map_;
+}
+
+sim::Task<Status> MailboxClient::send(std::string_view name,
+                                      std::span<const std::uint8_t> payload,
+                                      std::optional<Picoseconds> deadline) {
+  sim::Engine& engine = cluster_.engine();
+  ++stats_.sends;
+  TCC_METRIC(detail::metrics().mailbox_sends.inc());
+  const Picoseconds abs = deadline.value_or(engine.now() + cfg_.op_deadline);
+
+  auto box_it = boxes_.find(name);
+  if (box_it == boxes_.end()) {
+    box_it = boxes_.emplace(std::string(name), Box(engine)).first;
+  }
+  Box& box = box_it->second;
+  // Serialize per name: message k+1 is not even assigned a seq until k has a
+  // final outcome, so concurrent app-level sends keep FIFO order.
+  auto guard = co_await box.mutex->scoped();
+  const std::uint64_t seq = box.next_seq++;
+  const auto frame = encode_send(name, seq, payload);
+
+  const int self = rpc_.chip();
+  const int shard = shard_map().shard_of(name);
+  auto alive = [&](int chip) {
+    return chip == self || cluster_.driver(self).peer_alive(chip);
+  };
+  bool prefer_replica = false;
+  for (;;) {
+    const tcsvc::ShardMap& m = shard_map();
+    const int p = m.primary(shard);
+    const int r = m.replica(shard);
+    int target = p;
+    if ((prefer_replica || !alive(p)) && r >= 0) {
+      target = r;
+      ++stats_.failover_routes;
+    }
+    tcsvc::CallOptions opts;
+    opts.channel = cfg_.channel;
+    opts.deadline = std::min(abs, engine.now() + cfg_.attempt_deadline);
+    auto result = co_await rpc_.call(target, kMailboxSend, frame, opts);
+    if (result.ok()) co_return Status{};
+    const ErrorCode code = result.error().code;
+    // Dead mailbox / malformed frames are final and typed; availability
+    // trouble retries the other copy with the SAME seq (the home suppresses
+    // the duplicate if the original did land).
+    if (code == ErrorCode::kNotFound || code == ErrorCode::kInvalidArgument ||
+        code == ErrorCode::kProtocolViolation) {
+      co_return result.error();
+    }
+    if (engine.now() + cfg_.retry_backoff >= abs) co_return result.error();
+    ++stats_.retries;
+    prefer_replica = (target == p);
+    co_await engine.delay(cfg_.retry_backoff);
+  }
+}
+
+}  // namespace tcc::tcstore

@@ -139,16 +139,19 @@ std::vector<std::uint8_t> encode_put(std::string_view key,
   return body;
 }
 
-/// kKvReplicate body: u16 key length, u64 version, key bytes, value bytes.
+/// kKvReplicate body: u16 key length, u64 version, i64 expires_at_ps,
+/// key bytes, value bytes.
 std::vector<std::uint8_t> encode_replicate(std::string_view key,
                                            std::uint64_t version,
-                                           std::span<const std::uint8_t> value) {
-  std::vector<std::uint8_t> body(10 + key.size() + value.size());
+                                           std::span<const std::uint8_t> value,
+                                           std::int64_t expires_at_ps = 0) {
+  std::vector<std::uint8_t> body(18 + key.size() + value.size());
   const auto klen = static_cast<std::uint16_t>(key.size());
   std::memcpy(body.data(), &klen, 2);
   std::memcpy(body.data() + 2, &version, 8);
-  std::memcpy(body.data() + 10, key.data(), key.size());
-  std::copy(value.begin(), value.end(), body.begin() + 10 + key.size());
+  std::memcpy(body.data() + 10, &expires_at_ps, 8);
+  std::memcpy(body.data() + 18, key.data(), key.size());
+  std::copy(value.begin(), value.end(), body.begin() + 18 + key.size());
   return body;
 }
 
@@ -164,15 +167,16 @@ bool decode_put(std::span<const std::uint8_t> body, std::string_view& key,
 }
 
 bool decode_replicate(std::span<const std::uint8_t> body, std::string_view& key,
-                      std::uint64_t& version,
+                      std::uint64_t& version, std::int64_t& expires_at_ps,
                       std::span<const std::uint8_t>& value) {
-  if (body.size() < 10) return false;
+  if (body.size() < 18) return false;
   std::uint16_t klen;
   std::memcpy(&klen, body.data(), 2);
   std::memcpy(&version, body.data() + 2, 8);
-  if (body.size() < 10u + klen) return false;
-  key = std::string_view(reinterpret_cast<const char*>(body.data()) + 10, klen);
-  value = body.subspan(10u + klen);
+  std::memcpy(&expires_at_ps, body.data() + 10, 8);
+  if (body.size() < 18u + klen) return false;
+  key = std::string_view(reinterpret_cast<const char*>(body.data()) + 18, klen);
+  value = body.subspan(18u + klen);
   return true;
 }
 
@@ -226,10 +230,12 @@ std::vector<KvService::ExportedEntry> KvService::export_shard(
   auto it = after_key.empty() ? slot.begin() : slot.upper_bound(after_key);
   std::uint32_t bytes = 0;
   for (; it != slot.end(); ++it) {
+    if (entry_expired(it->second)) continue;
     const auto sz = static_cast<std::uint32_t>(it->first.size() +
                                                it->second.value.size() + 16);
     if (!out.empty() && bytes + sz > max_bytes) break;
-    out.push_back(ExportedEntry{it->first, it->second.version, it->second.value});
+    out.push_back(ExportedEntry{it->first, it->second.version, it->second.value,
+                                it->second.expires_at_ps});
     bytes += sz;
   }
   return out;
@@ -237,16 +243,66 @@ std::vector<KvService::ExportedEntry> KvService::export_shard(
 
 void KvService::apply_entry(int shard, std::string_view key,
                             std::uint64_t version,
-                            std::span<const std::uint8_t> value) {
+                            std::span<const std::uint8_t> value,
+                            std::int64_t expires_at_ps) {
   auto& slot = store_.at(static_cast<std::size_t>(shard));
   auto it = slot.find(key);
   // Version gate: streamed chunks, dual-written forwards and tcrel replays
   // may re-deliver the same (key, version) — only newer versions apply.
   if (it == slot.end() || version > it->second.version) {
-    slot[std::string(key)] = Entry{version, {value.begin(), value.end()}};
+    slot[std::string(key)] =
+        Entry{version, {value.begin(), value.end()}, expires_at_ps};
   }
   auto& next = next_version_[static_cast<std::size_t>(shard)];
   next = std::max(next, version);
+}
+
+bool KvService::entry_expired(const Entry& e) const {
+  return e.expires_at_ps > 0 &&
+         cluster_.engine().now().count() >= e.expires_at_ps;
+}
+
+std::optional<KvService::ReadEntry> KvService::read_entry(int shard,
+                                                          std::string_view key,
+                                                          bool* expired) {
+  if (expired != nullptr) *expired = false;
+  auto& slot = store_.at(static_cast<std::size_t>(shard));
+  auto it = slot.find(key);
+  if (it == slot.end()) return std::nullopt;
+  if (entry_expired(it->second)) {
+    // Lazy expiry: the read that observes the deadline removes the entry.
+    // Every copy runs the same sim clock and carries the same absolute
+    // deadline, so all copies agree on visibility without coordination.
+    slot.erase(it);
+    if (expired != nullptr) *expired = true;
+    return std::nullopt;
+  }
+  return ReadEntry{it->second.version, it->second.value,
+                   it->second.expires_at_ps};
+}
+
+std::uint64_t KvService::write_entry(int shard, std::string_view key,
+                                     std::span<const std::uint8_t> value,
+                                     std::int64_t expires_at_ps) {
+  const std::uint64_t version = ++next_version_[static_cast<std::size_t>(shard)];
+  store_.at(static_cast<std::size_t>(shard))[std::string(key)] =
+      Entry{version, {value.begin(), value.end()}, expires_at_ps};
+  return version;
+}
+
+std::uint64_t KvService::sweep_expired() {
+  std::uint64_t swept = 0;
+  for (auto& slot : store_) {
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (entry_expired(it->second)) {
+        it = slot.erase(it);
+        ++swept;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return swept;
 }
 
 void KvService::reset_shard(int shard) {
@@ -291,14 +347,15 @@ std::optional<std::vector<std::uint8_t>> KvService::peek(
     std::string_view key) const {
   const auto& shard = store_[static_cast<std::size_t>(shard_map().shard_of(key))];
   auto it = shard.find(key);
-  if (it == shard.end()) return std::nullopt;
+  if (it == shard.end() || entry_expired(it->second)) return std::nullopt;
   return it->second.value;
 }
 
 std::uint64_t KvService::version_of(std::string_view key) const {
   const auto& shard = store_[static_cast<std::size_t>(shard_map().shard_of(key))];
   auto it = shard.find(key);
-  return it == shard.end() ? 0 : it->second.version;
+  return it == shard.end() || entry_expired(it->second) ? 0
+                                                        : it->second.version;
 }
 
 sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_get(
@@ -318,14 +375,17 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_get(
   }
   ++stats_.gets;
   TCC_METRIC(detail::metrics().kv_gets.inc());
-  const auto& slot = store_[static_cast<std::size_t>(shard)];
-  auto it = slot.find(key);
-  if (it == slot.end()) {
+  bool expired = false;
+  auto entry = read_entry(shard, key, &expired);
+  if (expired) {
+    TCC_METRIC(detail::metrics().kv_expired_reads.inc());
+  }
+  if (!entry.has_value()) {
     ++stats_.misses;
     TCC_METRIC(detail::metrics().kv_misses.inc());
     co_return make_error(ErrorCode::kNotFound, "no such key");
   }
-  co_return it->second.value;
+  co_return std::move(entry->value);
 }
 
 sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_put(
@@ -427,12 +487,14 @@ sim::Task<Result<std::vector<std::uint8_t>>> KvService::on_replicate(
   co_await cluster_.engine().delay(cfg_.put_compute);
   std::string_view key;
   std::uint64_t version = 0;
+  std::int64_t expires_at_ps = 0;
   std::span<const std::uint8_t> value;
-  if (!decode_replicate(body, key, version, value) || key.empty()) {
+  if (!decode_replicate(body, key, version, expires_at_ps, value) ||
+      key.empty()) {
     co_return make_error(ErrorCode::kInvalidArgument, "malformed replicate");
   }
   const int shard = shard_map().shard_of(key);
-  apply_entry(shard, key, version, value);
+  apply_entry(shard, key, version, value, expires_at_ps);
   ++stats_.replications_in;
   TCC_METRIC(detail::metrics().kv_replications.inc());
   co_return std::vector<std::uint8_t>{};

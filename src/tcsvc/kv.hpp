@@ -170,6 +170,7 @@ class KvService {
     std::string key;
     std::uint64_t version = 0;
     std::vector<std::uint8_t> value;
+    std::int64_t expires_at_ps = 0;  ///< absolute sim time; 0 = never
   };
   /// Keys of `shard` strictly after `after_key` (empty = from the start), in
   /// key order, stopping before `max_bytes` of key+value payload (always at
@@ -177,9 +178,12 @@ class KvService {
   [[nodiscard]] std::vector<ExportedEntry> export_shard(
       int shard, std::string_view after_key, std::uint32_t max_bytes) const;
   /// Version-gated apply of a streamed/forwarded entry (idempotent; also the
-  /// replica write path).
+  /// replica write path). `expires_at_ps` is the absolute expiry the acting
+  /// primary assigned (0 = never) — copies never re-derive it, so every
+  /// replica agrees on the key's visible lifetime.
   void apply_entry(int shard, std::string_view key, std::uint64_t version,
-                   std::span<const std::uint8_t> value);
+                   std::span<const std::uint8_t> value,
+                   std::int64_t expires_at_ps = 0);
   /// Drop every entry of `shard` and restart its version sequence — a
   /// migration target clears any stale copy before the stream begins.
   void reset_shard(int shard);
@@ -188,6 +192,32 @@ class KvService {
   /// live partner again.
   void drop_unowned();
   void clear_degraded_if_restored();
+
+  // ---- store-layer hooks (src/tcstore) ------------------------------------
+  /// The attached membership agent, nullptr before attach_service — layered
+  /// services (tcstore) read dual-write targets through it.
+  [[nodiscard]] MembershipAgent* membership() const { return membership_; }
+
+  /// One expiry-aware read. A key past its expiry reads as absent and is
+  /// lazily erased (the periodic sweep handles keys nobody reads); whether a
+  /// copy has physically erased an expired entry is unobservable, because
+  /// every read re-checks the absolute expiry under the same sim clock.
+  struct ReadEntry {
+    std::uint64_t version = 0;
+    std::vector<std::uint8_t> value;
+    std::int64_t expires_at_ps = 0;
+  };
+  [[nodiscard]] std::optional<ReadEntry> read_entry(int shard,
+                                                    std::string_view key,
+                                                    bool* expired = nullptr);
+  /// Primary-side versioned write (the store-op path): assigns the shard's
+  /// next version, stores value + absolute expiry, returns the version.
+  std::uint64_t write_entry(int shard, std::string_view key,
+                            std::span<const std::uint8_t> value,
+                            std::int64_t expires_at_ps);
+  /// Erase every entry whose expiry has passed, across all shards this node
+  /// holds; returns the number erased (the periodic TTL sweep).
+  std::uint64_t sweep_expired();
 
   // ---- introspection (tests, diag) ---------------------------------------
   [[nodiscard]] std::uint64_t entries() const;
@@ -203,7 +233,10 @@ class KvService {
   struct Entry {
     std::uint64_t version = 0;
     std::vector<std::uint8_t> value;
+    std::int64_t expires_at_ps = 0;  ///< absolute; 0 = never expires
   };
+
+  [[nodiscard]] bool entry_expired(const Entry& e) const;
 
   [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> on_get(
       const RpcContext& ctx, std::span<const std::uint8_t> body);

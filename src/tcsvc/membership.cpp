@@ -19,7 +19,9 @@ namespace tcc::tcsvc {
 //                u32 nmoves, { u32 shard, u32 source, u32 target }[m]
 //   migrate:     u32 shard, u32 target
 //   chunk:       u32 shard, u16 count,
-//                { u16 klen, u64 version, u32 vlen, key, value }[count]
+//                { u16 klen, u64 version, i64 expires_at_ps, u32 vlen,
+//                  key, value }[count]
+//   aux:         u32 shard, blob (opaque to membership — ShardAuxStreamer's)
 //   commit:      u64 epoch, u16 nservers, u32 server[n]
 
 namespace {
@@ -164,6 +166,10 @@ void MembershipAgent::start() {
               [this](const RpcContext& ctx, std::span<const std::uint8_t> b) {
                 return on_commit(ctx, b);
               });
+  rpc_.handle(kMemAux,
+              [this](const RpcContext& ctx, std::span<const std::uint8_t> b) {
+                return on_aux(ctx, b);
+              });
 }
 
 void MembershipAgent::attach_service(KvService* svc) {
@@ -233,6 +239,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> MembershipAgent::on_prepare(
       // the authoritative old map, so any local state is stale (a rejoin's
       // pre-death leftovers) and must not win the version gate.
       svc_->reset_shard(m.shard);
+      if (aux_ != nullptr) aux_->reset_aux(m.shard);
       ++stats_.shards_in;
     }
   }
@@ -265,6 +272,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> MembershipAgent::on_migrate(
     for (const auto& e : entries) {
       put_u16(chunk, static_cast<std::uint16_t>(e.key.size()));
       put_u64(chunk, e.version);
+      put_u64(chunk, static_cast<std::uint64_t>(e.expires_at_ps));
       put_u32(chunk, static_cast<std::uint32_t>(e.value.size()));
       chunk.insert(chunk.end(), e.key.begin(), e.key.end());
       chunk.insert(chunk.end(), e.value.begin(), e.value.end());
@@ -279,6 +287,23 @@ sim::Task<Result<std::vector<std::uint8_t>>> MembershipAgent::on_migrate(
     sent += entries.size();
     ++stats_.chunks_out;
     TCC_METRIC(detail::metrics().rebalance_chunks.inc());
+  }
+  // Aux state (tcstore dedup records) follows the entry snapshot: every
+  // record present when the stream started travels; records created after
+  // PREPARE are placed on the target by the store's own dual-write path.
+  if (aux_ != nullptr) {
+    for (const auto& blob : aux_->export_aux(shard, cfg_.chunk_bytes)) {
+      std::vector<std::uint8_t> frame;
+      put_u32(frame, static_cast<std::uint32_t>(shard));
+      frame.insert(frame.end(), blob.begin(), blob.end());
+      CallOptions opts;
+      opts.channel = cfg_.channel;
+      opts.deadline = std::min(ctx.deadline,
+                               cluster_.engine().now() + cfg_.control_deadline);
+      auto aux_r = co_await rpc_.call(target, kMemAux, frame, opts);
+      if (!aux_r.ok()) co_return aux_r.error();
+      ++stats_.aux_out;
+    }
   }
   stats_.entries_out += sent;
   ++stats_.shards_out;
@@ -302,6 +327,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> MembershipAgent::on_chunk(
   for (int i = 0; i < count && r.ok; ++i) {
     const auto klen = r.get<std::uint16_t>();
     const auto version = r.get<std::uint64_t>();
+    const auto expires_at_ps = static_cast<std::int64_t>(r.get<std::uint64_t>());
     const auto vlen = r.get<std::uint32_t>();
     const std::string_view key = r.bytes(klen);
     const std::string_view value = r.bytes(vlen);
@@ -309,10 +335,23 @@ sim::Task<Result<std::vector<std::uint8_t>>> MembershipAgent::on_chunk(
     svc_->apply_entry(shard, key, version,
                       std::span<const std::uint8_t>(
                           reinterpret_cast<const std::uint8_t*>(value.data()),
-                          value.size()));
+                          value.size()),
+                      expires_at_ps);
     ++stats_.entries_in;
   }
   if (!r.ok) co_return malformed("chunk");
+  co_return std::vector<std::uint8_t>{};
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> MembershipAgent::on_aux(
+    const RpcContext&, std::span<const std::uint8_t> body) {
+  Reader r{body};
+  const int shard = static_cast<int>(r.get<std::uint32_t>());
+  if (!r.ok) co_return malformed("aux");
+  if (aux_ != nullptr) {
+    aux_->apply_aux(shard, body.subspan(4));
+    ++stats_.aux_in;
+  }
   co_return std::vector<std::uint8_t>{};
 }
 
@@ -340,6 +379,12 @@ sim::Task<Result<std::vector<std::uint8_t>>> MembershipAgent::on_commit(
   if (svc_ != nullptr) {
     svc_->drop_unowned();
     svc_->clear_degraded_if_restored();
+  }
+  if (aux_ != nullptr) {
+    const int self = chip();
+    for (int s = 0; s < map_.shards(); ++s) {
+      if (map_.primary(s) != self && map_.replica(s) != self) aux_->reset_aux(s);
+    }
   }
   TCC_INFO("tcsvc", "chip %d: membership epoch %llu committed", chip(),
            static_cast<unsigned long long>(epoch));

@@ -56,6 +56,7 @@ inline constexpr std::uint16_t kMemPrepare = 18;  ///< coordinator -> agents
 inline constexpr std::uint16_t kMemMigrate = 19;  ///< coordinator -> stream source
 inline constexpr std::uint16_t kMemChunk = 20;    ///< stream source -> target
 inline constexpr std::uint16_t kMemCommit = 21;   ///< coordinator -> agents
+inline constexpr std::uint16_t kMemAux = 22;      ///< stream source -> target
 
 struct MembershipConfig {
   /// Logical RPC channel of all membership traffic (client=0, replication=1).
@@ -99,6 +100,26 @@ struct MembershipStats {
   std::uint64_t entries_in = 0;
   std::uint64_t chunks_out = 0;
   std::uint64_t dual_writes = 0;   ///< acked writes forwarded while source
+  std::uint64_t aux_out = 0;       ///< kMemAux blobs streamed as source
+  std::uint64_t aux_in = 0;        ///< kMemAux blobs applied as target
+};
+
+/// Per-shard auxiliary state that must travel with a shard migration but
+/// lives outside the KV entry map — e.g. tcstore's idempotency (dedup)
+/// records, which the new owner needs so a client retry spanning the cutover
+/// still replays instead of double-applying. Implemented by the layered
+/// store service and attached via MembershipAgent::attach_aux().
+class ShardAuxStreamer {
+ public:
+  virtual ~ShardAuxStreamer() = default;
+  /// Serialize `shard`'s aux state as opaque blobs, each at most `max_bytes`
+  /// (a blob rides one kMemAux frame; the codec inside is the streamer's).
+  [[nodiscard]] virtual std::vector<std::vector<std::uint8_t>> export_aux(
+      int shard, std::uint32_t max_bytes) = 0;
+  /// Apply one streamed blob on the migration target (idempotent).
+  virtual void apply_aux(int shard, std::span<const std::uint8_t> blob) = 0;
+  /// Drop `shard`'s aux state (incoming-stream reset, post-commit disown).
+  virtual void reset_aux(int shard) = 0;
 };
 
 /// Per-chip membership state machine: holds the committed epoch + shard map,
@@ -121,6 +142,10 @@ class MembershipAgent {
   /// map, and the service dual-writes through forward_targets().
   void attach_service(KvService* svc);
   void attach_client(KvClient* client);
+  /// Attach a per-shard aux-state streamer (tcstore dedup records): its blobs
+  /// ride the migration stream after the entry chunks, and it is reset on the
+  /// same edges the KV copy is (incoming prepare, post-commit disown).
+  void attach_aux(ShardAuxStreamer* aux) { aux_ = aux; }
 
   [[nodiscard]] int chip() const { return rpc_.chip(); }
   [[nodiscard]] const ShardMap& map() const { return map_; }
@@ -157,6 +182,8 @@ class MembershipAgent {
       const RpcContext& ctx, std::span<const std::uint8_t> body);
   [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> on_commit(
       const RpcContext& ctx, std::span<const std::uint8_t> body);
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> on_aux(
+      const RpcContext& ctx, std::span<const std::uint8_t> body);
 
   cluster::TcCluster& cluster_;
   RpcNode& rpc_;
@@ -168,6 +195,7 @@ class MembershipAgent {
   std::map<int, std::vector<int>> forwards_;  ///< shard -> dual-write targets
   KvService* svc_ = nullptr;
   KvClient* client_ = nullptr;
+  ShardAuxStreamer* aux_ = nullptr;
   MembershipStats stats_;
 };
 

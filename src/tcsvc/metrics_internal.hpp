@@ -44,6 +44,8 @@ struct SvcMetrics {
       telemetry::MetricsRegistry::global().counter("tcsvc.kv.degraded_writes");
   telemetry::Counter& kv_failover_serves =
       telemetry::MetricsRegistry::global().counter("tcsvc.kv.failover_serves");
+  telemetry::Counter& kv_expired_reads =
+      telemetry::MetricsRegistry::global().counter("tcsvc.kv.expired_reads");
   telemetry::Gauge& kv_degraded_open =
       telemetry::MetricsRegistry::global().gauge("tcsvc.kv.degraded_open");
   telemetry::Gauge& membership_epoch =

@@ -107,6 +107,11 @@ cluster::ReliableEndpoint* RpcNode::endpoint(int peer) {
   return it == peers_.end() ? nullptr : it->second->ep;
 }
 
+int RpcNode::credits(int peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? cfg_.request_credits : it->second->credits;
+}
+
 Result<RpcNode::PeerState*> RpcNode::peer_state(int peer) {
   auto it = peers_.find(peer);
   if (it != peers_.end()) return it->second.get();
@@ -337,7 +342,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcNode::call(
     }
   }
   (void)stalled;
-  --ps->credits;
+  CreditGuard credit(ps);
 
   RpcHeader hdr;
   hdr.kind = RpcHeader::Kind::kRequest;
@@ -353,8 +358,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcNode::call(
   const Status sent = co_await ps->ep->send(make_frame(hdr, payload), deadline);
   if (!sent.ok()) {
     ps->pending.erase(corr);
-    ++ps->credits;
-    ps->credit_free.notify();
+    credit.release();
     const bool bp = sent.error().code == ErrorCode::kBackpressure;
     if (bp) {
       ++stats_.backpressure;
@@ -375,8 +379,7 @@ sim::Task<Result<std::vector<std::uint8_t>>> RpcNode::call(
     co_await pc->wake.wait();
   }
   (void)engine.cancel(pc->deadline_timer);
-  ++ps->credits;
-  ps->credit_free.notify();
+  credit.release();
 
   if (pc->done) {
     ++stats_.responses;

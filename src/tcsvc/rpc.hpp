@@ -165,6 +165,11 @@ class RpcNode {
       CallOptions opts = {});
 
   // ---- introspection (tests, trace export) -------------------------------
+  /// Free request credits toward `peer` right now — the full configured pool
+  /// when no call is outstanding (also for peers never called). The
+  /// credit-leak regression oracle: after any storm of timeouts/cancels
+  /// drains, this must read request_credits again.
+  [[nodiscard]] int credits(int peer) const;
   [[nodiscard]] const std::vector<RpcSpan>& spans() const { return spans_; }
   [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
   /// The tcrel endpoint behind `peer`, nullptr before first use (tests
@@ -193,6 +198,27 @@ class RpcNode {
     std::set<std::uint32_t> cancelled;
     std::deque<std::uint32_t> cancelled_order;
     sim::Trigger credit_free;
+  };
+
+  /// Single-owner RAII holder of one taken request credit. Every call() exit
+  /// edge — send failure, timeout, cancel, response, or any future early
+  /// co_return — returns the credit exactly once through this guard, so no
+  /// control-flow change can silently shrink a peer's pool.
+  class CreditGuard {
+   public:
+    explicit CreditGuard(PeerState* ps) : ps_(ps) { --ps_->credits; }
+    ~CreditGuard() { release(); }
+    CreditGuard(const CreditGuard&) = delete;
+    CreditGuard& operator=(const CreditGuard&) = delete;
+    void release() {
+      if (ps_ == nullptr) return;
+      ++ps_->credits;
+      ps_->credit_free.notify();
+      ps_ = nullptr;
+    }
+
+   private:
+    PeerState* ps_;
   };
 
   [[nodiscard]] Result<PeerState*> peer_state(int peer);

@@ -24,6 +24,7 @@
 #include "tcsvc/load.hpp"
 #include "tcsvc/membership.hpp"
 #include "tcsvc/rpc.hpp"
+#include "tcstore/store.hpp"
 
 namespace tcc::cluster {
 namespace {
@@ -333,6 +334,238 @@ void run_rebalance_soak(std::uint64_t seed) {
 
 TEST(ChaosSoak, ElasticMembershipNoAckedWriteLost) {
   for (const std::uint64_t seed : soak_seeds()) run_rebalance_soak(seed);
+}
+
+// ----------------------------------------------------------- store soak --
+
+// Atomic-op soak: closed-loop incr and CAS writers hammer the store tier
+// through the full membership lifecycle (live join, permanent kill with
+// auto-heal, warm rejoin). Atomic ops raise the bar over blind puts: a
+// retried increment that re-executes is a DOUBLE apply, so the acked ledger
+// brackets the final counters from both sides — every copy must hold
+//   acked <= stored <= acked + ambiguous
+// per key, and CAS success versions must be strictly monotone per key.
+void run_store_soak(std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  TcCluster::Options o;
+  o.topology.shape = topology::ClusterShape::kRing;
+  o.topology.nx = 6;
+  o.topology.dram_per_chip = 64_MiB;
+  o.boot.model_code_fetch = false;
+  auto cl = TcCluster::create(o).value();
+  cl->boot().expect("boot");
+  sim::Engine& eng = cl->engine();
+  cl->start_keepalives(Picoseconds::from_us(2.0), Picoseconds::from_us(10.0));
+
+  const std::vector<int> participants = {0, 1, 2, 3, 4};
+  const int n = cl->num_nodes();
+  auto map = tcsvc::ShardMap::from_plan(cl->plan(), {1, 2, 3}, 16);
+  std::vector<std::unique_ptr<tcsvc::RpcNode>> nodes(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<tcsvc::KvService>> services(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<tcstore::StoreService>> stores(
+      static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<tcsvc::MembershipAgent>> agents(static_cast<std::size_t>(n));
+  for (int chip : participants) {
+    nodes[static_cast<std::size_t>(chip)] = std::make_unique<tcsvc::RpcNode>(*cl, chip);
+  }
+  for (int chip : {1, 2, 3, 4}) {
+    const auto i = static_cast<std::size_t>(chip);
+    services[i] = std::make_unique<tcsvc::KvService>(*cl, *nodes[i], map);
+    services[i]->start();
+    stores[i] = std::make_unique<tcstore::StoreService>(*cl, *nodes[i], *services[i]);
+    stores[i]->start();
+  }
+  // One client instance for BOTH writers: the (client = chip, seq) identity
+  // space must be issued by a single sequencer or duplicates alias.
+  auto client = std::make_unique<tcstore::StoreClient>(*cl, *nodes[0], map,
+                                                       tcstore::StoreConfig{});
+  for (int chip : participants) {
+    auto& agent = agents[static_cast<std::size_t>(chip)];
+    agent = std::make_unique<tcsvc::MembershipAgent>(
+        *cl, *nodes[static_cast<std::size_t>(chip)], map);
+    agent->start();
+    agent->attach_service(services[static_cast<std::size_t>(chip)].get());
+    if (stores[static_cast<std::size_t>(chip)]) {
+      agent->attach_aux(stores[static_cast<std::size_t>(chip)].get());
+    }
+  }
+  client->set_membership(agents[0].get());
+  auto coord = std::make_unique<tcsvc::MembershipCoordinator>(*cl, *agents[0],
+                                                              participants);
+  coord->start();
+  for (int chip : participants) {
+    nodes[static_cast<std::size_t>(chip)]->start(participants).expect("start");
+  }
+
+  // Ledgers. `acked` counts increments whose ok-response reached the client;
+  // `ambiguous` counts attempts with a non-ok outcome (timeout mid-blackout,
+  // exhausted deadline) that MAY have applied — never typed semantic errors,
+  // which this workload cannot produce.
+  constexpr int kIncrKeys = 24;
+  std::map<std::string, std::uint64_t> acked, ambiguous;
+  bool stop_writers = false;
+  bool incr_done = false, cas_done = false;
+
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    Rng rng(seed ^ 0x57c0ffeeull);
+    while (!stop_writers) {
+      const std::string key = "c" + std::to_string(rng.next_below(kIncrKeys));
+      auto r = co_await client->incr(key, 1, Picoseconds{0},
+                                     eng.now() + Picoseconds::from_us(400.0));
+      if (r.ok()) {
+        ++acked[key];
+      } else {
+        ++ambiguous[key];
+      }
+      co_await eng.delay(Picoseconds::from_ns(
+          800.0 + static_cast<double>(rng.next_below(2500))));
+    }
+    incr_done = true;
+  });
+
+  constexpr int kCasKeys = 4;
+  std::uint64_t last_success[kCasKeys] = {};
+  std::uint64_t known[kCasKeys] = {};
+  std::uint64_t cas_successes = 0;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    Rng rng(seed ^ 0xca5ca5ull);
+    std::uint64_t attempt = 0;
+    while (!stop_writers) {
+      const int k = static_cast<int>(attempt % kCasKeys);
+      ++attempt;
+      std::uint8_t buf[8];
+      std::memcpy(buf, &attempt, 8);
+      auto r = co_await client->cas("cas" + std::to_string(k), known[k], buf,
+                                    Picoseconds{0},
+                                    eng.now() + Picoseconds::from_us(400.0));
+      if (r.ok()) {
+        if (r.value().success) {
+          EXPECT_GT(r.value().version, last_success[k])
+              << "cas" << k << ": success versions must be strictly monotone";
+          last_success[k] = r.value().version;
+          known[k] = r.value().version;
+          ++cas_successes;
+        } else {
+          // Conflict: a previous ambiguous attempt really did apply. Adopt
+          // the version that won and move on.
+          EXPECT_GE(r.value().version, last_success[k])
+              << "cas" << k << ": conflict reported a version that rolled back";
+          known[k] = r.value().version;
+        }
+      }
+      co_await eng.delay(Picoseconds::from_ns(
+          1200.0 + static_cast<double>(rng.next_below(3000))));
+    }
+    cas_done = true;
+  });
+
+  bool orchestrated = false;
+  eng.spawn_fn([&]() -> sim::Task<void> {
+    Rng rng(seed ^ 0x0c4e57ull);
+    const int victim = 1 + static_cast<int>(rng.next_below(3));
+
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    Status join = co_await agents[4]->request_join(0);
+    EXPECT_TRUE(join.ok()) << (join.ok() ? "" : join.error().to_string());
+    EXPECT_EQ(agents[0]->epoch(), 1u);
+
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    cl->driver(victim).set_hung(true);
+    nodes[static_cast<std::size_t>(victim)]->stop();
+    const Picoseconds evict_deadline = eng.now() + Picoseconds::from_us(2000.0);
+    while (agents[0]->epoch() < 2 && eng.now() < evict_deadline) {
+      co_await eng.delay(Picoseconds::from_us(10.0));
+    }
+    EXPECT_EQ(agents[0]->epoch(), 2u) << "auto-heal eviction never committed";
+
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    cl->driver(victim).set_hung(false);
+    co_await eng.delay(Picoseconds::from_us(30.0));
+    nodes[static_cast<std::size_t>(victim)]->resume();
+    Status rejoin = co_await agents[static_cast<std::size_t>(victim)]->request_join(0);
+    EXPECT_TRUE(rejoin.ok()) << (rejoin.ok() ? "" : rejoin.error().to_string());
+    EXPECT_EQ(agents[0]->epoch(), 3u);
+
+    co_await eng.delay(Picoseconds::from_us(50.0));
+    stop_writers = true;
+    co_await eng.delay(Picoseconds::from_us(500.0));  // drain in-flight ops
+    orchestrated = true;
+    cl->stop_keepalives();
+    for (auto& node : nodes) {
+      if (node) node->stop();
+    }
+  });
+
+  eng.run();
+  ASSERT_TRUE(orchestrated) << health_report(*cl);
+  ASSERT_TRUE(incr_done);
+  ASSERT_TRUE(cas_done);
+  EXPECT_EQ(coord->stats().joins, 2u);
+  EXPECT_EQ(coord->stats().evictions, 1u);
+  EXPECT_EQ(coord->stats().failed, 0u) << health_report(*cl);
+
+  std::uint64_t total_acked = 0;
+  for (const auto& [key, count] : acked) total_acked += count;
+  EXPECT_GT(total_acked, 30u) << "incr writer made no progress";
+  EXPECT_GT(cas_successes, 5u) << "cas writer made no progress";
+
+  // The acceptance bracket: on BOTH members of every key's final pair, the
+  // stored counter sits in [acked, acked + ambiguous]. Below = an acked
+  // increment was lost (across failover or resharding); above = a retry
+  // double-applied.
+  const tcsvc::ShardMap& final_map = agents[0]->map();
+  for (int k = 0; k < kIncrKeys; ++k) {
+    const std::string key = "c" + std::to_string(k);
+    const std::uint64_t lo = acked.count(key) ? acked[key] : 0;
+    const std::uint64_t hi = lo + (ambiguous.count(key) ? ambiguous[key] : 0);
+    if (lo == 0 && hi == 0) continue;  // never targeted under this seed
+    const int shard = final_map.shard_of(key);
+    for (const int owner : {final_map.primary(shard), final_map.replica(shard)}) {
+      ASSERT_GE(owner, 0);
+      const auto& svc = services[static_cast<std::size_t>(owner)];
+      ASSERT_TRUE(svc != nullptr);
+      const auto value = svc->peek(key);
+      if (!value.has_value()) {
+        ASSERT_EQ(lo, 0u) << key << " lost on chip " << owner << " ("
+                          << lo << " acked)\n" << agents[0]->placement_report();
+        continue;
+      }
+      ASSERT_EQ(value->size(), 8u);
+      std::uint64_t stored = 0;
+      std::memcpy(&stored, value->data(), 8);
+      EXPECT_GE(stored, lo) << key << " on chip " << owner
+                            << ": an acked increment was lost";
+      EXPECT_LE(stored, hi) << key << " on chip " << owner
+                            << ": an increment was double-applied";
+    }
+  }
+
+  // CAS keys: no copy may sit at a version older than the last acked
+  // success (version monotonicity survived the membership churn).
+  for (int k = 0; k < kCasKeys; ++k) {
+    const std::string key = "cas" + std::to_string(k);
+    if (last_success[k] == 0) continue;
+    const int shard = final_map.shard_of(key);
+    for (const int owner : {final_map.primary(shard), final_map.replica(shard)}) {
+      ASSERT_GE(owner, 0);
+      EXPECT_GE(services[static_cast<std::size_t>(owner)]->version_of(key),
+                last_success[k])
+          << key << " on chip " << owner << " rolled back past an acked CAS";
+    }
+  }
+
+  // Idempotency-table boundedness under churn: thousands of ops ran, but
+  // the watermark + epoch resets keep every table at O(inflight) records.
+  std::size_t records = 0;
+  for (const auto& s : stores) {
+    if (s) records += s->dedup_records();
+  }
+  EXPECT_LE(records, 256u)
+      << "idempotency tables grew with history instead of inflight ops";
+}
+
+TEST(ChaosSoak, StoreAtomicOpsNoLossNoDoubleApply) {
+  for (const std::uint64_t seed : soak_seeds()) run_store_soak(seed);
 }
 
 }  // namespace

@@ -260,6 +260,76 @@ TEST(Rpc, ExpiredDeadlineFailsAtAdmissionWithoutWireTraffic) {
   EXPECT_EQ(server.stats().requests_served, 1u);
 }
 
+TEST(Rpc, CancelStormReturnsEveryCredit) {
+  // Regression for the credit lifecycle: a storm of calls that all miss
+  // their deadline against a slow server exercises every exit path of
+  // RpcNode::call — timeout after the wait, send failure, backpressure — and
+  // afterwards the per-peer credit pool must be back at exactly its
+  // configured size. A single leaked (or double-released) credit here
+  // compounds under load until the peer wedges with kBackpressure forever.
+  auto cl = make_cable();
+  sim::Engine& engine = cl->engine();
+  tcsvc::RpcConfig cfg;
+  cfg.request_credits = 4;
+  tcsvc::RpcNode server(*cl, 1);
+  tcsvc::RpcNode client(*cl, 0, cfg);
+  server.handle(5, [&engine](const tcsvc::RpcContext&, std::span<const std::uint8_t>)
+                       -> sim::Task<Result<std::vector<std::uint8_t>>> {
+    co_await engine.delay(Picoseconds::from_us(80.0));  // far past every caller
+    co_return std::vector<std::uint8_t>{};
+  });
+  std::array<int, 1> client_peer = {0};
+  server.start(client_peer).expect("server start");
+
+  EXPECT_EQ(client.credits(1), 4) << "a never-called peer has the full pool";
+
+  constexpr int kStorm = 12;
+  int stormed = 0;
+  for (int i = 0; i < kStorm; ++i) {
+    cl->engine().spawn_fn([&, i]() -> sim::Task<void> {
+      co_await engine.delay(Picoseconds::from_ns(static_cast<double>(i) * 500.0));
+      tcsvc::CallOptions opts;
+      opts.deadline = engine.now() + Picoseconds::from_us(6.0);
+      auto r = co_await client.call(1, 5, {}, opts);
+      EXPECT_FALSE(r.ok()) << "an 80 us handler cannot answer a 6 us deadline";
+      ++stormed;
+    });
+  }
+  // Credit-count monitor: the pool must stay within [0, configured] at every
+  // observation point — a double release shows up as credits > 4 here.
+  bool monitoring = true;
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    while (monitoring) {
+      EXPECT_GE(client.credits(1), 0) << "credit pool went negative";
+      EXPECT_LE(client.credits(1), 4) << "credit released twice";
+      co_await engine.delay(Picoseconds::from_us(1.0));
+    }
+  });
+  bool done = false;
+  cl->engine().spawn_fn([&]() -> sim::Task<void> {
+    // Ride past the storm AND the slow handler completions (whose responses
+    // arrive for already-cancelled calls and must not double-credit).
+    co_await engine.delay(Picoseconds::from_us(200.0));
+    EXPECT_EQ(stormed, kStorm);
+    EXPECT_EQ(client.credits(1), 4)
+        << "cancel storm leaked or double-released request credits";
+
+    // The pool is intact, so a healthy call sails through.
+    auto ok = co_await client.call(1, 5, {});
+    EXPECT_TRUE(ok.ok()) << (ok.ok() ? "" : ok.error().to_string());
+    EXPECT_EQ(client.credits(1), 4);
+
+    monitoring = false;
+    done = true;
+    server.stop();
+    client.stop();
+  });
+  cl->engine().run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(client.stats().timeouts, 0u);
+  EXPECT_GT(client.stats().cancels_sent, 0u);
+}
+
 // ------------------------------------------------------------------- KV --
 
 struct ServingRig {

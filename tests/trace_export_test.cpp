@@ -11,6 +11,7 @@
 #include "tccluster/cluster.hpp"
 #include "tccluster/diag.hpp"
 #include "tccluster/trace_export.hpp"
+#include "tcstore/store.hpp"
 #include "tcsvc/rpc.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
@@ -152,6 +153,7 @@ TEST(TraceExport, WritesLoadableFile) {
 TEST(MetricsCatalogue, MatchesObservabilityDoc) {
   (void)pingpong_cluster(65536);  // registers every subsystem's metrics
   tcsvc::register_tcsvc_metrics();  // serving layer: not exercised by pingpong
+  tcstore::register_tcstore_metrics();  // store layer: likewise
 
   const std::string doc_path = std::string(TCC_SOURCE_DIR) + "/docs/OBSERVABILITY.md";
   std::ifstream in(doc_path);

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Gate the store-smoke run (bench/store_ops) in CI.
+
+Usage: check_store_ops.py BENCH_store_ops.json [baseline.json]
+
+The run measures the tcstore layer on two topologies (the 4-node ring and
+a 2x2x2 torus of 4-chip Supernodes): plain set (the put baseline), incr,
+CAS and append under the same worker pool and arrival process, an ordered
+scan over every shard, and a kill window where incr writers keep an
+acked-op ledger while the hot shard's primary dies mid-run. This checker
+asserts the correctness side — zero acked increments lost or double
+applied, failover actually acked post-kill, no failed ops in the
+fault-free sections — and gates the performance side loosely against the
+checked-in baseline: each atomic op's p99 within a small factor of the
+put p99 at matched load, and a scan-goodput floor. The ceilings exist to
+catch a structural regression in the RMW or scan paths, not smoke-window
+jitter.
+"""
+
+import json
+import math
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "baselines" / "store_ops_baseline.json"
+
+TOPOLOGIES = ("ring-4", "torus3d-2x2x2")
+ATOMIC_OPS = ("incr", "cas", "append")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = pathlib.Path(argv[1])
+    baseline_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+
+    doc = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    assert doc.get("schema_version") == 1, doc.get("schema_version")
+    assert doc.get("bench") == "store_ops", doc.get("bench")
+
+    failures = []
+    rows = doc["series"]
+    ops = {(r["topology"], r["op"]): r for r in rows if r.get("row") == "op_latency"}
+    scans = {r["topology"]: r for r in rows if r.get("row") == "scan"}
+    kill = [r for r in rows if r.get("row") == "kill_window"]
+
+    max_failed = int(baseline["max_failed_ops"])
+    for topo in TOPOLOGIES:
+        put = ops.get((topo, "put"))
+        if put is None:
+            failures.append(f"{topo}: missing put row")
+            continue
+        put_p99 = float(put.get("p99_us", float("nan")))
+        if not (math.isfinite(put_p99) and put_p99 > 0):
+            failures.append(f"{topo}: put p99 not finite/positive")
+            continue
+        for op in ("put",) + ATOMIC_OPS:
+            r = ops.get((topo, op))
+            if r is None:
+                failures.append(f"{topo}: missing {op} row")
+                continue
+            if r.get("completed", 0) <= 0:
+                failures.append(f"{topo}/{op}: no completed ops")
+            if r.get("failed", 0) > max_failed:
+                failures.append(f"{topo}/{op}: {r['failed']} failed ops "
+                                f"(allowed {max_failed})")
+            p99 = float(r.get("p99_us", float("nan")))
+            if not math.isfinite(p99):
+                failures.append(f"{topo}/{op}: p99 not finite")
+                continue
+            if op == "put":
+                continue
+            ratio = p99 / put_p99
+            ceiling = float(baseline["max_atomic_p99_vs_put"][op])
+            verdict = "OK" if ratio <= ceiling else "REGRESSION"
+            print(f"{topo:14s} {op:6s} p99 {p99:6.2f} us  vs put {ratio:5.2f}x  "
+                  f"ceiling {ceiling:.1f}x  {verdict}")
+            if ratio > ceiling:
+                failures.append(f"{topo}/{op}: p99 {ratio:.2f}x over put "
+                                f"(ceiling {ceiling:.1f}x)")
+
+        sc = scans.get(topo)
+        if sc is None:
+            failures.append(f"{topo}: missing scan row")
+        else:
+            if sc.get("entries", 0) <= 0 or sc.get("frames", 0) <= 0:
+                failures.append(f"{topo}: scan returned no entries/frames")
+            goodput = float(sc.get("entries_per_s", 0.0))
+            floor = float(baseline["min_scan_entries_per_s"])
+            verdict = "OK" if goodput >= floor else "REGRESSION"
+            print(f"{topo:14s} scan   {goodput/1e6:6.2f} Mentries/s  "
+                  f"floor {floor/1e6:.2f}  {verdict}")
+            if not (math.isfinite(goodput) and goodput >= floor):
+                failures.append(f"{topo}: scan goodput {goodput:.0f}/s "
+                                f"below floor {floor:.0f}/s")
+
+    # The kill window: zero lost, zero double-applied, failover really acked.
+    if len(kill) != 1:
+        failures.append(f"kill_window rows: expected 1, got {len(kill)}")
+    else:
+        k = kill[0]
+        if k.get("lost", 1) != 0 or k.get("double_applied", 1) != 0:
+            failures.append(f"kill window: {k.get('lost')} lost / "
+                            f"{k.get('double_applied')} double-applied acked ops")
+        if k.get("acked", 0) <= 0:
+            failures.append("kill window: the ledger writer made no progress")
+        if k.get("post_kill_acked", 0) <= 0:
+            failures.append("kill window: no op acked after the kill (no failover)")
+        print(f"kill window: {k.get('acked', 0):.0f} acked "
+              f"({k.get('post_kill_acked', 0):.0f} post-kill), "
+              f"{k.get('lost', 0):.0f} lost, "
+              f"{k.get('double_applied', 0):.0f} double-applied")
+
+    # Wall clock vs baseline: the scale canary (loose, runner-dependent).
+    wall = float(doc["config"].get("wall_s", float("nan")))
+    base = float(baseline["wall_s"])
+    ceiling = base * (1.0 + float(baseline["wall_tolerance"]))
+    verdict = "OK" if wall <= ceiling else "REGRESSION"
+    print(f"wall clock {wall:6.2f} s  baseline {base:.2f} s  "
+          f"ceiling {ceiling:.2f} s  {verdict}")
+    if not (math.isfinite(wall) and wall <= ceiling):
+        failures.append(f"wall_s {wall:.2f} exceeds ceiling {ceiling:.2f}")
+
+    if failures:
+        print("\nstore-ops gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("store-ops gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
